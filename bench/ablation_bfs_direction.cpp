@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: direction optimization in both APIs (extension beyond the
+ * paper's figures; the paper's related work credits GraphBLAST with
+ * direction optimization, and Lonestar ships a dir-opt bfs).
+ *
+ * Variants: gb (push-only Algorithm 2), gb-pp (push/pull switching in
+ * the matrix API), ls (push-only Algorithm 1), ls-do (Beamer-style
+ * push/pull with early-exit pull). Expected shape: direction
+ * optimization helps most on low-diameter power-law graphs where the
+ * frontier quickly covers most vertices; the graph API's pull step
+ * benefits additionally from early exit, which mxv cannot do.
+ */
+
+#include "bench_common.h"
+
+#include "graph/builder.h"
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("ablation_bfs_direction");
+
+    core::Table table(
+        "BFS direction-optimization ablation: speedup over gb");
+    table.set_header({"graph", "gb", "gb-pp", "ls", "ls-do"});
+
+    for (const auto& name : core::suite_graph_names()) {
+        const auto input = core::build_suite_graph(name, config.scale);
+        const auto A =
+            grb::Matrix<uint8_t>::from_graph(input.directed, false);
+        const auto At = A.transpose();
+        const auto transpose = graph::transpose(input.directed);
+
+        grb::BackendScope scope(grb::Backend::kParallel);
+        const double gb = bench::timed_seconds(
+            config.reps, [&] { la::bfs(A, input.source); });
+        const double gb_pp = bench::timed_seconds(config.reps, [&] {
+            la::bfs_pushpull(A, At, input.source);
+        });
+        const double ls_push = bench::timed_seconds(
+            config.reps, [&] { ls::bfs(input.directed, input.source); });
+        const double ls_do = bench::timed_seconds(config.reps, [&] {
+            ls::bfs_dirop(input.directed, transpose, input.source);
+        });
+
+        table.add_row({name, "1.00x", bench::speedup_str(gb, gb_pp),
+                       bench::speedup_str(gb, ls_push),
+                       bench::speedup_str(gb, ls_do)});
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "ablation_bfs_direction");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension workloads (beyond the paper's six): k-core decomposition
+ * and betweenness centrality, matrix API (gb) vs graph API (ls).
+ *
+ * Both follow the paper's pattern: k-core contrasts bulk peeling
+ * sweeps against asynchronous peeling cascades (the bulk-operation
+ * limitation), and Brandes bc contrasts per-level eWise/vxm chains
+ * with materialized level frontiers against fused forward/backward
+ * sweeps (the lightweight-loop and materialization limitations).
+ */
+
+#include "bench_common.h"
+
+#include "graph/properties.h"
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("ablation_extra_apps");
+
+    core::Table table(
+        "Extension workloads: seconds (gb vs ls) and ls speedup");
+    table.set_header({"graph", "kcore gb", "kcore ls", "kcore speedup",
+                      "bc gb", "bc ls", "bc speedup"});
+
+    for (const auto& name : core::suite_graph_names()) {
+        const auto input = core::build_suite_graph(name, config.scale);
+
+        // k-core on the symmetric view.
+        const auto A32 =
+            grb::Matrix<uint32_t>::from_graph(input.symmetric, false);
+        grb::BackendScope scope(grb::Backend::kParallel);
+        const double kcore_gb = bench::timed_seconds(
+            config.reps, [&] { la::core_numbers(A32); });
+        const double kcore_ls = bench::timed_seconds(
+            config.reps, [&] { ls::core_numbers(input.symmetric); });
+
+        // bc from 4 sources on the directed graph.
+        std::vector<graph::Node> sources{input.source};
+        const graph::Node n = input.directed.num_nodes();
+        sources.push_back(n / 4);
+        sources.push_back(n / 2);
+        sources.push_back(3 * (n / 4));
+        std::vector<grb::Index> grb_sources(sources.begin(),
+                                            sources.end());
+        const auto A64 =
+            grb::Matrix<double>::from_graph(input.directed, false);
+        const auto At = A64.transpose();
+        const double bc_gb = bench::timed_seconds(config.reps, [&] {
+            la::betweenness(A64, At, grb_sources);
+        });
+        const double bc_ls = bench::timed_seconds(config.reps, [&] {
+            ls::betweenness(input.directed, sources);
+        });
+
+        table.add_row({name, human_seconds(kcore_gb),
+                       human_seconds(kcore_ls),
+                       bench::speedup_str(kcore_gb, kcore_ls),
+                       human_seconds(bc_gb), human_seconds(bc_ls),
+                       bench::speedup_str(bc_gb, bc_ls)});
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "ablation_extra_apps");
+    return 0;
+}

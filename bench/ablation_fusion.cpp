@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: how much of the graph API's bfs advantage does loop fusion
+ * alone recover?
+ *
+ * The paper's Section VI proposes restructuring-compiler loop fusion
+ * as the fix for the matrix API's lightweight-loop penalty. This bench
+ * measures the hand-fused composite kernel (grb::vxm_fused_assign):
+ *
+ *   gb        Algorithm 2 (vxm + nvals + assign per round)
+ *   gb-fused  one fused kernel per round
+ *   ls        Algorithm 1 (the graph API's fused loop)
+ *
+ * Expected shape: gb-fused lands between gb and ls — fusion removes
+ * the extra passes but not the worklist/scheduling advantages.
+ */
+
+#include "bench_common.h"
+
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("ablation_fusion");
+
+    core::Table table("Loop-fusion ablation (bfs): speedup over gb");
+    table.set_header({"graph", "gb", "gb-fused", "ls"});
+
+    for (const auto& name : core::suite_graph_names()) {
+        const auto input = core::build_suite_graph(name, config.scale);
+        const auto A =
+            grb::Matrix<uint8_t>::from_graph(input.directed, false);
+
+        grb::BackendScope scope(grb::Backend::kParallel);
+        const double gb = bench::timed_seconds(
+            config.reps, [&] { la::bfs(A, input.source); });
+        const double fused = bench::timed_seconds(
+            config.reps, [&] { la::bfs_fused(A, input.source); });
+        const double ls_time = bench::timed_seconds(
+            config.reps, [&] { ls::bfs(input.directed, input.source); });
+
+        table.add_row({name, "1.00x", bench::speedup_str(gb, fused),
+                       bench::speedup_str(gb, ls_time)});
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "ablation_fusion");
+    return 0;
+}

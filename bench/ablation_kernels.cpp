@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Kernel-level ablation (google-benchmark): the design choices DESIGN.md
+ * calls out, measured in isolation.
+ *
+ *  - SpGEMM method: Gustavson vs hash vs masked dot on the same product.
+ *  - vxm backend: Reference (static schedule, sorted outputs) vs
+ *    Parallel (dynamic schedule, unordered outputs).
+ *  - Sparse-vector representation: dense array vs sorted sparse input
+ *    to the same vxm.
+ *  - do_all scheduling: static vs dynamic chunks on a skewed workload.
+ *
+ * Run with --benchmark_filter=... to narrow; sizes are fixed (not
+ * GAS_SCALE-scaled) so numbers are comparable across runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/suite.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "matrix/grb.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace gas;
+
+const graph::Graph&
+rmat_graph()
+{
+    static const graph::Graph graph = [] {
+        auto list = graph::rmat(12, 16, 99);
+        graph::symmetrize(list);
+        auto g = graph::Graph::from_edge_list(list, false);
+        g.sort_adjacencies();
+        return g;
+    }();
+    return graph;
+}
+
+const grb::Matrix<uint64_t>&
+rmat_matrix()
+{
+    static const auto matrix =
+        grb::Matrix<uint64_t>::from_graph(rmat_graph(), false);
+    return matrix;
+}
+
+void
+BM_MxmGustavson(benchmark::State& state)
+{
+    const auto L = grb::tril(rmat_matrix());
+    for (auto _ : state) {
+        grb::Matrix<uint64_t> C;
+        grb::mxm_saxpy<grb::PlusPair<uint64_t>>(C, L, L,
+                                                grb::MxmMethod::kGustavson);
+        benchmark::DoNotOptimize(C.nvals());
+    }
+}
+BENCHMARK(BM_MxmGustavson)->Unit(benchmark::kMillisecond);
+
+void
+BM_MxmHash(benchmark::State& state)
+{
+    const auto L = grb::tril(rmat_matrix());
+    for (auto _ : state) {
+        grb::Matrix<uint64_t> C;
+        grb::mxm_saxpy<grb::PlusPair<uint64_t>>(C, L, L,
+                                                grb::MxmMethod::kHash);
+        benchmark::DoNotOptimize(C.nvals());
+    }
+}
+BENCHMARK(BM_MxmHash)->Unit(benchmark::kMillisecond);
+
+void
+BM_MxmMaskedDot(benchmark::State& state)
+{
+    const auto L = grb::tril(rmat_matrix());
+    for (auto _ : state) {
+        grb::Matrix<uint64_t> C;
+        grb::mxm_masked_dot<grb::PlusPair<uint64_t>>(C, L, L, L);
+        benchmark::DoNotOptimize(C.nvals());
+    }
+}
+BENCHMARK(BM_MxmMaskedDot)->Unit(benchmark::kMillisecond);
+
+void
+vxm_backend_bench(benchmark::State& state, grb::Backend backend)
+{
+    grb::BackendScope scope(backend);
+    const auto& A = rmat_matrix();
+    grb::Vector<uint64_t> u(A.nrows());
+    for (grb::Index i = 0; i < A.nrows(); i += 3) {
+        u.set_element(i, 1);
+    }
+    for (auto _ : state) {
+        grb::Vector<uint64_t> w;
+        grb::vxm<grb::PlusTimes<uint64_t>>(w, grb::kDefaultDesc, u, A);
+        benchmark::DoNotOptimize(w.nvals());
+    }
+}
+
+void
+BM_VxmReferenceBackend(benchmark::State& state)
+{
+    vxm_backend_bench(state, grb::Backend::kReference);
+}
+BENCHMARK(BM_VxmReferenceBackend)->Unit(benchmark::kMillisecond);
+
+void
+BM_VxmParallelBackend(benchmark::State& state)
+{
+    vxm_backend_bench(state, grb::Backend::kParallel);
+}
+BENCHMARK(BM_VxmParallelBackend)->Unit(benchmark::kMillisecond);
+
+void
+vxm_format_bench(benchmark::State& state, bool dense_input)
+{
+    const auto& A = rmat_matrix();
+    grb::Vector<uint64_t> u(A.nrows());
+    for (grb::Index i = 0; i < A.nrows(); i += 2) {
+        u.set_element(i, 1);
+    }
+    if (dense_input) {
+        u.densify();
+    }
+    for (auto _ : state) {
+        grb::Vector<uint64_t> w;
+        grb::vxm<grb::PlusTimes<uint64_t>>(w, grb::kDefaultDesc, u, A);
+        benchmark::DoNotOptimize(w.nvals());
+    }
+}
+
+void
+BM_VxmSparseInput(benchmark::State& state)
+{
+    vxm_format_bench(state, false);
+}
+BENCHMARK(BM_VxmSparseInput)->Unit(benchmark::kMillisecond);
+
+void
+BM_VxmDenseInput(benchmark::State& state)
+{
+    vxm_format_bench(state, true);
+}
+BENCHMARK(BM_VxmDenseInput)->Unit(benchmark::kMillisecond);
+
+void
+do_all_bench(benchmark::State& state, rt::Schedule schedule)
+{
+    // Skewed workload: item i costs O(i % 1024) — static partitioning
+    // load-imbalances, dynamic chunks self-balance.
+    const std::size_t n = 1 << 16;
+    for (auto _ : state) {
+        std::atomic<uint64_t> sink{0};
+        rt::do_all(
+            n,
+            [&](std::size_t i) {
+                uint64_t acc = 0;
+                for (std::size_t j = 0; j < i % 1024; ++j) {
+                    acc += j * i;
+                }
+                if (acc == 42) {
+                    sink.fetch_add(1);
+                }
+            },
+            {schedule, 0});
+        benchmark::DoNotOptimize(sink.load());
+    }
+}
+
+void
+BM_DoAllStatic(benchmark::State& state)
+{
+    do_all_bench(state, rt::Schedule::kStatic);
+}
+BENCHMARK(BM_DoAllStatic)->Unit(benchmark::kMillisecond);
+
+void
+BM_DoAllDynamic(benchmark::State& state)
+{
+    do_all_bench(state, rt::Schedule::kDynamic);
+}
+BENCHMARK(BM_DoAllDynamic)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gas::core::configure_threads_from_env();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,103 @@
+#pragma once
+
+/**
+ * @file
+ * Shared setup for the table/figure bench binaries: environment-driven
+ * configuration, repetition timing, and speedup formatting.
+ *
+ * Environment knobs (shared by every binary):
+ *   GAS_SCALE    multiplies suite graph sizes (default 1.0)
+ *   GAS_THREADS  thread count (default: hardware concurrency)
+ *   GAS_REPS     timed repetitions per cell (default 3)
+ *   GAS_TIMEOUT  per-repetition timeout in seconds (default 120)
+ *   GAS_CSV_DIR  when set, each table is also written as CSV there
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/runner.h"
+#include "core/suite.h"
+#include "core/table.h"
+#include "support/format.h"
+#include "support/timer.h"
+
+namespace gas::bench {
+
+/// Parsed environment configuration.
+struct Config
+{
+    double scale{1.0};
+    unsigned threads{1};
+    unsigned reps{3};
+    double timeout_seconds{120.0};
+    const char* csv_dir{nullptr};
+};
+
+inline Config
+configure(const char* binary_name)
+{
+    Config config;
+    config.scale = core::suite_scale_from_env();
+    config.threads = core::configure_threads_from_env();
+    if (const char* reps = std::getenv("GAS_REPS")) {
+        config.reps = static_cast<unsigned>(std::max(1, std::atoi(reps)));
+    }
+    if (const char* timeout = std::getenv("GAS_TIMEOUT")) {
+        config.timeout_seconds = std::atof(timeout);
+    }
+    config.csv_dir = std::getenv("GAS_CSV_DIR");
+    std::printf("[%s] scale=%.2f threads=%u reps=%u timeout=%.0fs\n",
+                binary_name, config.scale, config.threads, config.reps,
+                config.timeout_seconds);
+    return config;
+}
+
+inline core::RunConfig
+run_config(const Config& config, bool verify = true)
+{
+    core::RunConfig run;
+    run.repetitions = config.reps;
+    run.verify = verify;
+    run.timeout_seconds = config.timeout_seconds;
+    return run;
+}
+
+/// Average seconds of `reps` runs of fn() (for variant benches that
+/// call algorithms directly rather than through run_cell).
+template <typename Fn>
+double
+timed_seconds(unsigned reps, Fn&& fn)
+{
+    double total = 0.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        Timer timer;
+        timer.start();
+        fn();
+        timer.stop();
+        total += timer.seconds();
+    }
+    return total / reps;
+}
+
+/// "x.xx" speedup string; "-" when the denominator is unusable.
+inline std::string
+speedup_str(double base_seconds, double variant_seconds)
+{
+    if (variant_seconds <= 0.0) {
+        return "-";
+    }
+    return fixed(base_seconds / variant_seconds, 2) + "x";
+}
+
+inline void
+maybe_write_csv(const core::Table& table, const Config& config,
+                const std::string& name)
+{
+    if (config.csv_dir != nullptr) {
+        table.write_csv(std::string(config.csv_dir) + "/" + name + ".csv");
+    }
+}
+
+} // namespace gas::bench

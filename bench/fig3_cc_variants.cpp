@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 3(c): connected-components variant speedups.
+ *
+ * Variants, as in the paper: ls (Afforest — fine-grained sampling the
+ * matrix API cannot express), ls-sv (Shiloach-Vishkin in the graph API
+ * with unbounded asynchronous pointer jumping), and gb (the bulk
+ * FastSV baseline). Expected shape: ls > ls-sv > gb, with ls-sv's
+ * advantage largest on the high-diameter road graphs.
+ */
+
+#include "bench_common.h"
+
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("fig3_cc_variants");
+
+    core::Table table(
+        "Figure 3(c): cc variant speedup over the gb baseline");
+    table.set_header({"graph", "gb", "ls-sv", "ls"});
+
+    for (const auto& name : core::suite_graph_names()) {
+        const auto input = core::build_suite_graph(name, config.scale);
+        const auto A =
+            grb::Matrix<uint32_t>::from_graph(input.symmetric, false);
+
+        grb::BackendScope scope(grb::Backend::kParallel);
+        const double gb = bench::timed_seconds(
+            config.reps, [&] { la::cc_fastsv(A); });
+        const double ls_sv = bench::timed_seconds(
+            config.reps, [&] { ls::cc_sv(input.symmetric); });
+        const double ls_aff = bench::timed_seconds(
+            config.reps, [&] { ls::cc_afforest(input.symmetric); });
+
+        table.add_row({name, "1.00x", bench::speedup_str(gb, ls_sv),
+                       bench::speedup_str(gb, ls_aff)});
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "fig3c_cc");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table I: properties of the input graphs.
+ *
+ * Columns mirror the paper: |V|, |E|, |E|/|V|, max out/in degree,
+ * approximate diameter, and CSR size. The graphs are the scaled-down
+ * structural stand-ins documented in DESIGN.md; absolute sizes differ
+ * from the paper, the structural contrasts (diameter, skew, density) do
+ * not.
+ */
+
+#include "bench_common.h"
+
+#include "graph/properties.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("table1_graphs");
+
+    core::Table table("Table I: input graphs and their properties");
+    table.set_header({"property", "road-USA-W", "road-USA", "rmat22",
+                      "indochina04", "eukarya", "rmat26", "twitter40",
+                      "friendster", "uk07"});
+
+    std::vector<graph::GraphStats> stats;
+    for (const auto& name : core::suite_graph_names()) {
+        const auto input = core::build_suite_graph(name, config.scale);
+        stats.push_back(graph::compute_stats(input.directed));
+    }
+
+    auto row = [&](const std::string& label, auto&& fn) {
+        std::vector<std::string> cells{label};
+        for (const auto& s : stats) {
+            cells.push_back(fn(s));
+        }
+        table.add_row(std::move(cells));
+    };
+
+    row("|V|", [](const auto& s) { return human_count(s.num_nodes); });
+    row("|E|", [](const auto& s) { return human_count(s.num_edges); });
+    row("|E|/|V|",
+        [](const auto& s) { return fixed(s.avg_degree, 1); });
+    row("max Dout",
+        [](const auto& s) { return human_count(s.max_out_degree); });
+    row("max Din",
+        [](const auto& s) { return human_count(s.max_in_degree); });
+    row("approx diam",
+        [](const auto& s) { return std::to_string(s.approx_diameter); });
+    row("CSR size",
+        [](const auto& s) { return human_bytes(s.csr_bytes); });
+
+    table.print();
+    bench::maybe_write_csv(table, config, "table1");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Table II: execution time in seconds for the six workloads
+ * on the nine suite graphs across the three systems.
+ *
+ * SS = LAGraph on the Reference backend (SuiteSparse stand-in),
+ * GB = LAGraph on the Parallel backend (GaloisBLAS),
+ * LS = Lonestar on the graph API. "TO" marks a timeout and "C" a
+ * correctness mismatch, like the paper. A summary of geometric-mean
+ * speedups (the paper's headline 5x / 3.5x / 1.4x numbers) follows the
+ * table.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("table2_runtime");
+    const auto suite = core::build_suite(config.scale);
+    const auto run = bench::run_config(config);
+
+    const core::App apps[] = {core::App::kBfs,    core::App::kCc,
+                              core::App::kKtruss, core::App::kPr,
+                              core::App::kSssp,   core::App::kTc};
+    const core::System systems[] = {core::System::kSuiteSparse,
+                                    core::System::kGaloisBlas,
+                                    core::System::kLonestar};
+
+    core::Table table("Table II: execution time in seconds "
+                      "(SS=LAGraph/SuiteSparse-model, "
+                      "GB=LAGraph/GaloisBLAS, LS=Lonestar/Galois)");
+    std::vector<std::string> header{"app", "sys"};
+    for (const auto& input : suite) {
+        header.push_back(input.name);
+    }
+    table.set_header(std::move(header));
+
+    // Geometric-mean speedup accumulators over cells where both
+    // systems completed.
+    double log_ls_over_ss = 0.0;
+    double log_ls_over_gb = 0.0;
+    double log_gb_over_ss = 0.0;
+    unsigned n_ls_ss = 0;
+    unsigned n_ls_gb = 0;
+    unsigned n_gb_ss = 0;
+
+    for (const core::App app : apps) {
+        double seconds[3][9];
+        bool usable[3][9] = {};
+        for (unsigned s = 0; s < 3; ++s) {
+            std::vector<std::string> row{
+                s == 0 ? core::app_name(app) : "",
+                core::system_name(systems[s])};
+            for (std::size_t g = 0; g < suite.size(); ++g) {
+                const auto result =
+                    core::run_cell(app, systems[s], suite[g], run);
+                row.push_back(core::format_cell(result));
+                seconds[s][g] = result.seconds;
+                usable[s][g] = !result.timed_out &&
+                    (!result.verified || result.correct) &&
+                    result.seconds > 0.0;
+            }
+            table.add_row(std::move(row));
+        }
+        for (std::size_t g = 0; g < suite.size(); ++g) {
+            if (usable[0][g] && usable[2][g]) {
+                log_ls_over_ss += std::log(seconds[0][g] / seconds[2][g]);
+                ++n_ls_ss;
+            }
+            if (usable[1][g] && usable[2][g]) {
+                log_ls_over_gb += std::log(seconds[1][g] / seconds[2][g]);
+                ++n_ls_gb;
+            }
+            if (usable[0][g] && usable[1][g]) {
+                log_gb_over_ss += std::log(seconds[0][g] / seconds[1][g]);
+                ++n_gb_ss;
+            }
+        }
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "table2");
+
+    std::printf("\nGeometric-mean speedups over completed cells "
+                "(paper: LS/SS ~5x, LS/GB ~3.5x, GB/SS ~1.4x):\n");
+    std::printf("  Lonestar vs SuiteSparse-model : %.2fx (%u cells)\n",
+                std::exp(log_ls_over_ss / std::max(1u, n_ls_ss)), n_ls_ss);
+    std::printf("  Lonestar vs GaloisBLAS        : %.2fx (%u cells)\n",
+                std::exp(log_ls_over_gb / std::max(1u, n_ls_gb)), n_ls_gb);
+    std::printf("  GaloisBLAS vs SuiteSparse-model: %.2fx (%u cells)\n",
+                std::exp(log_gb_over_ss / std::max(1u, n_gb_ss)), n_gb_ss);
+    return 0;
+}

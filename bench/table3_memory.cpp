@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Table III: maximum resident set size per system.
+ *
+ * The paper samples OS-level MRSS; this reproduction reports the peak
+ * of library-tracked bytes (graphs, matrices, vectors, accumulators,
+ * worklists) per cell — see DESIGN.md for the substitution rationale.
+ * The expected shape: SS grows past GB/LS on larger inputs (fresh
+ * allocations per op), and tc/ktruss on the matrix systems carry large
+ * intermediate matrices that LS never materializes.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("table3_memory");
+    const auto suite = core::build_suite(config.scale);
+    // A single repetition suffices: peak memory is deterministic.
+    auto run = bench::run_config(config, /*verify=*/false);
+    run.repetitions = 1;
+
+    const core::App apps[] = {core::App::kBfs,    core::App::kCc,
+                              core::App::kKtruss, core::App::kPr,
+                              core::App::kSssp,   core::App::kTc};
+    const core::System systems[] = {core::System::kSuiteSparse,
+                                    core::System::kGaloisBlas,
+                                    core::System::kLonestar};
+
+    core::Table table(
+        "Table III: peak tracked memory (MRSS stand-in) per cell");
+    std::vector<std::string> header{"app", "sys"};
+    for (const auto& input : suite) {
+        header.push_back(input.name);
+    }
+    table.set_header(std::move(header));
+
+    for (const core::App app : apps) {
+        for (unsigned s = 0; s < 3; ++s) {
+            std::vector<std::string> row{
+                s == 0 ? core::app_name(app) : "",
+                core::system_name(systems[s])};
+            for (const auto& input : suite) {
+                const auto result =
+                    core::run_cell(app, systems[s], input, run);
+                row.push_back(result.timed_out
+                                  ? "TO"
+                                  : human_bytes(result.peak_bytes));
+            }
+            table.add_row(std::move(row));
+        }
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "table3");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table IV: hardware-counter ratios GB/LS per application.
+ *
+ * The paper reports Intel CapeScripts events (instructions, L1/L2/L3/
+ * DRAM accesses); this reproduction reports the software-counter
+ * proxies described in metrics/counters.h. The paper's finding to
+ * reproduce: every ratio is > 1 — the matrix API executes more
+ * instructions and touches memory more often than the graph API for
+ * the same problem. Each app is measured on the graph the paper's
+ * Section V-B narrative discusses.
+ */
+
+#include "bench_common.h"
+
+namespace {
+
+std::string
+ratio_str(uint64_t numerator, uint64_t denominator)
+{
+    if (denominator == 0) {
+        // e.g. rounds of an asynchronous algorithm: there are none.
+        return numerator == 0 ? "1.00" : "inf";
+    }
+    return gas::fixed(static_cast<double>(numerator) /
+                          static_cast<double>(denominator),
+                      2);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("table4_counters");
+    auto run = bench::run_config(config, /*verify=*/false);
+    run.repetitions = 1;
+
+    // (app, representative graph) pairs from the paper's discussion.
+    const std::pair<core::App, std::string> cells[] = {
+        {core::App::kBfs, "road-USA"},   {core::App::kCc, "twitter40"},
+        {core::App::kKtruss, "rmat22"},  {core::App::kPr, "uk07"},
+        {core::App::kSssp, "road-USA"},  {core::App::kTc, "uk07"},
+    };
+
+    core::Table table(
+        "Table IV: software-counter ratios GB/LS "
+        "(instruction and memory-access proxies; paper: all > 1)");
+    table.set_header({"app", "graph", "work items", "label accesses",
+                      "edge visits", "bytes materialized", "passes",
+                      "rounds"});
+
+    for (const auto& [app, graph_name] : cells) {
+        const auto input =
+            core::build_suite_graph(graph_name, config.scale);
+        const auto gb =
+            core::run_cell(app, core::System::kGaloisBlas, input, run);
+        const auto ls =
+            core::run_cell(app, core::System::kLonestar, input, run);
+        const auto& g = gb.counters;
+        const auto& l = ls.counters;
+        table.add_row(
+            {core::app_name(app), graph_name,
+             ratio_str(g[metrics::kWorkItems], l[metrics::kWorkItems]),
+             ratio_str(g.memory_accesses(), l.memory_accesses()),
+             ratio_str(g[metrics::kEdgeVisits], l[metrics::kEdgeVisits]),
+             ratio_str(g[metrics::kBytesMaterialized],
+                       l[metrics::kBytesMaterialized]),
+             ratio_str(g[metrics::kPasses], l[metrics::kPasses]),
+             ratio_str(g[metrics::kRounds], l[metrics::kRounds])});
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "table4");
+    return 0;
+}

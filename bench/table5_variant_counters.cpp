@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Reproduces Table V: software-counter ratios for the differential
+ * analysis variant pairs of Section V-B.
+ *
+ * Pairs, as discussed in the paper:
+ *   pr      gb-res / ls-soa   (same residual algorithm, two APIs)
+ *   tc      gb-ll  / ls       (same listing algorithm, two APIs)
+ *   cc      gb     / ls-sv    (bulk vs asynchronous pointer jumping)
+ *   sssp    gb     / ls       (bulk vs asynchronous delta-stepping)
+ *   ktruss  gb     / ls       (Jacobi vs Gauss-Seidel rounds)
+ *
+ * Expected shape: every memory-proxy ratio > 1; for tc the paper notes
+ * gb-ll may execute *fewer* instructions (preprocessing removed the
+ * symmetry check) while still making more memory accesses.
+ */
+
+#include "bench_common.h"
+
+#include "graph/builder.h"
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+#include "metrics/counters.h"
+
+namespace {
+
+std::string
+ratio_str(uint64_t numerator, uint64_t denominator)
+{
+    if (denominator == 0) {
+        // e.g. rounds of an asynchronous algorithm: there are none.
+        return numerator == 0 ? "1.00" : "inf";
+    }
+    return gas::fixed(static_cast<double>(numerator) /
+                          static_cast<double>(denominator),
+                      2);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace gas;
+    const auto config = bench::configure("table5_variant_counters");
+
+    core::Table table("Table V: software-counter ratios for the "
+                      "differential-analysis variant pairs");
+    table.set_header({"app", "pair", "graph", "work items",
+                      "label accesses", "edge visits",
+                      "bytes materialized", "rounds"});
+
+    auto add_pair = [&](const char* app, const char* pair,
+                        const std::string& graph_name, auto&& gb_fn,
+                        auto&& ls_fn) {
+        metrics::reset();
+        const metrics::Interval gb_interval;
+        gb_fn();
+        const auto g = gb_interval.delta();
+        const metrics::Interval ls_interval;
+        ls_fn();
+        const auto l = ls_interval.delta();
+        table.add_row(
+            {app, pair, graph_name,
+             ratio_str(g[metrics::kWorkItems], l[metrics::kWorkItems]),
+             ratio_str(g.memory_accesses(), l.memory_accesses()),
+             ratio_str(g[metrics::kEdgeVisits], l[metrics::kEdgeVisits]),
+             ratio_str(g[metrics::kBytesMaterialized],
+                       l[metrics::kBytesMaterialized]),
+             ratio_str(g[metrics::kRounds], l[metrics::kRounds])});
+    };
+
+    grb::BackendScope scope(grb::Backend::kParallel);
+
+    {
+        const auto input = core::build_suite_graph("uk07", config.scale);
+        const auto A =
+            grb::Matrix<double>::from_graph(input.directed, false);
+        const auto At = A.transpose();
+        const auto transpose = graph::transpose(input.directed);
+        add_pair(
+            "pr", "gb-res/ls-soa", input.name,
+            [&] { la::pagerank_residual(A, At, 0.85, 10); },
+            [&] {
+                ls::pagerank_soa(input.directed, transpose, 0.85, 10);
+            });
+    }
+    {
+        const auto input = core::build_suite_graph("uk07", config.scale);
+        const auto relabeled = graph::relabel_by_degree(input.symmetric);
+        const auto As =
+            grb::Matrix<uint64_t>::from_graph(relabeled.graph, false);
+        const auto forward = ls::build_forward_graph(input.symmetric);
+        add_pair(
+            "tc", "gb-ll/ls", input.name,
+            [&] { la::tc_listing(As); }, [&] { ls::tc(forward); });
+    }
+    {
+        const auto input =
+            core::build_suite_graph("road-USA", config.scale);
+        const auto A =
+            grb::Matrix<uint32_t>::from_graph(input.symmetric, false);
+        add_pair(
+            "cc", "gb/ls-sv", input.name, [&] { la::cc_fastsv(A); },
+            [&] { ls::cc_sv(input.symmetric); });
+    }
+    {
+        const auto input =
+            core::build_suite_graph("road-USA", config.scale);
+        const auto A =
+            grb::Matrix<uint64_t>::from_graph(input.directed, true);
+        add_pair(
+            "sssp", "gb/ls", input.name,
+            [&] { la::sssp_delta(A, input.source, input.sssp_delta); },
+            [&] {
+                ls::SsspOptions options;
+                options.delta = input.sssp_delta;
+                ls::sssp(input.directed, input.source, options);
+            });
+    }
+    {
+        const auto input =
+            core::build_suite_graph("rmat22", config.scale);
+        const auto A =
+            grb::Matrix<uint64_t>::from_graph(input.symmetric, false);
+        add_pair(
+            "ktruss", "gb/ls", input.name,
+            [&] { la::ktruss(A, input.ktruss_k); },
+            [&] { ls::ktruss(input.symmetric, input.ktruss_k); });
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "table5");
+    return 0;
+}

@@ -1,0 +1,342 @@
+#include "core/runner.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "graph/builder.h"
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+#include "support/check.h"
+#include "support/format.h"
+#include "support/memory_tracker.h"
+#include "support/timer.h"
+#include "verify/reference.h"
+
+namespace gas::core {
+
+using graph::Graph;
+using graph::Node;
+
+const char*
+system_name(System system)
+{
+    switch (system) {
+      case System::kSuiteSparse: return "SS";
+      case System::kGaloisBlas: return "GB";
+      case System::kLonestar: return "LS";
+    }
+    return "?";
+}
+
+const char*
+app_name(App app)
+{
+    switch (app) {
+      case App::kBfs: return "bfs";
+      case App::kCc: return "cc";
+      case App::kKtruss: return "ktruss";
+      case App::kPr: return "pr";
+      case App::kSssp: return "sssp";
+      case App::kTc: return "tc";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr double kPrDamping = 0.85;
+constexpr unsigned kPrIterations = 10;
+
+/// Oracle results are deterministic per (graph, app); cache them so the
+/// three systems and repeated bench cells don't recompute them.
+struct OracleCache
+{
+    std::unordered_map<std::string, std::vector<uint32_t>> bfs;
+    std::unordered_map<std::string, std::vector<Node>> cc;
+    std::unordered_map<std::string, std::vector<double>> pr;
+    std::unordered_map<std::string, std::vector<uint64_t>> sssp;
+    std::unordered_map<std::string, uint64_t> tc;
+    std::unordered_map<std::string, uint64_t> ktruss;
+
+    static OracleCache&
+    instance()
+    {
+        static OracleCache cache;
+        return cache;
+    }
+};
+
+std::string
+cache_key(const SuiteGraph& input)
+{
+    return input.name + "/" + std::to_string(input.directed.num_nodes()) +
+        "/" + std::to_string(input.directed.num_edges());
+}
+
+bool
+ranks_close(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::abs(a[i] - b[i]) > 1e-8) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+signature_u32(const std::vector<uint32_t>& values)
+{
+    uint64_t signature = 0;
+    for (const uint32_t v : values) {
+        if (v != ~uint32_t{0}) {
+            signature += v;
+        }
+    }
+    return signature;
+}
+
+uint64_t
+signature_u64(const std::vector<uint64_t>& values)
+{
+    uint64_t signature = 0;
+    for (const uint64_t v : values) {
+        if (v != ~uint64_t{0}) {
+            signature += v;
+        }
+    }
+    return signature;
+}
+
+grb::Backend
+backend_of(System system)
+{
+    GAS_CHECK(system != System::kLonestar, "no backend for Lonestar");
+    return system == System::kSuiteSparse ? grb::Backend::kReference
+                                          : grb::Backend::kParallel;
+}
+
+/// One timed repetition of the cell; returns (seconds, signature,
+/// correct?). Preprocessed structures are passed in from run_cell.
+struct PreparedCell
+{
+    // Matrix-API inputs (built for SS/GB cells only).
+    grb::Matrix<uint8_t> bfs_matrix;
+    grb::Matrix<uint32_t> cc_matrix;
+    grb::Matrix<uint64_t> tc_matrix;
+    grb::Matrix<double> pr_matrix;
+    grb::Matrix<double> pr_matrix_t;
+    grb::Matrix<uint64_t> sssp_matrix;
+    // Graph-API inputs (LS cells only).
+    ls::ForwardGraph forward;
+    graph::Graph pr_transpose;
+};
+
+} // namespace
+
+CellResult
+run_cell(App app, System system, const SuiteGraph& input,
+         const RunConfig& config)
+{
+    CellResult result;
+    memory::PeakScope peak_scope;
+
+    // ---- Preprocessing (untimed, like the paper's loading phase) ----
+    PreparedCell prep;
+    const bool matrix_system = system != System::kLonestar;
+    std::optional<grb::BackendScope> backend_scope;
+    if (matrix_system) {
+        backend_scope.emplace(backend_of(system));
+        switch (app) {
+          case App::kBfs:
+            prep.bfs_matrix =
+                grb::Matrix<uint8_t>::from_graph(input.directed, false);
+            break;
+          case App::kCc:
+            prep.cc_matrix =
+                grb::Matrix<uint32_t>::from_graph(input.symmetric, false);
+            break;
+          case App::kKtruss:
+          case App::kTc:
+            prep.tc_matrix =
+                grb::Matrix<uint64_t>::from_graph(input.symmetric, false);
+            break;
+          case App::kPr:
+            prep.pr_matrix =
+                grb::Matrix<double>::from_graph(input.directed, false);
+            prep.pr_matrix_t = prep.pr_matrix.transpose();
+            break;
+          case App::kSssp:
+            prep.sssp_matrix =
+                grb::Matrix<uint64_t>::from_graph(input.directed, true);
+            break;
+        }
+    } else if (app == App::kTc) {
+        prep.forward = ls::build_forward_graph(input.symmetric);
+    } else if (app == App::kPr) {
+        prep.pr_transpose = graph::transpose(input.directed);
+    }
+
+    // ---- Timed repetitions ----
+    std::vector<uint32_t> bfs_result;
+    std::vector<Node> cc_result;
+    std::vector<double> pr_result;
+    std::vector<uint64_t> sssp_result;
+    uint64_t scalar_result = 0;
+
+    auto run_once = [&]() {
+        switch (app) {
+          case App::kBfs:
+            if (matrix_system) {
+                bfs_result = la::bfs_levels_from(
+                    la::bfs(prep.bfs_matrix, input.source));
+            } else {
+                bfs_result = ls::bfs(input.directed, input.source);
+            }
+            break;
+          case App::kCc:
+            cc_result = matrix_system ? la::cc_fastsv(prep.cc_matrix)
+                                      : ls::cc_afforest(input.symmetric);
+            break;
+          case App::kKtruss:
+            scalar_result = matrix_system
+                ? la::ktruss(prep.tc_matrix, input.ktruss_k)
+                : ls::ktruss(input.symmetric, input.ktruss_k);
+            break;
+          case App::kPr:
+            pr_result = matrix_system
+                ? la::pagerank(prep.pr_matrix, prep.pr_matrix_t,
+                               kPrDamping, kPrIterations)
+                : ls::pagerank(input.directed, prep.pr_transpose,
+                               kPrDamping, kPrIterations);
+            break;
+          case App::kSssp:
+            if (matrix_system) {
+                sssp_result = la::sssp_delta(prep.sssp_matrix,
+                                             input.source,
+                                             input.sssp_delta);
+            } else {
+                ls::SsspOptions options;
+                options.delta = input.sssp_delta;
+                sssp_result = ls::sssp(input.directed, input.source,
+                                       options);
+            }
+            break;
+          case App::kTc:
+            scalar_result = matrix_system ? la::tc_sandia(prep.tc_matrix)
+                                          : ls::tc(prep.forward);
+            break;
+        }
+    };
+
+    double total_seconds = 0.0;
+    unsigned completed = 0;
+    for (unsigned rep = 0; rep < std::max(1u, config.repetitions); ++rep) {
+        const metrics::Interval interval;
+        Timer timer;
+        timer.start();
+        run_once();
+        timer.stop();
+        total_seconds += timer.seconds();
+        ++completed;
+        if (rep == 0) {
+            result.counters = interval.delta();
+            if (timer.seconds() > config.timeout_seconds) {
+                result.timed_out = true;
+                break;
+            }
+        }
+    }
+    result.seconds = total_seconds / completed;
+    result.peak_bytes = peak_scope.peak_above_baseline() +
+        input.directed.csr_bytes() + input.symmetric.csr_bytes();
+
+    // ---- Verification against the serial oracles ----
+    if (config.verify) {
+        OracleCache& cache = OracleCache::instance();
+        const std::string key = cache_key(input);
+        result.verified = true;
+        switch (app) {
+          case App::kBfs: {
+            auto [it, fresh] = cache.bfs.try_emplace(key);
+            if (fresh) {
+                it->second =
+                    verify::bfs_levels(input.directed, input.source);
+            }
+            result.correct = bfs_result == it->second;
+            result.result_signature = signature_u32(bfs_result);
+            break;
+          }
+          case App::kCc: {
+            auto [it, fresh] = cache.cc.try_emplace(key);
+            if (fresh) {
+                it->second =
+                    verify::connected_components(input.symmetric);
+            }
+            result.correct = cc_result == it->second;
+            result.result_signature = signature_u32(cc_result);
+            break;
+          }
+          case App::kKtruss: {
+            auto [it, fresh] = cache.ktruss.try_emplace(key);
+            if (fresh) {
+                it->second = verify::ktruss_edge_count(input.symmetric,
+                                                       input.ktruss_k);
+            }
+            result.correct = scalar_result == it->second;
+            result.result_signature = scalar_result;
+            break;
+          }
+          case App::kPr: {
+            auto [it, fresh] = cache.pr.try_emplace(key);
+            if (fresh) {
+                it->second = verify::pagerank(input.directed, kPrDamping,
+                                              kPrIterations);
+            }
+            result.correct = ranks_close(pr_result, it->second);
+            result.result_signature = static_cast<uint64_t>(
+                1e9 * std::accumulate(pr_result.begin(), pr_result.end(),
+                                      0.0));
+            break;
+          }
+          case App::kSssp: {
+            auto [it, fresh] = cache.sssp.try_emplace(key);
+            if (fresh) {
+                it->second =
+                    verify::dijkstra(input.directed, input.source);
+            }
+            result.correct = sssp_result == it->second;
+            result.result_signature = signature_u64(sssp_result);
+            break;
+          }
+          case App::kTc: {
+            auto [it, fresh] = cache.tc.try_emplace(key);
+            if (fresh) {
+                it->second = verify::count_triangles(input.symmetric);
+            }
+            result.correct = scalar_result == it->second;
+            result.result_signature = scalar_result;
+            break;
+          }
+        }
+    }
+    return result;
+}
+
+std::string
+format_cell(const CellResult& result)
+{
+    if (result.timed_out) {
+        return "TO";
+    }
+    if (result.verified && !result.correct) {
+        return "C";
+    }
+    return fixed(result.seconds, result.seconds < 10 ? 3 : 2);
+}
+
+} // namespace gas::core

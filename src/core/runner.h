@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * The experiment runner: executes one (application, system, graph) cell
+ * the way the paper's methodology prescribes — preprocessing excluded
+ * from the timed region, three timed repetitions averaged, results
+ * verified against the serial oracles, software counters and peak
+ * memory captured.
+ */
+
+#include <optional>
+#include <string>
+
+#include "core/suite.h"
+#include "metrics/counters.h"
+
+namespace gas::core {
+
+/// The three systems of the study (Figure 1 of the paper).
+enum class System {
+    kSuiteSparse, ///< LAGraph on the Reference backend ("SS")
+    kGaloisBlas,  ///< LAGraph on the Parallel backend ("GB")
+    kLonestar,    ///< Lonestar on the graph API ("LS")
+};
+
+/// The six workloads.
+enum class App {
+    kBfs,
+    kCc,
+    kKtruss,
+    kPr,
+    kSssp,
+    kTc,
+};
+
+const char* system_name(System system);
+const char* app_name(App app);
+
+/// Per-cell knobs.
+struct RunConfig
+{
+    unsigned repetitions{3};
+    bool verify{true};
+    /// Skip cells whose single-rep time exceeds this (seconds); they
+    /// are reported as timed out, mirroring the paper's "TO" entries.
+    double timeout_seconds{600.0};
+};
+
+/// Outcome of one cell.
+struct CellResult
+{
+    double seconds{0.0};        ///< average timed seconds per rep
+    bool correct{false};        ///< oracle comparison result
+    bool verified{false};       ///< whether the oracle comparison ran
+    bool timed_out{false};      ///< first rep exceeded the timeout
+    metrics::Snapshot counters; ///< events during one repetition
+    std::size_t peak_bytes{0};  ///< peak tracked memory incl. structures
+    uint64_t result_signature{0}; ///< app-specific scalar (e.g. count)
+};
+
+/// Run one cell. Preprocessing (matrix building, transposes, forward
+/// graphs) happens outside the timed region.
+CellResult run_cell(App app, System system, const SuiteGraph& input,
+                    const RunConfig& config = {});
+
+/// Format a cell for a Table II style entry: seconds, "TO", or "C"
+/// (correctness failure), as in the paper.
+std::string format_cell(const CellResult& result);
+
+} // namespace gas::core

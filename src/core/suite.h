@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * The benchmark graph suite: scaled-down structural stand-ins for the
+ * paper's nine input graphs (Table I).
+ *
+ * The originals (road-USA, twitter40, friendster, uk07, ...) reach 3.7
+ * billion edges and cannot ship with this reproduction, so each is
+ * replaced by a generator that preserves the property driving the
+ * paper's analysis for that graph:
+ *
+ *   road-USA-W / road-USA   2-D grids: high diameter, uniform degree
+ *   rmat22 / rmat26         RMAT at smaller scales: power-law skew
+ *   indochina04 / uk07      copying-model webs: clustering + skew
+ *   eukarya                 dense uniform random weighted graph
+ *   twitter40               RMAT with more skewed quadrant weights
+ *   friendster              uniform random, undirected, high degree
+ *
+ * The `scale` knob multiplies vertex counts so the suite can grow on
+ * bigger machines; defaults target a single-core CI-class box.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/properties.h"
+
+namespace gas::core {
+
+/// A fully prepared benchmark input.
+struct SuiteGraph
+{
+    std::string name;          ///< paper graph this stands in for
+    std::string structure;     ///< generator family used
+    graph::Graph directed;     ///< weighted directed graph (bfs/pr/sssp)
+    graph::Graph symmetric;    ///< symmetrized view (cc/tc/ktruss),
+                               ///< sorted adjacencies
+    graph::Node source{0};     ///< bfs/sssp source (paper policy)
+    uint32_t ktruss_k{7};      ///< paper: 7, except 4 for road networks
+    uint64_t sssp_delta{8192}; ///< paper: 2^13
+    bool is_road{false};
+};
+
+/// Identifiers for the nine suite graphs, in Table I column order.
+std::vector<std::string> suite_graph_names();
+
+/// Build one suite graph by name. @p scale multiplies vertex counts.
+SuiteGraph build_suite_graph(const std::string& name, double scale = 1.0);
+
+/// Build the full nine-graph suite.
+std::vector<SuiteGraph> build_suite(double scale = 1.0);
+
+/// Read the suite scale from the GAS_SCALE environment variable
+/// (default 1.0), shared by all bench binaries.
+double suite_scale_from_env();
+
+/// Read the thread count from GAS_THREADS (default: all hardware
+/// threads) and configure the runtime.
+unsigned configure_threads_from_env();
+
+} // namespace gas::core

@@ -1,0 +1,97 @@
+#include "core/table.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/check.h"
+
+namespace gas::core {
+
+void
+Table::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::add_row(std::vector<std::string> row)
+{
+    GAS_CHECK(header_.empty() || row.size() == header_.size(),
+              "row width does not match header");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        if (widths.size() < row.size()) {
+            widths.resize(row.size(), 0);
+        }
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    };
+    widen(header_);
+    for (const auto& row : rows_) {
+        widen(row);
+    }
+
+    if (!title_.empty()) {
+        std::printf("\n== %s ==\n", title_.c_str());
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            // Left-align the first column (labels), right-align data.
+            if (c == 0) {
+                std::printf("%-*s", static_cast<int>(widths[c] + 2),
+                            row[c].c_str());
+            } else {
+                std::printf("%*s", static_cast<int>(widths[c] + 2),
+                            row[c].c_str());
+            }
+        }
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t total = 0;
+        for (const std::size_t w : widths) {
+            total += w + 2;
+        }
+        std::printf("%s\n", std::string(total, '-').c_str());
+    }
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+    std::fflush(stdout);
+}
+
+void
+Table::write_csv(const std::string& file_path) const
+{
+    struct FileCloser
+    {
+        void operator()(std::FILE* file) const { std::fclose(file); }
+    };
+    std::unique_ptr<std::FILE, FileCloser> file(
+        std::fopen(file_path.c_str(), "w"));
+    GAS_REQUIRE(file != nullptr, "cannot open ", file_path);
+
+    auto write_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(file.get(), "%s%s", c == 0 ? "" : ",",
+                         row[c].c_str());
+        }
+        std::fprintf(file.get(), "\n");
+    };
+    if (!header_.empty()) {
+        write_row(header_);
+    }
+    for (const auto& row : rows_) {
+        write_row(row);
+    }
+}
+
+} // namespace gas::core

@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-width console tables and CSV output for the bench binaries.
+ */
+
+#include <string>
+#include <vector>
+
+namespace gas::core {
+
+/**
+ * A simple column-aligned text table with an optional title, printed
+ * to stdout, plus CSV export for downstream plotting.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /// Set the header row.
+    void set_header(std::vector<std::string> header);
+
+    /// Append a data row (must match the header width).
+    void add_row(std::vector<std::string> row);
+
+    /// Render to stdout with column alignment.
+    void print() const;
+
+    /// Write as CSV to @p file_path (fatal on I/O error).
+    void write_csv(const std::string& file_path) const;
+
+    const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gas::core

@@ -1,0 +1,193 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/random.h"
+
+namespace gas::graph {
+
+void
+remove_self_loops(EdgeList& list)
+{
+    std::erase_if(list.edges,
+                  [](const Edge& edge) { return edge.src == edge.dst; });
+}
+
+void
+deduplicate(EdgeList& list)
+{
+    std::sort(list.edges.begin(), list.edges.end(),
+              [](const Edge& a, const Edge& b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    auto last = std::unique(list.edges.begin(), list.edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                                return a.src == b.src && a.dst == b.dst;
+                            });
+    list.edges.erase(last, list.edges.end());
+}
+
+void
+symmetrize(EdgeList& list)
+{
+    const std::size_t original = list.edges.size();
+    list.edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+        const Edge edge = list.edges[i];
+        list.edges.push_back({edge.dst, edge.src, edge.weight});
+    }
+    deduplicate(list);
+}
+
+void
+randomize_weights(EdgeList& list, uint64_t seed, Weight min_weight,
+                  Weight max_weight)
+{
+    GAS_CHECK(min_weight <= max_weight, "invalid weight range");
+    Rng rng(seed);
+    for (Edge& edge : list.edges) {
+        edge.weight = rng.next_in_range(min_weight, max_weight);
+    }
+}
+
+void
+shuffle_vertex_ids(EdgeList& list, uint64_t seed)
+{
+    std::vector<Node> perm(list.num_nodes);
+    std::iota(perm.begin(), perm.end(), Node{0});
+    Rng rng(seed);
+    // Fisher-Yates shuffle.
+    for (Node i = list.num_nodes; i > 1; --i) {
+        const Node j = static_cast<Node>(rng.next_bounded(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    for (Edge& edge : list.edges) {
+        edge.src = perm[edge.src];
+        edge.dst = perm[edge.dst];
+    }
+}
+
+Graph
+transpose(const Graph& graph)
+{
+    EdgeList reversed;
+    reversed.num_nodes = graph.num_nodes();
+    reversed.edges.reserve(graph.num_edges());
+    const bool weighted = graph.has_weights();
+    for (Node u = 0; u < graph.num_nodes(); ++u) {
+        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
+            reversed.edges.push_back(
+                {graph.edge_dst(e), u,
+                 weighted ? graph.edge_weight(e) : Weight{1}});
+        }
+    }
+    return Graph::from_edge_list(reversed, weighted);
+}
+
+bool
+is_symmetric(const Graph& graph)
+{
+    Graph reversed = transpose(graph);
+    reversed.sort_adjacencies();
+    Graph sorted_copy = transpose(reversed); // same edges as input, sorted
+    sorted_copy.sort_adjacencies();
+    if (sorted_copy.num_edges() != reversed.num_edges()) {
+        return false;
+    }
+    for (Node v = 0; v < graph.num_nodes(); ++v) {
+        const auto a = sorted_copy.out_neighbors(v);
+        const auto b = reversed.out_neighbors(v);
+        if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+            return false;
+        }
+    }
+    return true;
+}
+
+RelabeledGraph
+relabel_by_degree(const Graph& graph)
+{
+    const Node n = graph.num_nodes();
+    std::vector<Node> order(n);
+    std::iota(order.begin(), order.end(), Node{0});
+    std::stable_sort(order.begin(), order.end(), [&](Node a, Node b) {
+        return graph.out_degree(a) < graph.out_degree(b);
+    });
+
+    RelabeledGraph result;
+    result.perm.resize(n);
+    for (Node rank = 0; rank < n; ++rank) {
+        result.perm[order[rank]] = rank;
+    }
+
+    EdgeList relabeled;
+    relabeled.num_nodes = n;
+    relabeled.edges.reserve(graph.num_edges());
+    const bool weighted = graph.has_weights();
+    for (Node u = 0; u < n; ++u) {
+        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
+            relabeled.edges.push_back(
+                {result.perm[u], result.perm[graph.edge_dst(e)],
+                 weighted ? graph.edge_weight(e) : Weight{1}});
+        }
+    }
+    result.graph = Graph::from_edge_list(relabeled, weighted);
+    result.graph.sort_adjacencies();
+    return result;
+}
+
+namespace {
+
+Graph
+triangle_filter(const Graph& graph, bool lower)
+{
+    EdgeList filtered;
+    filtered.num_nodes = graph.num_nodes();
+    const bool weighted = graph.has_weights();
+    for (Node u = 0; u < graph.num_nodes(); ++u) {
+        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
+            const Node v = graph.edge_dst(e);
+            if ((lower && u > v) || (!lower && u < v)) {
+                filtered.edges.push_back(
+                    {u, v, weighted ? graph.edge_weight(e) : Weight{1}});
+            }
+        }
+    }
+    Graph result = Graph::from_edge_list(filtered, weighted);
+    result.sort_adjacencies();
+    return result;
+}
+
+} // namespace
+
+Graph
+lower_triangle(const Graph& graph)
+{
+    return triangle_filter(graph, /*lower=*/true);
+}
+
+Graph
+upper_triangle(const Graph& graph)
+{
+    return triangle_filter(graph, /*lower=*/false);
+}
+
+EdgeList
+to_edge_list(const Graph& graph)
+{
+    EdgeList list;
+    list.num_nodes = graph.num_nodes();
+    list.edges.reserve(graph.num_edges());
+    const bool weighted = graph.has_weights();
+    for (Node u = 0; u < graph.num_nodes(); ++u) {
+        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
+            list.edges.push_back(
+                {u, graph.edge_dst(e),
+                 weighted ? graph.edge_weight(e) : Weight{1}});
+        }
+    }
+    return list;
+}
+
+} // namespace gas::graph

@@ -1,0 +1,100 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gas::graph {
+
+Graph
+Graph::from_edge_list(const EdgeList& list, bool keep_weights)
+{
+    Graph graph;
+    graph.num_nodes_ = list.num_nodes;
+    graph.row_ptr_.assign(static_cast<std::size_t>(list.num_nodes) + 1, 0);
+
+    for (const Edge& edge : list.edges) {
+        GAS_CHECK(edge.src < list.num_nodes && edge.dst < list.num_nodes,
+                  "edge endpoint out of range");
+        ++graph.row_ptr_[edge.src + 1];
+    }
+    for (Node v = 0; v < list.num_nodes; ++v) {
+        graph.row_ptr_[v + 1] += graph.row_ptr_[v];
+    }
+
+    graph.col_.resize(list.edges.size());
+    if (keep_weights) {
+        graph.weights_.resize(list.edges.size());
+    }
+
+    TrackedVector<EdgeIdx> cursor(graph.row_ptr_);
+    for (const Edge& edge : list.edges) {
+        const EdgeIdx slot = cursor[edge.src]++;
+        graph.col_[slot] = edge.dst;
+        if (keep_weights) {
+            graph.weights_[slot] = edge.weight;
+        }
+    }
+    return graph;
+}
+
+Graph
+Graph::from_csr(TrackedVector<EdgeIdx> row_ptr, TrackedVector<Node> col,
+                TrackedVector<Weight> weights)
+{
+    GAS_CHECK(!row_ptr.empty(), "row_ptr must have at least one entry");
+    GAS_CHECK(row_ptr.back() == col.size(), "row_ptr/col mismatch");
+    GAS_CHECK(weights.empty() || weights.size() == col.size(),
+              "weights/col mismatch");
+    Graph graph;
+    graph.num_nodes_ = static_cast<Node>(row_ptr.size() - 1);
+    graph.row_ptr_ = std::move(row_ptr);
+    graph.col_ = std::move(col);
+    graph.weights_ = std::move(weights);
+    return graph;
+}
+
+void
+Graph::sort_adjacencies()
+{
+    for (Node v = 0; v < num_nodes_; ++v) {
+        const EdgeIdx begin = row_ptr_[v];
+        const EdgeIdx end = row_ptr_[v + 1];
+        if (weights_.empty()) {
+            std::sort(col_.data() + begin, col_.data() + end);
+            continue;
+        }
+        // Sort (dst, weight) pairs together via an index permutation.
+        const std::size_t deg = static_cast<std::size_t>(end - begin);
+        std::vector<std::size_t> order(deg);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return col_[begin + a] < col_[begin + b];
+                  });
+        std::vector<Node> dsts(deg);
+        std::vector<Weight> ws(deg);
+        for (std::size_t i = 0; i < deg; ++i) {
+            dsts[i] = col_[begin + order[i]];
+            ws[i] = weights_[begin + order[i]];
+        }
+        for (std::size_t i = 0; i < deg; ++i) {
+            col_[begin + i] = dsts[i];
+            weights_[begin + i] = ws[i];
+        }
+    }
+}
+
+bool
+Graph::adjacencies_sorted() const
+{
+    for (Node v = 0; v < num_nodes_; ++v) {
+        for (EdgeIdx e = row_ptr_[v] + 1; e < row_ptr_[v + 1]; ++e) {
+            if (col_[e - 1] > col_[e]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace gas::graph

@@ -1,0 +1,116 @@
+#pragma once
+
+/**
+ * @file
+ * Compressed-sparse-row graph: the shared substrate of both APIs.
+ *
+ * Both the Lonestar-style algorithms and the GraphBLAS-style matrices
+ * are built on this structure, mirroring the paper where Galois,
+ * GaloisBLAS, and SuiteSparse all consume CSR. The weight array is
+ * optional; unweighted graphs omit it entirely (bfs, cc, tc, ktruss, pr
+ * never touch weights).
+ */
+
+#include <span>
+
+#include "graph/edge_list.h"
+#include "support/check.h"
+#include "support/tracked_vector.h"
+
+namespace gas::graph {
+
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Build a CSR graph from an edge list via counting sort.
+     * Edge order within a node's adjacency follows the input order.
+     *
+     * @param list         coordinate-form graph.
+     * @param keep_weights materialize the weight array.
+     */
+    static Graph from_edge_list(const EdgeList& list, bool keep_weights);
+
+    /// Number of vertices.
+    Node num_nodes() const { return num_nodes_; }
+
+    /// Number of directed edges.
+    EdgeIdx num_edges() const
+    {
+        return num_nodes_ == 0 ? 0 : row_ptr_[num_nodes_];
+    }
+
+    /// Whether the weight array is materialized.
+    bool has_weights() const { return !weights_.empty(); }
+
+    /// First edge index of @p node 's adjacency list.
+    EdgeIdx edge_begin(Node node) const { return row_ptr_[node]; }
+
+    /// One past the last edge index of @p node 's adjacency list.
+    EdgeIdx edge_end(Node node) const { return row_ptr_[node + 1]; }
+
+    /// Destination vertex of edge @p e.
+    Node edge_dst(EdgeIdx e) const { return col_[e]; }
+
+    /// Weight of edge @p e. @pre has_weights().
+    Weight edge_weight(EdgeIdx e) const { return weights_[e]; }
+
+    /// Out-degree of @p node.
+    EdgeIdx
+    out_degree(Node node) const
+    {
+        return row_ptr_[node + 1] - row_ptr_[node];
+    }
+
+    /// View of @p node 's out-neighbor ids.
+    std::span<const Node>
+    out_neighbors(Node node) const
+    {
+        return {col_.data() + row_ptr_[node],
+                static_cast<std::size_t>(out_degree(node))};
+    }
+
+    /// View of @p node 's out-edge weights. @pre has_weights().
+    std::span<const Weight>
+    out_weights(Node node) const
+    {
+        return {weights_.data() + row_ptr_[node],
+                static_cast<std::size_t>(out_degree(node))};
+    }
+
+    /// Bytes of the CSR representation (row pointers, columns, weights) —
+    /// the "CSR Size" column of Table I.
+    std::size_t
+    csr_bytes() const
+    {
+        return row_ptr_.size() * sizeof(EdgeIdx) +
+            col_.size() * sizeof(Node) + weights_.size() * sizeof(Weight);
+    }
+
+    /// Direct access to the CSR arrays (used by the matrix layer and I/O).
+    const TrackedVector<EdgeIdx>& row_ptr() const { return row_ptr_; }
+    const TrackedVector<Node>& col() const { return col_; }
+    const TrackedVector<Weight>& weights() const { return weights_; }
+
+    /// Construct directly from CSR arrays (used by I/O and transforms).
+    static Graph from_csr(TrackedVector<EdgeIdx> row_ptr,
+                          TrackedVector<Node> col,
+                          TrackedVector<Weight> weights);
+
+    /// Sort every adjacency list by destination id (required by the
+    /// intersection-based triangle kernels and the matrix layer).
+    void sort_adjacencies();
+
+    /// True if every adjacency list is sorted by destination id.
+    bool adjacencies_sorted() const;
+
+  private:
+    Node num_nodes_{0};
+    TrackedVector<EdgeIdx> row_ptr_;
+    TrackedVector<Node> col_;
+    TrackedVector<Weight> weights_;
+};
+
+} // namespace gas::graph

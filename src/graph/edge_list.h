@@ -1,0 +1,45 @@
+#pragma once
+
+/**
+ * @file
+ * Edge-list representation used by generators and builders.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace gas::graph {
+
+/// Node identifier. Graphs in this study fit comfortably in 32 bits.
+using Node = uint32_t;
+
+/// Edge index into CSR arrays (edge counts can exceed 2^32).
+using EdgeIdx = uint64_t;
+
+/// Edge weight type (the paper uses 32-bit weights except one case).
+using Weight = uint32_t;
+
+/// A directed, optionally weighted edge.
+struct Edge
+{
+    Node src;
+    Node dst;
+    Weight weight{1};
+
+    friend bool
+    operator==(const Edge& a, const Edge& b)
+    {
+        return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+    }
+};
+
+/// A graph in coordinate form: a node count plus an edge list.
+struct EdgeList
+{
+    Node num_nodes{0};
+    std::vector<Edge> edges;
+
+    std::size_t size() const { return edges.size(); }
+};
+
+} // namespace gas::graph

@@ -1,0 +1,252 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+
+#include "graph/builder.h"
+#include "support/check.h"
+#include "support/random.h"
+
+namespace gas::graph {
+
+EdgeList
+rmat(unsigned scale, unsigned edge_factor, uint64_t seed, RmatParams params)
+{
+    GAS_CHECK(scale < 31, "rmat scale too large for 32-bit node ids");
+    const Node n = Node{1} << scale;
+    const uint64_t target_edges = static_cast<uint64_t>(edge_factor) * n;
+
+    EdgeList list;
+    list.num_nodes = n;
+    list.edges.reserve(target_edges);
+    Rng rng(seed);
+
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+    for (uint64_t i = 0; i < target_edges; ++i) {
+        Node src = 0;
+        Node dst = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.next_double();
+            src <<= 1;
+            dst <<= 1;
+            if (r < params.a) {
+                // top-left quadrant: no bits set
+            } else if (r < ab) {
+                dst |= 1;
+            } else if (r < abc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        list.edges.push_back({src, dst, 1});
+    }
+    remove_self_loops(list);
+    deduplicate(list);
+    return list;
+}
+
+EdgeList
+grid2d(Node width, Node height, uint64_t seed, double shortcut_fraction)
+{
+    GAS_CHECK(width > 0 && height > 0, "grid dimensions must be positive");
+    const uint64_t n64 = static_cast<uint64_t>(width) * height;
+    GAS_CHECK(n64 < (uint64_t{1} << 32), "grid too large");
+    const Node n = static_cast<Node>(n64);
+
+    EdgeList list;
+    list.num_nodes = n;
+    list.edges.reserve(n64 * 4);
+
+    auto id = [width](Node x, Node y) {
+        return y * width + x;
+    };
+
+    for (Node y = 0; y < height; ++y) {
+        for (Node x = 0; x < width; ++x) {
+            const Node u = id(x, y);
+            if (x + 1 < width) {
+                list.edges.push_back({u, id(x + 1, y), 1});
+                list.edges.push_back({id(x + 1, y), u, 1});
+            }
+            if (y + 1 < height) {
+                list.edges.push_back({u, id(x, y + 1), 1});
+                list.edges.push_back({id(x, y + 1), u, 1});
+            }
+        }
+    }
+
+    // Highway shortcuts between nearby grid points keep the graph
+    // road-like (still high diameter) while breaking pure lattice
+    // regularity.
+    Rng rng(seed);
+    const auto shortcuts =
+        static_cast<uint64_t>(shortcut_fraction * static_cast<double>(n));
+    for (uint64_t i = 0; i < shortcuts; ++i) {
+        const Node u = static_cast<Node>(rng.next_bounded(n));
+        const Node span = 2 + static_cast<Node>(rng.next_bounded(8));
+        const Node v = static_cast<Node>(
+            std::min<uint64_t>(n - 1, uint64_t{u} + span * width));
+        if (u != v) {
+            list.edges.push_back({u, v, 1});
+            list.edges.push_back({v, u, 1});
+        }
+    }
+    deduplicate(list);
+    return list;
+}
+
+EdgeList
+erdos_renyi(Node num_nodes, uint64_t num_edges, uint64_t seed)
+{
+    GAS_CHECK(num_nodes > 1, "need at least two nodes");
+    const uint64_t possible =
+        static_cast<uint64_t>(num_nodes) * (num_nodes - 1);
+    GAS_CHECK(num_edges <= possible / 2,
+              "too many edges requested for distinctness");
+
+    EdgeList list;
+    list.num_nodes = num_nodes;
+    list.edges.reserve(num_edges);
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(num_edges * 2);
+    Rng rng(seed);
+    while (list.edges.size() < num_edges) {
+        const Node src = static_cast<Node>(rng.next_bounded(num_nodes));
+        const Node dst = static_cast<Node>(rng.next_bounded(num_nodes));
+        if (src == dst) {
+            continue;
+        }
+        const uint64_t key = (uint64_t{src} << 32) | dst;
+        if (seen.insert(key).second) {
+            list.edges.push_back({src, dst, 1});
+        }
+    }
+    return list;
+}
+
+EdgeList
+web_copying(Node num_nodes, unsigned out_degree, uint64_t seed,
+            double copy_prob)
+{
+    GAS_CHECK(num_nodes > out_degree + 1, "graph too small for out degree");
+    EdgeList list;
+    list.num_nodes = num_nodes;
+    list.edges.reserve(static_cast<std::size_t>(num_nodes) * out_degree);
+    Rng rng(seed);
+
+    // Dense seed clique so early vertices have neighbors to copy.
+    const Node seed_size = out_degree + 1;
+    for (Node u = 0; u < seed_size; ++u) {
+        for (Node v = 0; v < seed_size; ++v) {
+            if (u != v) {
+                list.edges.push_back({u, v, 1});
+            }
+        }
+    }
+
+    // adjacency[] mirrors the growing edge list for O(1) copying.
+    std::vector<std::vector<Node>> adjacency(num_nodes);
+    for (const Edge& edge : list.edges) {
+        adjacency[edge.src].push_back(edge.dst);
+    }
+
+    for (Node u = seed_size; u < num_nodes; ++u) {
+        for (unsigned j = 0; j < out_degree; ++j) {
+            Node target;
+            const Node prototype = static_cast<Node>(rng.next_bounded(u));
+            if (rng.next_double() < copy_prob &&
+                !adjacency[prototype].empty()) {
+                const auto& protolist = adjacency[prototype];
+                target = protolist[rng.next_bounded(protolist.size())];
+            } else {
+                target = prototype;
+            }
+            if (target != u) {
+                list.edges.push_back({u, target, 1});
+                adjacency[u].push_back(target);
+            }
+        }
+    }
+    deduplicate(list);
+    return list;
+}
+
+EdgeList
+path(Node num_nodes)
+{
+    EdgeList list;
+    list.num_nodes = num_nodes;
+    for (Node v = 0; v + 1 < num_nodes; ++v) {
+        list.edges.push_back({v, v + 1, 1});
+    }
+    return list;
+}
+
+EdgeList
+cycle(Node num_nodes)
+{
+    EdgeList list = path(num_nodes);
+    if (num_nodes > 1) {
+        list.edges.push_back({num_nodes - 1, 0, 1});
+    }
+    return list;
+}
+
+EdgeList
+star(Node num_nodes)
+{
+    EdgeList list;
+    list.num_nodes = num_nodes;
+    for (Node v = 1; v < num_nodes; ++v) {
+        list.edges.push_back({0, v, 1});
+    }
+    return list;
+}
+
+EdgeList
+complete(Node num_nodes)
+{
+    EdgeList list;
+    list.num_nodes = num_nodes;
+    for (Node u = 0; u < num_nodes; ++u) {
+        for (Node v = 0; v < num_nodes; ++v) {
+            if (u != v) {
+                list.edges.push_back({u, v, 1});
+            }
+        }
+    }
+    return list;
+}
+
+EdgeList
+karate_club()
+{
+    // Zachary (1977), 0-indexed undirected edge pairs.
+    static const Node pairs[][2] = {
+        {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},
+        {0, 7},   {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},
+        {0, 17},  {0, 19},  {0, 21},  {0, 31},  {1, 2},   {1, 3},
+        {1, 7},   {1, 13},  {1, 17},  {1, 19},  {1, 21},  {1, 30},
+        {2, 3},   {2, 7},   {2, 8},   {2, 9},   {2, 13},  {2, 27},
+        {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},  {4, 6},
+        {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+        {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33},
+        {15, 32}, {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32},
+        {20, 33}, {22, 32}, {22, 33}, {23, 25}, {23, 27}, {23, 29},
+        {23, 32}, {23, 33}, {24, 25}, {24, 27}, {24, 31}, {25, 31},
+        {26, 29}, {26, 33}, {27, 33}, {28, 31}, {28, 33}, {29, 32},
+        {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33}, {32, 33},
+    };
+    EdgeList list;
+    list.num_nodes = 34;
+    for (const auto& pair : pairs) {
+        list.edges.push_back({pair[0], pair[1], 1});
+        list.edges.push_back({pair[1], pair[0], 1});
+    }
+    deduplicate(list);
+    return list;
+}
+
+} // namespace gas::graph

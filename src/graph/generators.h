@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * The paper evaluates on nine real-world and synthetic graphs spanning
+ * road networks (high diameter, uniform low degree), power-law social
+ * networks and RMAT graphs (low diameter, heavy degree skew), web crawls
+ * (power-law with strong local clustering, many triangles), and a dense
+ * protein-similarity graph. Those inputs are not redistributable at this
+ * scale, so each structural class has a generator here; the benchmark
+ * suite instantiates scaled-down stand-ins with the paper's graph names
+ * (see core/suite.*).
+ */
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace gas::graph {
+
+/// Parameters of the RMAT recursive-quadrant generator.
+struct RmatParams
+{
+    double a{0.57};
+    double b{0.19};
+    double c{0.19};
+    double d{0.05};
+};
+
+/**
+ * RMAT power-law graph with 2^scale vertices and roughly
+ * edge_factor * 2^scale directed edges (duplicates and self-loops are
+ * removed, so the final count is slightly lower).
+ */
+EdgeList rmat(unsigned scale, unsigned edge_factor, uint64_t seed,
+              RmatParams params = {});
+
+/**
+ * Road-network stand-in: a width x height 2-D grid with bidirectional
+ * edges between 4-neighbors plus a sparse set of random "highway"
+ * shortcuts between nearby rows. Diameter is Theta(width + height).
+ */
+EdgeList grid2d(Node width, Node height, uint64_t seed,
+                double shortcut_fraction = 0.005);
+
+/// Erdos-Renyi G(n, m): m distinct directed edges chosen uniformly.
+EdgeList erdos_renyi(Node num_nodes, uint64_t num_edges, uint64_t seed);
+
+/**
+ * Web-crawl stand-in: a copying model. Each new vertex links to
+ * out_degree targets; with probability copy_prob a target is copied from
+ * the neighbor list of a random earlier vertex (creating power-law
+ * in-degrees and abundant triangles), otherwise it is a uniform random
+ * earlier vertex.
+ */
+EdgeList web_copying(Node num_nodes, unsigned out_degree, uint64_t seed,
+                     double copy_prob = 0.6);
+
+/// Simple directed path 0 -> 1 -> ... -> n-1.
+EdgeList path(Node num_nodes);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+EdgeList cycle(Node num_nodes);
+
+/// Star: edges 0 -> i for all i in [1, n).
+EdgeList star(Node num_nodes);
+
+/// Complete directed graph on n vertices (no self loops).
+EdgeList complete(Node num_nodes);
+
+/// Zachary's karate-club graph (34 vertices, 78 undirected edges),
+/// symmetrized. A classic fixture with 45 triangles and 1 component.
+EdgeList karate_club();
+
+} // namespace gas::graph

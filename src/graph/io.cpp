@@ -1,0 +1,120 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/check.h"
+
+namespace gas::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'A', 'S', 'G'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE* file) const { std::fclose(file); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void
+write_pod(std::FILE* file, const T& value)
+{
+    GAS_REQUIRE(std::fwrite(&value, sizeof(T), 1, file) == 1,
+                "short write while saving graph");
+}
+
+template <typename T>
+void
+write_array(std::FILE* file, const TrackedVector<T>& values)
+{
+    if (!values.empty()) {
+        GAS_REQUIRE(std::fwrite(values.data(), sizeof(T), values.size(),
+                                file) == values.size(),
+                    "short write while saving graph array");
+    }
+}
+
+template <typename T>
+void
+read_pod(std::FILE* file, T& value)
+{
+    GAS_REQUIRE(std::fread(&value, sizeof(T), 1, file) == 1,
+                "short read while loading graph");
+}
+
+template <typename T>
+void
+read_array(std::FILE* file, TrackedVector<T>& values, std::size_t count)
+{
+    values.resize(count);
+    if (count != 0) {
+        GAS_REQUIRE(std::fread(values.data(), sizeof(T), count, file) ==
+                        count,
+                    "short read while loading graph array");
+    }
+}
+
+} // namespace
+
+void
+save_binary(const Graph& graph, const std::string& file_path)
+{
+    FilePtr file(std::fopen(file_path.c_str(), "wb"));
+    GAS_REQUIRE(file != nullptr, "cannot open ", file_path, " for writing");
+
+    GAS_REQUIRE(std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) ==
+                    sizeof(kMagic),
+                "short write while saving graph");
+    write_pod(file.get(), kVersion);
+    write_pod(file.get(), graph.num_nodes());
+    write_pod(file.get(), graph.num_edges());
+    const uint8_t has_weights = graph.has_weights() ? 1 : 0;
+    write_pod(file.get(), has_weights);
+    write_array(file.get(), graph.row_ptr());
+    write_array(file.get(), graph.col());
+    if (has_weights != 0) {
+        write_array(file.get(), graph.weights());
+    }
+}
+
+Graph
+load_binary(const std::string& file_path)
+{
+    FilePtr file(std::fopen(file_path.c_str(), "rb"));
+    GAS_REQUIRE(file != nullptr, "cannot open ", file_path, " for reading");
+
+    char magic[4];
+    GAS_REQUIRE(std::fread(magic, 1, sizeof(magic), file.get()) ==
+                        sizeof(magic) &&
+                    std::equal(magic, magic + 4, kMagic),
+                file_path, " is not a gas graph file");
+    uint32_t version = 0;
+    read_pod(file.get(), version);
+    GAS_REQUIRE(version == kVersion, "unsupported graph file version ",
+                version);
+
+    Node num_nodes = 0;
+    EdgeIdx num_edges = 0;
+    uint8_t has_weights = 0;
+    read_pod(file.get(), num_nodes);
+    read_pod(file.get(), num_edges);
+    read_pod(file.get(), has_weights);
+
+    TrackedVector<EdgeIdx> row_ptr;
+    TrackedVector<Node> col;
+    TrackedVector<Weight> weights;
+    read_array(file.get(), row_ptr,
+               static_cast<std::size_t>(num_nodes) + 1);
+    read_array(file.get(), col, num_edges);
+    if (has_weights != 0) {
+        read_array(file.get(), weights, num_edges);
+    }
+    return Graph::from_csr(std::move(row_ptr), std::move(col),
+                           std::move(weights));
+}
+
+} // namespace gas::graph

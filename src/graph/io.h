@@ -1,0 +1,25 @@
+#pragma once
+
+/**
+ * @file
+ * Binary graph serialization (a simplified .gr-style format).
+ *
+ * Layout: magic "GASG", u32 version, u32 num_nodes, u64 num_edges,
+ * u8 has_weights, row_ptr[], col[], weights[] (if present). Everything
+ * is little-endian host order; the format is an on-disk cache for
+ * generated graphs, not an interchange format.
+ */
+
+#include <string>
+
+#include "graph/csr_graph.h"
+
+namespace gas::graph {
+
+/// Serialize @p graph to @p file_path. Fatal on I/O failure.
+void save_binary(const Graph& graph, const std::string& file_path);
+
+/// Deserialize a graph from @p file_path. Fatal on I/O or format error.
+Graph load_binary(const std::string& file_path);
+
+} // namespace gas::graph

@@ -1,0 +1,101 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/builder.h"
+
+namespace gas::graph {
+
+namespace {
+
+/// Serial BFS on @p graph returning (farthest node, eccentricity).
+std::pair<Node, uint32_t>
+bfs_farthest(const Graph& graph, Node source)
+{
+    constexpr uint32_t kUnvisited = ~uint32_t{0};
+    std::vector<uint32_t> level(graph.num_nodes(), kUnvisited);
+    std::queue<Node> frontier;
+    level[source] = 0;
+    frontier.push(source);
+    Node farthest = source;
+    uint32_t max_level = 0;
+    while (!frontier.empty()) {
+        const Node u = frontier.front();
+        frontier.pop();
+        for (const Node v : graph.out_neighbors(u)) {
+            if (level[v] == kUnvisited) {
+                level[v] = level[u] + 1;
+                if (level[v] > max_level) {
+                    max_level = level[v];
+                    farthest = v;
+                }
+                frontier.push(v);
+            }
+        }
+    }
+    return {farthest, max_level};
+}
+
+} // namespace
+
+GraphStats
+compute_stats(const Graph& graph)
+{
+    GraphStats stats;
+    stats.num_nodes = graph.num_nodes();
+    stats.num_edges = graph.num_edges();
+    stats.avg_degree = stats.num_nodes == 0
+        ? 0.0
+        : static_cast<double>(stats.num_edges) / stats.num_nodes;
+    stats.csr_bytes = graph.csr_bytes();
+
+    for (Node v = 0; v < graph.num_nodes(); ++v) {
+        stats.max_out_degree =
+            std::max(stats.max_out_degree, graph.out_degree(v));
+    }
+    const auto in = in_degrees(graph);
+    for (Node v = 0; v < graph.num_nodes(); ++v) {
+        stats.max_in_degree = std::max(stats.max_in_degree, in[v]);
+    }
+
+    if (graph.num_nodes() != 0) {
+        // Double-sweep lower bound on the symmetrized graph, started from
+        // the highest-degree vertex so it lands in the big component.
+        EdgeList undirected = to_edge_list(graph);
+        symmetrize(undirected);
+        const Graph sym = Graph::from_edge_list(undirected, false);
+        const auto [far_node, first] =
+            bfs_farthest(sym, highest_degree_node(sym));
+        const auto [unused, second] = bfs_farthest(sym, far_node);
+        (void)unused;
+        stats.approx_diameter = std::max(first, second);
+    }
+    return stats;
+}
+
+Node
+highest_degree_node(const Graph& graph)
+{
+    Node best = 0;
+    EdgeIdx best_degree = 0;
+    for (Node v = 0; v < graph.num_nodes(); ++v) {
+        if (graph.out_degree(v) > best_degree) {
+            best_degree = graph.out_degree(v);
+            best = v;
+        }
+    }
+    return best;
+}
+
+TrackedVector<EdgeIdx>
+in_degrees(const Graph& graph)
+{
+    TrackedVector<EdgeIdx> degrees(graph.num_nodes());
+    for (EdgeIdx e = 0; e < graph.num_edges(); ++e) {
+        ++degrees[graph.col()[e]];
+    }
+    return degrees;
+}
+
+} // namespace gas::graph

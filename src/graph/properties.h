@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Graph statistics for the Table I reproduction.
+ */
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace gas::graph {
+
+/// The per-graph properties reported in the paper's Table I.
+struct GraphStats
+{
+    Node num_nodes{0};
+    EdgeIdx num_edges{0};
+    double avg_degree{0.0};
+    EdgeIdx max_out_degree{0};
+    EdgeIdx max_in_degree{0};
+    /// Approximate (lower-bound) diameter from BFS double sweep on the
+    /// symmetrized graph.
+    uint32_t approx_diameter{0};
+    std::size_t csr_bytes{0};
+};
+
+/// Compute Table I statistics for @p graph.
+GraphStats compute_stats(const Graph& graph);
+
+/// Vertex with the largest out-degree (the paper's default bfs/sssp
+/// source for non-road graphs); ties broken by lowest id.
+Node highest_degree_node(const Graph& graph);
+
+/// Per-node out-degrees of the transpose, i.e. in-degrees.
+TrackedVector<EdgeIdx> in_degrees(const Graph& graph);
+
+} // namespace gas::graph

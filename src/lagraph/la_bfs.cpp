@@ -1,0 +1,61 @@
+#include "lagraph/lagraph.h"
+
+#include "metrics/counters.h"
+
+namespace gas::la {
+
+using grb::Descriptor;
+using grb::Index;
+using grb::Vector;
+
+Vector<uint32_t>
+bfs(const grb::Matrix<uint8_t>& A, Index source)
+{
+    const Index n = A.nrows();
+
+    // dist is dense: GrB_assign with GrB_ALL sets every entry to 0
+    // ("unvisited"), then the source gets level 1.
+    Vector<uint32_t> dist(n);
+    grb::assign_scalar<uint32_t, uint8_t>(dist, nullptr, grb::kDefaultDesc,
+                                          0u);
+    dist.set_element(source, 1);
+
+    Vector<uint8_t> frontier(n);
+    frontier.set_element(source, 1);
+
+    uint32_t level = 1;
+    while (true) {
+        metrics::bump(metrics::kRounds);
+        ++level;
+
+        // frontier<!dist, replace> = frontier * A over LOR.LAND: the
+        // out-neighbors of the frontier, filtered to unvisited vertices
+        // (visited have a non-zero dist, so the complemented mask keeps
+        // only zeros).
+        grb::vxm<grb::LorLand>(frontier, &dist,
+                               grb::kComplementReplaceDesc, frontier, A);
+
+        // Second API call: are there new vertices to visit?
+        if (frontier.nvals() == 0) {
+            break;
+        }
+
+        // Third API call: assign the new level to the new frontier.
+        grb::assign_scalar(dist, &frontier, grb::kDefaultDesc, level);
+    }
+    return dist;
+}
+
+std::vector<uint32_t>
+bfs_levels_from(const Vector<uint32_t>& dist)
+{
+    std::vector<uint32_t> levels(dist.size(), kUnreachedLevel);
+    dist.for_entries([&](Index i, uint32_t value) {
+        if (value != 0) {
+            levels[i] = value - 1;
+        }
+    });
+    return levels;
+}
+
+} // namespace gas::la

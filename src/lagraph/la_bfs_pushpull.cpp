@@ -1,0 +1,69 @@
+#include "lagraph/lagraph.h"
+
+#include "metrics/counters.h"
+
+namespace gas::la {
+
+using grb::Index;
+using grb::Vector;
+
+/*
+ * Direction-optimizing bfs in the matrix API (the GraphBLAST-style
+ * variant the paper's related work cites). The push round is a vxm
+ * over the adjacency matrix; the pull round is an mxv over the
+ * transpose with the complemented visited mask. Unlike the graph API's
+ * bottom-up step, the pull mxv cannot early-exit at the first visited
+ * parent — each row's dot product runs to completion, one of the
+ * lightweight-loop limitations the paper identifies.
+ */
+
+Vector<uint32_t>
+bfs_pushpull(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
+             Index source, double pull_threshold)
+{
+    const Index n = A.nrows();
+
+    Vector<uint32_t> dist(n);
+    grb::assign_scalar<uint32_t, uint8_t>(dist, nullptr, grb::kDefaultDesc,
+                                          0u);
+    dist.set_element(source, 1);
+
+    Vector<uint8_t> frontier(n);
+    frontier.set_element(source, 1);
+
+    uint32_t level = 1;
+    while (true) {
+        metrics::bump(metrics::kRounds);
+        ++level;
+
+        const bool pull = static_cast<double>(frontier.nvals()) >
+            pull_threshold * n;
+        if (pull) {
+            // Bottom-up: candidates(v) = OR over in-neighbors u of
+            // frontier(u), masked to unvisited vertices. mxv needs a
+            // dense input vector, so the frontier is densified — a
+            // materialization the graph API's bottom-up step avoids.
+            frontier.densify();
+            grb::mxv<grb::LorLand>(frontier, &dist,
+                                   grb::kComplementReplaceDesc, At,
+                                   frontier);
+            // Drop explicit zeros produced by the OR over misses.
+            Vector<uint8_t> compact;
+            grb::select_entries(compact, frontier,
+                                [](Index, uint8_t x) { return x != 0; });
+            frontier = std::move(compact);
+        } else {
+            grb::vxm<grb::LorLand>(frontier, &dist,
+                                   grb::kComplementReplaceDesc, frontier,
+                                   A);
+        }
+
+        if (frontier.nvals() == 0) {
+            break;
+        }
+        grb::assign_scalar(dist, &frontier, grb::kDefaultDesc, level);
+    }
+    return dist;
+}
+
+} // namespace gas::la

@@ -1,0 +1,127 @@
+#include "lagraph/lagraph.h"
+
+#include "metrics/counters.h"
+#include "verify/reference.h"
+
+namespace gas::la {
+
+using grb::Index;
+using grb::Vector;
+
+namespace {
+
+/// Dense vector with w(i) = i (the initial parent array).
+Vector<uint32_t>
+iota_vector(Index n)
+{
+    TrackedVector<Index> indices(n);
+    TrackedVector<uint32_t> values(n);
+    for (Index i = 0; i < n; ++i) {
+        indices[i] = i;
+        values[i] = i;
+    }
+    Vector<uint32_t> v(n);
+    v.build(std::move(indices), std::move(values), /*indices_sorted=*/true);
+    v.densify();
+    return v;
+}
+
+/// Fully collapse parent pointers with bulk gathers so labels are the
+/// component roots; with min-hooking the root is the smallest member.
+void
+bulk_flatten(Vector<uint32_t>& parent)
+{
+    while (true) {
+        metrics::bump(metrics::kRounds);
+        Vector<uint32_t> grandparent;
+        grb::gather(grandparent, parent, parent);
+        if (grb::vectors_equal(parent, grandparent)) {
+            break;
+        }
+        parent = std::move(grandparent);
+    }
+}
+
+std::vector<uint32_t>
+to_labels(const Vector<uint32_t>& parent)
+{
+    std::vector<uint32_t> labels(parent.size());
+    parent.for_entries(
+        [&](Index i, uint32_t value) { labels[i] = value; });
+    return verify::canonicalize_components(labels);
+}
+
+} // namespace
+
+std::vector<uint32_t>
+cc_fastsv(const grb::Matrix<uint32_t>& A)
+{
+    const Index n = A.nrows();
+    Vector<uint32_t> f = iota_vector(n);       // parent
+    Vector<uint32_t> gp = f;                   // grandparent
+    Vector<uint32_t> mngp;                     // min neighbor grandparent
+
+    while (true) {
+        metrics::bump(metrics::kRounds);
+
+        // Stochastic hooking: mngp(u) = min over neighbors v of gp(v).
+        grb::mxv<grb::MinSecond<uint32_t>>(mngp, grb::kDefaultDesc, A,
+                                           gp);
+
+        // Hooking: f(gp(u)) = min(f(gp(u)), mngp(u)).
+        grb::scatter_min(f, gp, mngp);
+
+        // Aggressive hooking: f(u) = min(f(u), mngp(u)).
+        grb::ewise_add(f, f, mngp, [](uint32_t a, uint32_t b) {
+            return std::min(a, b);
+        });
+
+        // Shortcutting: f(u) = min(f(u), gp(u)).
+        grb::ewise_add(f, f, gp, [](uint32_t a, uint32_t b) {
+            return std::min(a, b);
+        });
+
+        // One pointer-jump step: gp'(u) = f(f(u)).
+        Vector<uint32_t> next_gp;
+        grb::gather(next_gp, f, f);
+        if (grb::vectors_equal(next_gp, gp)) {
+            break;
+        }
+        gp = std::move(next_gp);
+    }
+    bulk_flatten(f);
+    return to_labels(f);
+}
+
+std::vector<uint32_t>
+cc_sv(const grb::Matrix<uint32_t>& A)
+{
+    const Index n = A.nrows();
+    Vector<uint32_t> f = iota_vector(n);
+
+    while (true) {
+        metrics::bump(metrics::kRounds);
+
+        // Hooking: f(u) = min(f(u), min over neighbors v of f(v)).
+        Vector<uint32_t> mnf;
+        grb::mxv<grb::MinSecond<uint32_t>>(mnf, grb::kDefaultDesc, A, f);
+        Vector<uint32_t> hooked;
+        grb::ewise_add(hooked, f, mnf, [](uint32_t a, uint32_t b) {
+            return std::min(a, b);
+        });
+
+        // Exactly one pointer-jumping step per round — the fixed-stride
+        // restriction a bulk API imposes.
+        Vector<uint32_t> jumped;
+        grb::gather(jumped, hooked, hooked);
+
+        if (grb::vectors_equal(jumped, f)) {
+            break;
+        }
+        f = std::move(jumped);
+    }
+    bulk_flatten(f);
+    return to_labels(f);
+}
+
+} // namespace gas::la

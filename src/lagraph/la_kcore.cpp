@@ -1,0 +1,81 @@
+#include "lagraph/lagraph.h"
+
+#include "metrics/counters.h"
+
+namespace gas::la {
+
+using grb::Index;
+using grb::Vector;
+
+namespace {
+
+/// Sentinel marking a peeled vertex inside the degree vector.
+constexpr uint32_t kDead = ~uint32_t{0};
+
+} // namespace
+
+/*
+ * k-core decomposition in the matrix API: bulk peeling. The residual
+ * degree vector carries the alive set; each round selects the
+ * vertices at the current level, counts the edge cuts they cause with
+ * a vxm over PLUS_PAIR, and repairs the degree vector with a chain of
+ * eWise/select passes. Where the graph API peels a vertex the moment
+ * its counter crosses the threshold, the bulk version must sweep the
+ * whole alive set every round — the paper's bulk-operation limitation
+ * applied to peeling.
+ */
+
+std::vector<uint32_t>
+core_numbers(const grb::Matrix<uint32_t>& A)
+{
+    const Index n = A.nrows();
+    std::vector<uint32_t> core(n, 0);
+
+    // Residual degrees of alive vertices (isolated vertices peel at 0).
+    Vector<uint32_t> degree = grb::row_counts(A);
+    uint32_t k = 0;
+
+    while (degree.nvals() != 0) {
+        metrics::bump(metrics::kRounds);
+
+        // Vertices peeling at this level.
+        Vector<uint32_t> peel;
+        grb::select_entries(peel, degree, [k](Index, uint32_t d) {
+            return d <= k;
+        });
+
+        if (peel.nvals() == 0) {
+            // Jump to the next populated level (one full reduce pass).
+            k = grb::reduce<grb::MinMonoid<uint32_t>>(degree);
+            continue;
+        }
+
+        peel.for_entries([&](Index v, uint32_t) { core[v] = k; });
+
+        // Edge cuts: cuts(v) = number of peeled neighbors.
+        Vector<uint32_t> cuts;
+        grb::vxm<grb::PlusPair<uint32_t>>(cuts, grb::kDefaultDesc, peel,
+                                          A);
+
+        // Restrict the cuts to alive vertices (the vxm scatters to dead
+        // neighbors too), subtract, then drop the peeled vertices by
+        // marking and filtering — four more bulk passes.
+        Vector<uint32_t> alive_cuts;
+        grb::ewise_mult(alive_cuts, cuts, degree,
+                        [](uint32_t c, uint32_t) { return c; });
+        grb::ewise_add(degree, degree, alive_cuts,
+                       [](uint32_t d, uint32_t c) {
+                           return d >= c ? d - c : 0;
+                       });
+        grb::ewise_add(degree, degree, peel,
+                       [](uint32_t, uint32_t) { return kDead; });
+        Vector<uint32_t> alive;
+        grb::select_entries(alive, degree, [](Index, uint32_t d) {
+            return d != kDead;
+        });
+        degree = std::move(alive);
+    }
+    return core;
+}
+
+} // namespace gas::la

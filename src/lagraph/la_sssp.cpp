@@ -1,0 +1,132 @@
+#include "lagraph/lagraph.h"
+
+#include "metrics/counters.h"
+
+namespace gas::la {
+
+using grb::Index;
+using grb::Matrix;
+using grb::Vector;
+
+namespace {
+
+constexpr uint64_t kInf = kInfDistance;
+
+/// Entries of dist inside the current bucket [lo, hi).
+Vector<uint64_t>
+bucket_of(const Vector<uint64_t>& dist, uint64_t lo, uint64_t hi)
+{
+    Vector<uint64_t> bucket;
+    grb::select_entries(bucket, dist, [lo, hi](Index, uint64_t d) {
+        return d >= lo && d < hi;
+    });
+    return bucket;
+}
+
+} // namespace
+
+std::vector<uint64_t>
+sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
+{
+    const Index n = A.nrows();
+
+    // Preprocessing inside the algorithm, as LAGraph's variant does:
+    // split the adjacency matrix into light (w <= delta) and heavy
+    // (w > delta) parts. Both are materialized.
+    Matrix<uint64_t> light;
+    Matrix<uint64_t> heavy;
+    grb::select_matrix(light, A, [delta](Index, Index, uint64_t w) {
+        return w <= delta;
+    });
+    grb::select_matrix(heavy, A, [delta](Index, Index, uint64_t w) {
+        return w > delta;
+    });
+
+    // dist is dense: infinity everywhere, 0 at the source.
+    Vector<uint64_t> dist(n);
+    dist.fill(kInf);
+    dist.set_element(source, 0);
+
+    uint64_t bucket_index = 0;
+    while (true) {
+        const uint64_t lo = bucket_index * delta;
+        const uint64_t hi = lo + delta;
+
+        // Phase 1: relax light edges within the bucket to fixpoint.
+        Vector<uint64_t> frontier = bucket_of(dist, lo, hi);
+        while (frontier.nvals() != 0) {
+            metrics::bump(metrics::kRounds);
+
+            // Candidate distances through light edges.
+            Vector<uint64_t> candidates;
+            grb::vxm<grb::MinPlus<uint64_t>>(candidates,
+                                             grb::kDefaultDesc, frontier,
+                                             light);
+
+            // Improvements: candidate < current distance. The matrix
+            // API needs an eWise pass plus a select pass for this.
+            Vector<uint64_t> improvements;
+            grb::ewise_mult(improvements, candidates, dist,
+                            [](uint64_t c, uint64_t d) {
+                                return c < d ? c : kInf;
+                            });
+            Vector<uint64_t> improved;
+            grb::select_entries(improved, improvements,
+                                [](Index, uint64_t v) { return v != kInf; });
+
+            // Fold improvements into dist (dense union-min).
+            grb::ewise_add(dist, dist, improved,
+                           [](uint64_t a, uint64_t b) {
+                               return std::min(a, b);
+                           });
+
+            // Next inner frontier: improved vertices still in bucket.
+            Vector<uint64_t> next;
+            grb::select_entries(next, improved,
+                                [lo, hi](Index, uint64_t d) {
+                                    return d >= lo && d < hi;
+                                });
+            frontier = std::move(next);
+        }
+
+        // Phase 2: one heavy relaxation from the settled bucket.
+        metrics::bump(metrics::kRounds);
+        Vector<uint64_t> settled = bucket_of(dist, lo, hi);
+        if (settled.nvals() != 0) {
+            Vector<uint64_t> candidates;
+            grb::vxm<grb::MinPlus<uint64_t>>(candidates,
+                                             grb::kDefaultDesc, settled,
+                                             heavy);
+            Vector<uint64_t> improvements;
+            grb::ewise_mult(improvements, candidates, dist,
+                            [](uint64_t c, uint64_t d) {
+                                return c < d ? c : kInf;
+                            });
+            Vector<uint64_t> improved;
+            grb::select_entries(improved, improvements,
+                                [](Index, uint64_t v) { return v != kInf; });
+            grb::ewise_add(dist, dist, improved,
+                           [](uint64_t a, uint64_t b) {
+                               return std::min(a, b);
+                           });
+        }
+
+        // Advance to the next non-empty bucket.
+        Vector<uint64_t> remaining;
+        grb::select_entries(remaining, dist, [hi](Index, uint64_t d) {
+            return d >= hi && d != kInf;
+        });
+        if (remaining.nvals() == 0) {
+            break;
+        }
+        const uint64_t nearest =
+            grb::reduce<grb::MinMonoid<uint64_t>>(remaining);
+        bucket_index = nearest / delta;
+    }
+
+    std::vector<uint64_t> out(n, kInf);
+    dist.for_entries([&](Index i, uint64_t d) { out[i] = d; });
+    return out;
+}
+
+} // namespace gas::la

@@ -1,0 +1,69 @@
+#include "lonestar/lonestar.h"
+
+#include <atomic>
+
+#include "metrics/counters.h"
+#include "runtime/insert_bag.h"
+#include "runtime/parallel.h"
+
+namespace gas::ls {
+
+using graph::EdgeIdx;
+using graph::Graph;
+using graph::Node;
+
+std::vector<uint32_t>
+bfs(const Graph& graph, Node source)
+{
+    const Node n = graph.num_nodes();
+    std::vector<uint32_t> dist(n);
+
+    // Initialize all vertices in parallel (paper Algorithm 1, lines
+    // 3-6).
+    rt::do_all(n, [&](std::size_t v) {
+        dist[v] = kUnreachedLevel;
+        metrics::bump(metrics::kLabelWrites);
+    });
+    metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint32_t));
+
+    dist[source] = 0;
+    rt::InsertBag<Node> bag_a;
+    rt::InsertBag<Node> bag_b;
+    rt::InsertBag<Node>* curr = &bag_a;
+    rt::InsertBag<Node>* next = &bag_b;
+    next->push(source);
+
+    uint32_t level = 0;
+    while (!next->empty()) {
+        std::swap(curr, next);
+        next->clear();
+        ++level;
+        metrics::bump(metrics::kRounds);
+
+        // One fused loop per round: expand the frontier, update
+        // distances, and build the next worklist in a single pass —
+        // the composite operator a matrix API needs three calls for.
+        curr->parallel_apply([&](Node u) {
+            metrics::bump(metrics::kWorkItems);
+            const EdgeIdx begin = graph.edge_begin(u);
+            const EdgeIdx end = graph.edge_end(u);
+            metrics::bump(metrics::kEdgeVisits, end - begin);
+            for (EdgeIdx e = begin; e < end; ++e) {
+                const Node v = graph.edge_dst(e);
+                metrics::bump(metrics::kLabelReads);
+                std::atomic_ref<uint32_t> dst(dist[v]);
+                uint32_t expected = kUnreachedLevel;
+                if (dst.load(std::memory_order_relaxed) ==
+                        kUnreachedLevel &&
+                    dst.compare_exchange_strong(
+                        expected, level, std::memory_order_relaxed)) {
+                    metrics::bump(metrics::kLabelWrites);
+                    next->push(v);
+                }
+            }
+        });
+    }
+    return dist;
+}
+
+} // namespace gas::ls

@@ -1,0 +1,193 @@
+#include "lonestar/lonestar.h"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "metrics/counters.h"
+#include "runtime/parallel.h"
+#include "runtime/reducers.h"
+#include "support/random.h"
+#include "verify/reference.h"
+
+namespace gas::ls {
+
+using graph::EdgeIdx;
+using graph::Graph;
+using graph::Node;
+
+namespace {
+
+/// Lock-free union by ID with on-the-fly compression (Afforest's link,
+/// after GAP). Hooks the larger root under the smaller so final labels
+/// are component minima.
+void
+link(Node u, Node v, std::vector<Node>& comp)
+{
+    Node p1 = comp[u];
+    Node p2 = comp[v];
+    while (p1 != p2) {
+        metrics::bump(metrics::kWorkItems);
+        const Node high = std::max(p1, p2);
+        const Node low = std::min(p1, p2);
+        std::atomic_ref<Node> slot(comp[high]);
+        Node expected = high;
+        metrics::bump(metrics::kLabelReads, 2);
+        if (slot.load(std::memory_order_relaxed) == low ||
+            (slot.load(std::memory_order_relaxed) == high &&
+             slot.compare_exchange_strong(expected, low,
+                                          std::memory_order_relaxed))) {
+            metrics::bump(metrics::kLabelWrites);
+            break;
+        }
+        p1 = comp[comp[high]];
+        p2 = comp[low];
+    }
+}
+
+/// Full path compression for every vertex.
+void
+compress(std::vector<Node>& comp)
+{
+    rt::do_all(comp.size(), [&](std::size_t v) {
+        metrics::bump(metrics::kWorkItems);
+        while (comp[v] != comp[comp[v]]) {
+            comp[v] = comp[comp[v]];
+            metrics::bump(metrics::kLabelReads, 2);
+            metrics::bump(metrics::kLabelWrites);
+        }
+    });
+}
+
+/// Most frequent component id in a small random sample.
+Node
+sample_frequent_component(const std::vector<Node>& comp, uint64_t seed)
+{
+    constexpr std::size_t kSamples = 1024;
+    Rng rng(seed);
+    std::unordered_map<Node, std::size_t> counts;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+        const Node v = static_cast<Node>(rng.next_bounded(comp.size()));
+        ++counts[comp[v]];
+    }
+    Node best = comp[0];
+    std::size_t best_count = 0;
+    for (const auto& [label, count] : counts) {
+        if (count > best_count) {
+            best_count = count;
+            best = label;
+        }
+    }
+    return best;
+}
+
+std::vector<Node>
+init_components(Node n)
+{
+    std::vector<Node> comp(n);
+    rt::do_all(n, [&](std::size_t v) {
+        comp[v] = static_cast<Node>(v);
+        metrics::bump(metrics::kLabelWrites);
+    });
+    metrics::bump(metrics::kBytesMaterialized, n * sizeof(Node));
+    return comp;
+}
+
+} // namespace
+
+std::vector<Node>
+cc_afforest(const Graph& graph, uint32_t sampling_rounds)
+{
+    const Node n = graph.num_nodes();
+    std::vector<Node> comp = init_components(n);
+
+    // Phase 1: union only the first few edges of every vertex — a
+    // fine-grained sampled operation no bulk matrix API can express.
+    for (uint32_t round = 0; round < sampling_rounds; ++round) {
+        metrics::bump(metrics::kRounds);
+        rt::do_all(n, [&](std::size_t u) {
+            const EdgeIdx begin = graph.edge_begin(static_cast<Node>(u));
+            const EdgeIdx end = graph.edge_end(static_cast<Node>(u));
+            const EdgeIdx e = begin + round;
+            if (e < end) {
+                metrics::bump(metrics::kEdgeVisits);
+                link(static_cast<Node>(u), graph.edge_dst(e), comp);
+            }
+        });
+        compress(comp);
+    }
+
+    // Most vertices now share the giant component's label; finish the
+    // remaining vertices only.
+    const Node giant = sample_frequent_component(comp, 0xAFFu);
+    metrics::bump(metrics::kRounds);
+    rt::do_all(n, [&](std::size_t ui) {
+        const Node u = static_cast<Node>(ui);
+        if (comp[u] == giant) {
+            return; // skip vertices already absorbed
+        }
+        const EdgeIdx begin = graph.edge_begin(u) + sampling_rounds;
+        const EdgeIdx end = graph.edge_end(u);
+        for (EdgeIdx e = std::min(begin, end); e < end; ++e) {
+            metrics::bump(metrics::kEdgeVisits);
+            link(u, graph.edge_dst(e), comp);
+        }
+    });
+    compress(comp);
+    return verify::canonicalize_components(comp);
+}
+
+std::vector<Node>
+cc_sv(const Graph& graph)
+{
+    const Node n = graph.num_nodes();
+    std::vector<Node> comp = init_components(n);
+
+    while (true) {
+        metrics::bump(metrics::kRounds);
+        rt::ReduceOr changed;
+
+        // Hooking: updates are written in place and immediately visible
+        // to other threads (Gauss-Seidel within the round).
+        rt::do_all(n, [&](std::size_t ui) {
+            const Node u = static_cast<Node>(ui);
+            metrics::bump(metrics::kWorkItems);
+            const EdgeIdx begin = graph.edge_begin(u);
+            const EdgeIdx end = graph.edge_end(u);
+            metrics::bump(metrics::kEdgeVisits, end - begin);
+            for (EdgeIdx e = begin; e < end; ++e) {
+                const Node v = graph.edge_dst(e);
+                metrics::bump(metrics::kLabelReads, 2);
+                const Node cv = comp[v];
+                std::atomic_ref<Node> cu(comp[u]);
+                Node current = cu.load(std::memory_order_relaxed);
+                while (cv < current &&
+                       !cu.compare_exchange_weak(
+                           current, cv, std::memory_order_relaxed)) {
+                }
+                if (cv < current) {
+                    metrics::bump(metrics::kLabelWrites);
+                    changed.update(true);
+                }
+            }
+        });
+
+        // Unbounded pointer jumping: each vertex short-circuits all the
+        // way to its current root — the asynchronous shortcut a bulk
+        // API cannot express.
+        rt::do_all(n, [&](std::size_t v) {
+            metrics::bump(metrics::kWorkItems);
+            while (comp[v] != comp[comp[v]]) {
+                comp[v] = comp[comp[v]];
+                metrics::bump(metrics::kLabelReads, 2);
+                metrics::bump(metrics::kLabelWrites);
+            }
+        });
+
+        if (!changed.reduce()) {
+            break;
+        }
+    }
+    return verify::canonicalize_components(comp);
+}
+
+} // namespace gas::ls

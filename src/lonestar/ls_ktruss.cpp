@@ -1,0 +1,140 @@
+#include "lonestar/lonestar.h"
+
+#include <atomic>
+
+#include "metrics/counters.h"
+#include "runtime/parallel.h"
+#include "runtime/reducers.h"
+#include "support/check.h"
+
+namespace gas::ls {
+
+using graph::EdgeIdx;
+using graph::Graph;
+using graph::Node;
+
+namespace {
+
+/// Index of edge (u, v) in u's sorted adjacency, or kNoEdge.
+constexpr EdgeIdx kNoEdge = ~EdgeIdx{0};
+
+EdgeIdx
+find_edge(const Graph& graph, Node u, Node v)
+{
+    const auto neighbors = graph.out_neighbors(u);
+    const auto it =
+        std::lower_bound(neighbors.begin(), neighbors.end(), v);
+    if (it == neighbors.end() || *it != v) {
+        return kNoEdge;
+    }
+    return graph.edge_begin(u) +
+        static_cast<EdgeIdx>(it - neighbors.begin());
+}
+
+} // namespace
+
+uint64_t
+ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
+{
+    GAS_CHECK(k >= 3, "k-truss requires k >= 3");
+    GAS_CHECK(graph.adjacencies_sorted(),
+              "ktruss requires sorted adjacencies");
+    const uint64_t required = k - 2;
+    const Node n = graph.num_nodes();
+    const EdgeIdx m = graph.num_edges();
+
+    // Peer index: position of the reverse edge, so a removal can kill
+    // both directions at once (preprocessing).
+    std::vector<EdgeIdx> peer(m);
+    rt::do_all(n, [&](std::size_t ui) {
+        const Node u = static_cast<Node>(ui);
+        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
+            peer[e] = find_edge(graph, graph.edge_dst(e), u);
+            GAS_CHECK(peer[e] != kNoEdge, "graph is not symmetric");
+        }
+    });
+
+    std::vector<uint8_t> alive(m, 1);
+    metrics::bump(metrics::kBytesMaterialized,
+                  m * (sizeof(EdgeIdx) + sizeof(uint8_t)));
+
+    uint32_t rounds = 0;
+    bool changed = true;
+    while (changed) {
+        ++rounds;
+        metrics::bump(metrics::kRounds);
+        rt::ReduceOr any_removed;
+
+        // For each surviving undirected edge (u, v) with u < v, count
+        // common alive neighbors by merging the two adjacency lists.
+        // A failing edge is killed *immediately* (both directions), so
+        // later support computations in the same round already see the
+        // removal — Gauss-Seidel iteration, unavailable to a bulk API.
+        rt::do_all(n, [&](std::size_t ui) {
+            const Node u = static_cast<Node>(ui);
+            for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u);
+                 ++e) {
+                const Node v = graph.edge_dst(e);
+                if (u >= v) {
+                    continue; // handle each undirected edge once
+                }
+                std::atomic_ref<uint8_t> alive_e(alive[e]);
+                if (alive_e.load(std::memory_order_relaxed) == 0) {
+                    continue;
+                }
+                metrics::bump(metrics::kWorkItems);
+
+                uint64_t support = 0;
+                uint64_t steps = 0;
+                uint64_t wing_reads = 0;
+                EdgeIdx a = graph.edge_begin(u);
+                EdgeIdx b = graph.edge_begin(v);
+                const EdgeIdx a_end = graph.edge_end(u);
+                const EdgeIdx b_end = graph.edge_end(v);
+                while (a < a_end && b < b_end && support < required) {
+                    ++steps;
+                    const Node da = graph.edge_dst(a);
+                    const Node db = graph.edge_dst(b);
+                    if (da < db) {
+                        ++a;
+                    } else if (da > db) {
+                        ++b;
+                    } else {
+                        // Common neighbor w: the triangle counts only
+                        // if both wing edges are still alive.
+                        wing_reads += 2;
+                        if (alive[a] != 0 && alive[b] != 0) {
+                            ++support;
+                        }
+                        ++a;
+                        ++b;
+                    }
+                }
+                metrics::bump(metrics::kEdgeVisits, steps);
+                metrics::bump(metrics::kLabelReads, wing_reads);
+
+                if (support < required) {
+                    std::atomic_ref<uint8_t> alive_peer(alive[peer[e]]);
+                    alive_e.store(0, std::memory_order_relaxed);
+                    alive_peer.store(0, std::memory_order_relaxed);
+                    metrics::bump(metrics::kLabelWrites, 2);
+                    any_removed.update(true);
+                }
+            }
+        });
+        changed = any_removed.reduce();
+    }
+
+    rt::Accumulator<uint64_t> survivors;
+    rt::do_all(m, [&](std::size_t e) {
+        if (alive[e] != 0) {
+            survivors += 1;
+        }
+    });
+    if (rounds_out != nullptr) {
+        *rounds_out = rounds;
+    }
+    return survivors.reduce() / 2;
+}
+
+} // namespace gas::ls

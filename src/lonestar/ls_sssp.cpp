@@ -1,0 +1,108 @@
+#include "lonestar/lonestar.h"
+
+#include <atomic>
+
+#include "metrics/counters.h"
+#include "runtime/obim.h"
+#include "runtime/parallel.h"
+#include "support/check.h"
+
+namespace gas::ls {
+
+using graph::EdgeIdx;
+using graph::Graph;
+using graph::Node;
+
+namespace {
+
+/// Work item: a vertex plus the offset into its edge list where this
+/// tile starts (0 for untiled items).
+struct WorkItem
+{
+    Node node;
+    EdgeIdx edge_offset;
+};
+
+} // namespace
+
+std::vector<uint64_t>
+sssp(const Graph& graph, Node source, const SsspOptions& options)
+{
+    GAS_CHECK(graph.has_weights() || graph.num_edges() == 0,
+              "sssp requires edge weights");
+    GAS_CHECK(options.delta > 0, "delta must be positive");
+    const Node n = graph.num_nodes();
+
+    std::vector<uint64_t> dist(n);
+    rt::do_all(n, [&](std::size_t v) {
+        dist[v] = kInfDistance;
+        metrics::bump(metrics::kLabelWrites);
+    });
+    metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint64_t));
+    dist[source] = 0;
+
+    const uint64_t delta = options.delta;
+    const uint32_t tile = options.edge_tile_size;
+
+    rt::ObimWorklist<WorkItem> worklist;
+    worklist.push({source, 0}, 0);
+
+    rt::ThreadPool::get().run([&](unsigned, unsigned) {
+        std::vector<WorkItem> batch;
+        batch.reserve(16);
+        while (worklist.pop_batch(batch, 16)) {
+            for (const WorkItem& item : batch) {
+                const Node u = item.node;
+                metrics::bump(metrics::kWorkItems);
+                std::atomic_ref<uint64_t> du_ref(dist[u]);
+                const uint64_t du = du_ref.load(std::memory_order_relaxed);
+                metrics::bump(metrics::kLabelReads);
+
+                EdgeIdx begin = graph.edge_begin(u) + item.edge_offset;
+                EdgeIdx end = graph.edge_end(u);
+                if (tile != 0 && end - begin > tile) {
+                    // Edge tiling: split the remaining edges of this
+                    // high-degree vertex into a continuation item so
+                    // other threads can share its relaxations.
+                    worklist.push(
+                        {u, item.edge_offset + tile},
+                        static_cast<std::size_t>(du / delta));
+                    end = begin + tile;
+                }
+
+                metrics::bump(metrics::kEdgeVisits, end - begin);
+                for (EdgeIdx e = begin; e < end; ++e) {
+                    const Node v = graph.edge_dst(e);
+                    const uint64_t candidate = du + graph.edge_weight(e);
+                    std::atomic_ref<uint64_t> dv(dist[v]);
+                    uint64_t current =
+                        dv.load(std::memory_order_relaxed);
+                    metrics::bump(metrics::kLabelReads);
+                    bool improved = false;
+                    while (candidate < current) {
+                        if (dv.compare_exchange_weak(
+                                current, candidate,
+                                std::memory_order_relaxed)) {
+                            improved = true;
+                            break;
+                        }
+                    }
+                    if (improved) {
+                        metrics::bump(metrics::kLabelWrites);
+                        // Asynchronous push: the relaxed vertex becomes
+                        // active immediately, prioritized by its bucket.
+                        worklist.push(
+                            {v, 0},
+                            static_cast<std::size_t>(candidate / delta));
+                    }
+                }
+                worklist.finish_item();
+            }
+            batch.clear();
+        }
+    });
+
+    return dist;
+}
+
+} // namespace gas::ls

@@ -1,0 +1,63 @@
+#include "lonestar/lonestar.h"
+
+#include "metrics/counters.h"
+#include "runtime/parallel.h"
+#include "runtime/reducers.h"
+
+namespace gas::ls {
+
+using graph::EdgeIdx;
+using graph::Graph;
+using graph::Node;
+
+ForwardGraph
+build_forward_graph(const Graph& graph)
+{
+    // Relabel by ascending degree, then keep only edges pointing from
+    // lower to higher rank. Hub vertices end up with short forward
+    // lists, which bounds the intersection work.
+    const auto relabeled = graph::relabel_by_degree(graph);
+    ForwardGraph out;
+    out.forward = graph::upper_triangle(relabeled.graph);
+    return out;
+}
+
+uint64_t
+tc(const ForwardGraph& input)
+{
+    const Graph& fwd = input.forward;
+    rt::Accumulator<uint64_t> triangles;
+
+    // Fused edge iterator: for every forward edge (u, v), intersect
+    // the forward lists of u and v, bumping a global reducer. Nothing
+    // is materialized — the fusion the matrix API cannot express.
+    rt::do_all(fwd.num_nodes(), [&](std::size_t ui) {
+        const Node u = static_cast<Node>(ui);
+        const auto u_fwd = fwd.out_neighbors(u);
+        uint64_t local = 0;
+        uint64_t steps = 0;
+        for (const Node v : u_fwd) {
+            const auto v_fwd = fwd.out_neighbors(v);
+            std::size_t a = 0;
+            std::size_t b = 0;
+            while (a < u_fwd.size() && b < v_fwd.size()) {
+                ++steps;
+                if (u_fwd[a] < v_fwd[b]) {
+                    ++a;
+                } else if (u_fwd[a] > v_fwd[b]) {
+                    ++b;
+                } else {
+                    ++local;
+                    ++a;
+                    ++b;
+                }
+            }
+        }
+        metrics::bump(metrics::kWorkItems, u_fwd.size());
+        metrics::bump(metrics::kEdgeVisits, steps);
+        triangles += local;
+    });
+    return triangles.reduce();
+}
+
+} // namespace gas::ls

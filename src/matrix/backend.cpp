@@ -1,0 +1,33 @@
+#include "matrix/types.h"
+
+namespace gas::grb {
+
+namespace {
+
+Backend active_backend = Backend::kParallel;
+
+} // namespace
+
+void
+set_backend(Backend backend)
+{
+    active_backend = backend;
+}
+
+Backend
+backend()
+{
+    return active_backend;
+}
+
+BackendScope::BackendScope(Backend scoped) : saved_(backend())
+{
+    set_backend(scoped);
+}
+
+BackendScope::~BackendScope()
+{
+    set_backend(saved_);
+}
+
+} // namespace gas::grb

@@ -1,0 +1,177 @@
+#pragma once
+
+/**
+ * @file
+ * Shared kernel infrastructure for the grb operations: mask views,
+ * atomic semiring accumulation, backend-dependent scheduling, and the
+ * sparse-accumulator (SPA) workspace pool.
+ */
+
+#include <atomic>
+
+#include "matrix/types.h"
+#include "matrix/vector.h"
+#include "metrics/counters.h"
+#include "runtime/insert_bag.h"
+#include "runtime/parallel.h"
+#include "support/check.h"
+
+namespace gas::grb {
+
+/// Loop options matching the active backend's scheduling model:
+/// static one-block-per-thread for Reference (SuiteSparse / OpenMP
+/// static style), chunked dynamic for Parallel (Galois style).
+inline rt::LoopOptions
+backend_schedule()
+{
+    if (backend() == Backend::kReference) {
+        return {rt::Schedule::kStatic, 0};
+    }
+    return {};
+}
+
+/// True when outputs must be kept sorted (the Reference backend always
+/// compacts into sorted form, like SuiteSparse).
+inline bool
+backend_sorts_outputs()
+{
+    return backend() == Backend::kReference;
+}
+
+/**
+ * O(1)-testable view of an optional vector mask.
+ *
+ * Sparse masks are lazily sorted so membership tests can binary-search.
+ * A null mask tests true everywhere.
+ */
+template <typename MT>
+class MaskView
+{
+  public:
+    MaskView(const Vector<MT>* mask, const Descriptor& desc)
+        : mask_(mask), complement_(desc.mask_complement)
+    {
+        if (mask_ != nullptr &&
+            mask_->format() == VectorFormat::kSparse && !mask_->sorted()) {
+            // The caller owns the mask; sorting requires a mutable copy.
+            sorted_copy_ = *mask_;
+            sorted_copy_->sort_entries();
+            mask_ = &*sorted_copy_;
+        }
+    }
+
+    bool
+    test(Index i) const
+    {
+        if (mask_ == nullptr) {
+            return true;
+        }
+        bool present_true;
+        if (mask_->format() == VectorFormat::kDense) {
+            present_true = mask_->dense_presence()[i] != 0 &&
+                mask_->dense_values()[i] != MT{0};
+        } else {
+            const auto& idx = mask_->sparse_indices();
+            const auto it =
+                std::lower_bound(idx.begin(), idx.end(), i);
+            present_true = it != idx.end() && *it == i &&
+                mask_->sparse_values()[static_cast<std::size_t>(
+                    it - idx.begin())] != MT{0};
+        }
+        return complement_ ? !present_true : present_true;
+    }
+
+  private:
+    const Vector<MT>* mask_;
+    bool complement_;
+    std::optional<Vector<MT>> sorted_copy_;
+};
+
+/// Specialization tag for "no mask": NoMask{} can be passed wherever a
+/// Vector<MT>* mask is expected.
+struct NoMask
+{
+};
+
+/// Atomically fold @p value into @p slot with the semiring add.
+template <typename T, typename AddFn>
+inline void
+atomic_accum(T& slot, T value, AddFn&& add)
+{
+    std::atomic_ref<T> ref(slot);
+    T current = ref.load(std::memory_order_relaxed);
+    while (true) {
+        const T next = add(current, value);
+        if (next == current) {
+            return;
+        }
+        if (ref.compare_exchange_weak(current, next,
+                                      std::memory_order_relaxed)) {
+            return;
+        }
+    }
+}
+
+/// Atomic claim of an SPA slot; returns true for the first claimant.
+inline bool
+atomic_claim(uint8_t& flag)
+{
+    std::atomic_ref<uint8_t> ref(flag);
+    if (ref.load(std::memory_order_relaxed) != 0) {
+        return false;
+    }
+    return ref.exchange(1, std::memory_order_relaxed) == 0;
+}
+
+/**
+ * Sparse accumulator workspace: a value array held at the semiring
+ * identity plus occupancy flags, sized to the largest vector seen.
+ *
+ * One workspace is cached per (scalar type, semiring) template
+ * instantiation; the invariant "all values hold the identity and all
+ * flags are clear outside an operation" is restored by resetting only
+ * the touched slots, so per-operation cost is proportional to the
+ * active set, not the vector dimension.
+ */
+template <typename T, typename Semiring>
+class SpaWorkspace
+{
+  public:
+    static SpaWorkspace&
+    get(Index size)
+    {
+        static SpaWorkspace workspace;
+        workspace.ensure(size);
+        return workspace;
+    }
+
+    T* values() { return values_.data(); }
+    uint8_t* occupied() { return occupied_.data(); }
+
+    /// Restore the identity/clear invariant for the given touched slots.
+    void
+    reset(const rt::InsertBag<Index>& touched)
+    {
+        touched.parallel_apply([&](Index i) {
+            values_[i] = Semiring::identity();
+            occupied_[i] = 0;
+        });
+    }
+
+  private:
+    void
+    ensure(Index size)
+    {
+        if (values_.size() < size) {
+            values_.assign(size, Semiring::identity());
+            occupied_.assign(size, uint8_t{0});
+            metrics::bump(metrics::kBytesMaterialized,
+                          static_cast<uint64_t>(size) * (sizeof(T) + 1));
+        }
+    }
+
+    TrackedVector<T> values_;
+    TrackedVector<uint8_t> occupied_;
+};
+
+} // namespace gas::grb

@@ -1,0 +1,335 @@
+#pragma once
+
+/**
+ * @file
+ * Sparse matrix-vector products.
+ *
+ * vxm (w = u * A) is the push-style kernel: it enumerates the explicit
+ * entries of u and scatters along the corresponding rows of A into a
+ * shared sparse accumulator (SAXPY form). Work is proportional to the
+ * active entries' degrees — this is the kernel behind each round of a
+ * round-based data-driven algorithm (bfs frontier expansion, sssp
+ * relaxations).
+ *
+ * mxv (w = A * u) is the pull-style kernel (SDOT form): every row of A
+ * computes a dot product against a dense u. Work is proportional to
+ * nvals(A) — one full topology pass per call.
+ */
+
+#include "matrix/matrix.h"
+#include "matrix/ops_common.h"
+
+namespace gas::grb {
+
+/**
+ * w<mask> = u * A over a semiring: w(j) = add_i mul(u(i), A(i,j)).
+ *
+ * Output always uses replace semantics (w is overwritten). The result
+ * is sparse; the Reference backend sorts it, the Parallel backend
+ * leaves it in insertion order (the paper's "unordered list").
+ */
+template <typename Semiring, typename T, typename MT = uint8_t>
+void
+vxm(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
+    const Vector<T>& u, const Matrix<T>& A)
+{
+    GAS_CHECK(u.size() == A.nrows(), "vxm dimension mismatch");
+    metrics::bump(metrics::kPasses);
+
+    auto& spa = SpaWorkspace<T, Semiring>::get(A.ncols());
+    T* const acc = spa.values();
+    uint8_t* const occ = spa.occupied();
+    rt::InsertBag<Index> touched;
+
+    auto scatter_row = [&](Index i, T x) {
+        metrics::bump(metrics::kLabelReads);
+        const Nnz begin = A.row_begin(i);
+        const Nnz end = A.row_end(i);
+        metrics::bump(metrics::kEdgeVisits, end - begin);
+        metrics::bump(metrics::kWorkItems, end - begin);
+        for (Nnz e = begin; e < end; ++e) {
+            const Index j = A.col_at(e);
+            const T product = Semiring::mul(x, A.val_at(e));
+            atomic_accum(acc[j], product, [](T a, T b) {
+                return Semiring::add(a, b);
+            });
+            metrics::bump(metrics::kLabelWrites);
+            if (atomic_claim(occ[j])) {
+                touched.push(j);
+            }
+        }
+    };
+
+    if (u.format() == VectorFormat::kDense) {
+        const auto& uvals = u.dense_values();
+        const auto& upresent = u.dense_presence();
+        rt::do_all_blocked(
+            u.size(),
+            [&](rt::Range range) {
+                for (std::size_t i = range.begin; i < range.end; ++i) {
+                    if (upresent[i] != 0) {
+                        scatter_row(static_cast<Index>(i), uvals[i]);
+                    }
+                }
+            },
+            backend_schedule());
+    } else {
+        const auto& uidx = u.sparse_indices();
+        const auto& uvals = u.sparse_values();
+        rt::do_all_blocked(
+            uidx.size(),
+            [&](rt::Range range) {
+                for (std::size_t k = range.begin; k < range.end; ++k) {
+                    scatter_row(uidx[k], uvals[k]);
+                }
+            },
+            backend_schedule());
+    }
+
+    // Compact the accumulator into a fresh sparse vector, applying the
+    // mask, then restore the workspace invariant.
+    const MaskView<MT> view(mask, desc);
+    rt::InsertBag<std::pair<Index, T>> output;
+    touched.parallel_apply([&](Index j) {
+        if (view.test(j)) {
+            output.push({j, acc[j]});
+        }
+    });
+    spa.reset(touched);
+
+    Vector<T> result(A.ncols());
+    auto& oidx = result.sparse_indices();
+    auto& ovals = result.sparse_values();
+    oidx.reserve(output.size());
+    ovals.reserve(output.size());
+    output.for_each([&](const std::pair<Index, T>& entry) {
+        oidx.push_back(entry.first);
+        ovals.push_back(entry.second);
+    });
+    result.set_format(VectorFormat::kSparse);
+    result.set_sorted(false);
+    if (backend_sorts_outputs()) {
+        result.sort_entries();
+    }
+    metrics::bump(metrics::kBytesMaterialized,
+                  oidx.size() * (sizeof(Index) + sizeof(T)));
+    w = std::move(result);
+}
+
+/**
+ * w<mask> = A * u over a semiring: w(i) = add_j mul(A(i,j), u(j)).
+ *
+ * u is densified internally when sparse (a materialization the matrix
+ * API cannot avoid for pull-style products). The result is dense.
+ * Masked-out rows produce no entry (replace semantics).
+ */
+template <typename Semiring, typename T, typename MT = uint8_t>
+void
+mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
+    const Matrix<T>& A, const Vector<T>& u)
+{
+    GAS_CHECK(u.size() == A.ncols(), "mxv dimension mismatch");
+    metrics::bump(metrics::kPasses);
+
+    const Vector<T>* uview = &u;
+    Vector<T> dense_copy;
+    if (u.format() != VectorFormat::kDense) {
+        dense_copy = u;
+        dense_copy.densify();
+        uview = &dense_copy;
+    }
+    const auto& uvals = uview->dense_values();
+    const auto& upresent = uview->dense_presence();
+
+    Vector<T> result(A.nrows());
+    result.densify();
+    auto& out = result.dense_values();
+    auto& present = result.dense_presence();
+    const MaskView<MT> view(mask, desc);
+    std::atomic<Nnz> count{0};
+
+    rt::do_all_blocked(
+        A.nrows(),
+        [&](rt::Range range) {
+            Nnz local = 0;
+            for (std::size_t ri = range.begin; ri < range.end; ++ri) {
+                const Index i = static_cast<Index>(ri);
+                if (!view.test(i)) {
+                    continue;
+                }
+                T accum = Semiring::identity();
+                bool hit = false;
+                const Nnz begin = A.row_begin(i);
+                const Nnz end = A.row_end(i);
+                metrics::bump(metrics::kEdgeVisits, end - begin);
+                metrics::bump(metrics::kWorkItems, end - begin);
+                for (Nnz e = begin; e < end; ++e) {
+                    const Index j = A.col_at(e);
+                    if (upresent[j] != 0) {
+                        accum = Semiring::add(
+                            accum, Semiring::mul(A.val_at(e), uvals[j]));
+                        hit = true;
+                        metrics::bump(metrics::kLabelReads);
+                    }
+                }
+                if (hit) {
+                    out[i] = accum;
+                    present[i] = 1;
+                    ++local;
+                    metrics::bump(metrics::kLabelWrites);
+                }
+            }
+            count.fetch_add(local, std::memory_order_relaxed);
+        },
+        backend_schedule());
+    result.set_dense_nvals(count.load());
+    metrics::bump(metrics::kBytesMaterialized,
+                  static_cast<uint64_t>(A.nrows()) * (sizeof(T) + 1));
+    w = std::move(result);
+}
+
+/**
+ * Fused composite kernel: vxm + masked scalar assign in one pass.
+ *
+ * Computes w<mask_vector complement, replace> = u * A over the
+ * semiring, and *additionally* stores @p assign_value into
+ * @p assign_target at every output position — all during the single
+ * scatter/compaction pass.
+ *
+ * This operation is NOT part of the GraphBLAS API: it is the composite
+ * operator the paper's Section VI says a restructuring compiler would
+ * have to generate to remove the matrix API's lightweight-loop
+ * penalty. bfs written with it needs one kernel call per round instead
+ * of three (see la::bfs_fused), which quantifies the headroom loop
+ * fusion leaves on the table.
+ *
+ * @p assign_target must be dense and is used as the (complemented)
+ * mask: positions whose current value is non-zero are skipped.
+ */
+template <typename Semiring, typename T, typename MT>
+void
+vxm_fused_assign(Vector<T>& w, Vector<MT>& assign_target, MT assign_value,
+                 const Vector<T>& u, const Matrix<T>& A)
+{
+    GAS_CHECK(u.size() == A.nrows(), "vxm_fused_assign dim mismatch");
+    GAS_CHECK(assign_target.format() == VectorFormat::kDense,
+              "vxm_fused_assign needs a dense assign target");
+    metrics::bump(metrics::kPasses);
+
+    auto& spa = SpaWorkspace<T, Semiring>::get(A.ncols());
+    T* const acc = spa.values();
+    uint8_t* const occ = spa.occupied();
+    rt::InsertBag<Index> touched;
+    auto& target_vals = assign_target.dense_values();
+    const auto& target_present = assign_target.dense_presence();
+
+    auto scatter_row = [&](Index i, T x) {
+        metrics::bump(metrics::kLabelReads);
+        const Nnz begin = A.row_begin(i);
+        const Nnz end = A.row_end(i);
+        metrics::bump(metrics::kEdgeVisits, end - begin);
+        metrics::bump(metrics::kWorkItems, end - begin);
+        for (Nnz e = begin; e < end; ++e) {
+            const Index j = A.col_at(e);
+            // Fused mask test: skip already-assigned positions without
+            // touching the accumulator.
+            if (target_present[j] != 0 && target_vals[j] != MT{0}) {
+                continue;
+            }
+            const T product = Semiring::mul(x, A.val_at(e));
+            atomic_accum(acc[j], product, [](T a, T b) {
+                return Semiring::add(a, b);
+            });
+            metrics::bump(metrics::kLabelWrites);
+            if (atomic_claim(occ[j])) {
+                touched.push(j);
+            }
+        }
+    };
+
+    if (u.format() == VectorFormat::kDense) {
+        const auto& uvals = u.dense_values();
+        const auto& upresent = u.dense_presence();
+        rt::do_all_blocked(
+            u.size(),
+            [&](rt::Range range) {
+                for (std::size_t i = range.begin; i < range.end; ++i) {
+                    if (upresent[i] != 0) {
+                        scatter_row(static_cast<Index>(i), uvals[i]);
+                    }
+                }
+            },
+            backend_schedule());
+    } else {
+        const auto& uidx = u.sparse_indices();
+        const auto& uvals = u.sparse_values();
+        rt::do_all_blocked(
+            uidx.size(),
+            [&](rt::Range range) {
+                for (std::size_t k = range.begin; k < range.end; ++k) {
+                    scatter_row(uidx[k], uvals[k]);
+                }
+            },
+            backend_schedule());
+    }
+
+    // Single compaction pass: emit the new frontier AND perform the
+    // assignment (the fusion).
+    rt::InsertBag<std::pair<Index, T>> output;
+    auto& target_present_mut = assign_target.dense_presence();
+    std::atomic<Nnz> added{0};
+    touched.parallel_apply([&](Index j) {
+        if (target_present[j] == 0 || target_vals[j] == MT{0}) {
+            output.push({j, acc[j]});
+            if (target_present_mut[j] == 0) {
+                target_present_mut[j] = 1;
+                added.fetch_add(1, std::memory_order_relaxed);
+            }
+            target_vals[j] = assign_value;
+            metrics::bump(metrics::kLabelWrites);
+        }
+    });
+    assign_target.set_dense_nvals(assign_target.nvals() + added.load());
+    spa.reset(touched);
+
+    Vector<T> result(A.ncols());
+    auto& oidx = result.sparse_indices();
+    auto& ovals = result.sparse_values();
+    oidx.reserve(output.size());
+    ovals.reserve(output.size());
+    Nnz newly_present = 0;
+    output.for_each([&](const std::pair<Index, T>& entry) {
+        oidx.push_back(entry.first);
+        ovals.push_back(entry.second);
+        ++newly_present;
+    });
+    (void)newly_present;
+    result.set_format(VectorFormat::kSparse);
+    result.set_sorted(false);
+    if (backend_sorts_outputs()) {
+        result.sort_entries();
+    }
+    metrics::bump(metrics::kBytesMaterialized,
+                  oidx.size() * (sizeof(Index) + sizeof(T)));
+    w = std::move(result);
+}
+
+/// Unmasked vxm convenience overload.
+template <typename Semiring, typename T>
+void
+vxm(Vector<T>& w, const Descriptor& desc, const Vector<T>& u,
+    const Matrix<T>& A)
+{
+    vxm<Semiring, T, uint8_t>(w, nullptr, desc, u, A);
+}
+
+/// Unmasked mxv convenience overload.
+template <typename Semiring, typename T>
+void
+mxv(Vector<T>& w, const Descriptor& desc, const Matrix<T>& A,
+    const Vector<T>& u)
+{
+    mxv<Semiring, T, uint8_t>(w, nullptr, desc, A, u);
+}
+
+} // namespace gas::grb

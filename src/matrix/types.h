@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Shared types of the GraphBLAS-style matrix API.
+ *
+ * The API follows the GraphBLAS C specification in spirit (semirings,
+ * masks, descriptors, bulk operations) with a C++ surface: objects are
+ * templates over the scalar type and operations are free functions in
+ * gas::grb.
+ */
+
+#include <cstdint>
+
+namespace gas::grb {
+
+/// Row/column index. Graphs in this study have < 2^32 vertices.
+using Index = uint32_t;
+
+/// Count of explicit entries (can exceed 2^32 for edge-scale data).
+using Nnz = uint64_t;
+
+/**
+ * Execution backend for all grb operations.
+ *
+ * kReference models SuiteSparse on OpenMP: static work partitioning,
+ * outputs always compacted into sorted form, fresh output allocations.
+ * kParallel models GaloisBLAS on the Galois-style runtime: chunked
+ * dynamic scheduling with stealing and adaptive output representations
+ * (unsorted sparse outputs are legal).
+ */
+enum class Backend {
+    kReference,
+    kParallel,
+};
+
+/// Set the process-wide backend used by subsequent grb operations.
+void set_backend(Backend backend);
+
+/// Currently active backend.
+Backend backend();
+
+/// RAII guard that switches the backend for a scope (used by the
+/// harness to run the same LAGraph code as "SS" and "GB").
+class BackendScope
+{
+  public:
+    explicit BackendScope(Backend scoped);
+    ~BackendScope();
+
+    BackendScope(const BackendScope&) = delete;
+    BackendScope& operator=(const BackendScope&) = delete;
+
+  private:
+    Backend saved_;
+};
+
+/**
+ * Operation modifiers, mirroring GrB_Descriptor.
+ *
+ * The mask of an operation marks which output positions may be written.
+ * An entry of the mask is "true" when it is explicit and non-zero;
+ * complement inverts that test. With replace, output positions not
+ * written by the operation are cleared; without it they keep their old
+ * values.
+ */
+struct Descriptor
+{
+    bool mask_complement{false};
+    bool replace{false};
+};
+
+/// Convenience descriptor constants matching LAGraph usage.
+inline constexpr Descriptor kDefaultDesc{};
+inline constexpr Descriptor kReplaceDesc{false, true};
+inline constexpr Descriptor kComplementReplaceDesc{true, true};
+
+} // namespace gas::grb

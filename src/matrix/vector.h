@@ -1,0 +1,326 @@
+#pragma once
+
+/**
+ * @file
+ * GraphBLAS-style vector with switchable storage representation.
+ *
+ * Mirrors GaloisBLAS as described in the paper (Section III-B): sparse
+ * vectors have multiple representations and the implementation (or the
+ * algorithm author) picks the best one per use:
+ *
+ *  - kDense  — value array plus presence bitmap; O(1) random access.
+ *  - kSparse — index/value arrays; sorted or unsorted (the paper's
+ *    "ordered map" vs "unordered list"). The Reference backend keeps
+ *    sparse vectors sorted at all times like SuiteSparse does.
+ *
+ * Element accessors are *not* instrumented; the grb operations count
+ * label reads/writes themselves so the software counters reflect kernel
+ * behaviour rather than test-harness pokes.
+ */
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "matrix/types.h"
+#include "metrics/counters.h"
+#include "support/check.h"
+#include "support/tracked_vector.h"
+
+namespace gas::grb {
+
+/// Storage representation of a Vector.
+enum class VectorFormat {
+    kDense,
+    kSparse,
+};
+
+template <typename T>
+class Vector
+{
+  public:
+    Vector() = default;
+
+    /// An empty sparse vector of dimension @p size.
+    explicit Vector(Index size) : size_(size) {}
+
+    /// Dimension of the vector (not the number of explicit entries).
+    Index size() const { return size_; }
+
+    /// Current storage representation.
+    VectorFormat format() const { return format_; }
+
+    /// True when sparse storage is sorted by index (dense is always
+    /// considered sorted).
+    bool sorted() const
+    {
+        return format_ == VectorFormat::kDense || sorted_;
+    }
+
+    /// Number of explicit entries.
+    Nnz
+    nvals() const
+    {
+        return format_ == VectorFormat::kDense
+            ? dense_nvals_
+            : static_cast<Nnz>(sparse_idx_.size());
+    }
+
+    /// Remove all entries (keeps the dimension, becomes sparse empty).
+    void
+    clear()
+    {
+        format_ = VectorFormat::kSparse;
+        sorted_ = true;
+        sparse_idx_.reset();
+        sparse_vals_.reset();
+        dense_vals_.reset();
+        dense_present_.reset();
+        dense_nvals_ = 0;
+    }
+
+    /// Set (or overwrite) a single element.
+    void
+    set_element(Index i, T value)
+    {
+        GAS_CHECK(i < size_, "vector index out of range");
+        if (format_ == VectorFormat::kDense) {
+            if (dense_present_[i] == 0) {
+                dense_present_[i] = 1;
+                ++dense_nvals_;
+            }
+            dense_vals_[i] = value;
+            return;
+        }
+        for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
+            if (sparse_idx_[k] == i) {
+                sparse_vals_[k] = value;
+                return;
+            }
+        }
+        if (!sparse_idx_.empty() && sparse_idx_.back() > i) {
+            sorted_ = false;
+        }
+        sparse_idx_.push_back(i);
+        sparse_vals_.push_back(value);
+    }
+
+    /// Value of element @p i, or nullopt when implicit.
+    std::optional<T>
+    get_element(Index i) const
+    {
+        GAS_CHECK(i < size_, "vector index out of range");
+        if (format_ == VectorFormat::kDense) {
+            if (dense_present_[i] != 0) {
+                return dense_vals_[i];
+            }
+            return std::nullopt;
+        }
+        for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
+            if (sparse_idx_[k] == i) {
+                return sparse_vals_[k];
+            }
+        }
+        return std::nullopt;
+    }
+
+    /// True when element @p i has an explicit non-zero value (the mask
+    /// test used by all masked operations).
+    bool
+    mask_true(Index i) const
+    {
+        if (format_ == VectorFormat::kDense) {
+            return dense_present_[i] != 0 && dense_vals_[i] != T{0};
+        }
+        for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
+            if (sparse_idx_[k] == i) {
+                return sparse_vals_[k] != T{0};
+            }
+        }
+        return false;
+    }
+
+    /// Convert to dense storage, filling implicit slots with @p fill
+    /// (values only readable where the presence bit is set).
+    void
+    densify(T fill = T{})
+    {
+        if (format_ == VectorFormat::kDense) {
+            return;
+        }
+        TrackedVector<T> vals(size_, fill);
+        TrackedVector<uint8_t> present(size_, uint8_t{0});
+        Nnz count = 0;
+        for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
+            const Index i = sparse_idx_[k];
+            if (present[i] == 0) {
+                ++count;
+            }
+            present[i] = 1;
+            vals[i] = sparse_vals_[k];
+        }
+        metrics::bump(metrics::kBytesMaterialized,
+                      size_ * (sizeof(T) + 1));
+        dense_vals_ = std::move(vals);
+        dense_present_ = std::move(present);
+        dense_nvals_ = count;
+        sparse_idx_.reset();
+        sparse_vals_.reset();
+        format_ = VectorFormat::kDense;
+        sorted_ = true;
+    }
+
+    /// Convert to sparse storage (sorted).
+    void
+    sparsify()
+    {
+        if (format_ == VectorFormat::kSparse) {
+            sort_entries();
+            return;
+        }
+        TrackedVector<Index> idx;
+        TrackedVector<T> vals;
+        idx.reserve(dense_nvals_);
+        vals.reserve(dense_nvals_);
+        for (Index i = 0; i < size_; ++i) {
+            if (dense_present_[i] != 0) {
+                idx.push_back(i);
+                vals.push_back(dense_vals_[i]);
+            }
+        }
+        metrics::bump(metrics::kBytesMaterialized,
+                      idx.size() * (sizeof(Index) + sizeof(T)));
+        sparse_idx_ = std::move(idx);
+        sparse_vals_ = std::move(vals);
+        dense_vals_.reset();
+        dense_present_.reset();
+        dense_nvals_ = 0;
+        format_ = VectorFormat::kSparse;
+        sorted_ = true;
+    }
+
+    /// Make every slot explicit with value @p value (dense).
+    void
+    fill(T value)
+    {
+        format_ = VectorFormat::kDense;
+        sorted_ = true;
+        dense_vals_.assign(size_, value);
+        dense_present_.assign(size_, uint8_t{1});
+        dense_nvals_ = size_;
+        sparse_idx_.reset();
+        sparse_vals_.reset();
+    }
+
+    /// Replace contents from index/value arrays (sparse build).
+    void
+    build(TrackedVector<Index> indices, TrackedVector<T> values,
+          bool indices_sorted)
+    {
+        GAS_CHECK(indices.size() == values.size(),
+                  "build arrays size mismatch");
+        clear();
+        sparse_idx_ = std::move(indices);
+        sparse_vals_ = std::move(values);
+        sorted_ = indices_sorted;
+        format_ = VectorFormat::kSparse;
+    }
+
+    /// Sort sparse entries by index (no-op when dense or sorted).
+    void
+    sort_entries()
+    {
+        if (format_ == VectorFormat::kDense || sorted_) {
+            return;
+        }
+        std::vector<std::pair<Index, T>> pairs;
+        pairs.reserve(sparse_idx_.size());
+        for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
+            pairs.emplace_back(sparse_idx_[k], sparse_vals_[k]);
+        }
+        std::sort(pairs.begin(), pairs.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+            sparse_idx_[k] = pairs[k].first;
+            sparse_vals_[k] = pairs[k].second;
+        }
+        sorted_ = true;
+    }
+
+    /// Apply fn(index, value) to every explicit entry sequentially.
+    template <typename Fn>
+    void
+    for_entries(Fn&& fn) const
+    {
+        if (format_ == VectorFormat::kDense) {
+            for (Index i = 0; i < size_; ++i) {
+                if (dense_present_[i] != 0) {
+                    fn(i, dense_vals_[i]);
+                }
+            }
+        } else {
+            for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
+                fn(sparse_idx_[k], sparse_vals_[k]);
+            }
+        }
+    }
+
+    /// Extract (index, value) tuples sorted by index.
+    std::vector<std::pair<Index, T>>
+    extract_tuples() const
+    {
+        std::vector<std::pair<Index, T>> tuples;
+        tuples.reserve(nvals());
+        for_entries([&](Index i, T v) { tuples.emplace_back(i, v); });
+        std::sort(tuples.begin(), tuples.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+        return tuples;
+    }
+
+    // Raw storage access for kernels (ops_*.h). Prefer the high-level
+    // accessors elsewhere.
+    TrackedVector<T>& dense_values() { return dense_vals_; }
+    const TrackedVector<T>& dense_values() const { return dense_vals_; }
+    TrackedVector<uint8_t>& dense_presence() { return dense_present_; }
+    const TrackedVector<uint8_t>& dense_presence() const
+    {
+        return dense_present_;
+    }
+    TrackedVector<Index>& sparse_indices() { return sparse_idx_; }
+    const TrackedVector<Index>& sparse_indices() const
+    {
+        return sparse_idx_;
+    }
+    TrackedVector<T>& sparse_values() { return sparse_vals_; }
+    const TrackedVector<T>& sparse_values() const { return sparse_vals_; }
+
+    /// Recompute the dense entry count after kernels mutate presence
+    /// bits directly.
+    void set_dense_nvals(Nnz count) { dense_nvals_ = count; }
+
+    /// Mark sparse storage sorted/unsorted after direct kernel writes.
+    void set_sorted(bool sorted) { sorted_ = sorted; }
+
+    /// Switch the tag after kernels fill dense or sparse arrays
+    /// directly; arrays must already be consistent with the format.
+    void set_format(VectorFormat format) { format_ = format; }
+
+  private:
+    Index size_{0};
+    VectorFormat format_{VectorFormat::kSparse};
+    bool sorted_{true};
+
+    TrackedVector<T> dense_vals_;
+    TrackedVector<uint8_t> dense_present_;
+    Nnz dense_nvals_{0};
+
+    TrackedVector<Index> sparse_idx_;
+    TrackedVector<T> sparse_vals_;
+};
+
+} // namespace gas::grb

@@ -1,0 +1,141 @@
+#include "metrics/counters.h"
+
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace gas::metrics {
+
+namespace {
+
+struct ThreadBlock
+{
+    std::array<uint64_t, kNumCounters> values{};
+};
+
+/// Registry of live per-thread blocks plus totals from exited threads.
+struct Registry
+{
+    std::mutex lock;
+    std::vector<ThreadBlock*> blocks;
+    std::array<uint64_t, kNumCounters> retired{};
+
+    static Registry&
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+};
+
+/// Registers the thread's block on first use, retires it at thread exit.
+struct ThreadHandle
+{
+    ThreadBlock block;
+
+    ThreadHandle()
+    {
+        Registry& registry = Registry::instance();
+        std::lock_guard guard(registry.lock);
+        registry.blocks.push_back(&block);
+    }
+
+    ~ThreadHandle()
+    {
+        Registry& registry = Registry::instance();
+        std::lock_guard guard(registry.lock);
+        for (unsigned i = 0; i < kNumCounters; ++i) {
+            registry.retired[i] += block.values[i];
+        }
+        std::erase(registry.blocks, &block);
+    }
+};
+
+ThreadBlock&
+local_block()
+{
+    thread_local ThreadHandle handle;
+    return handle.block;
+}
+
+} // namespace
+
+const char*
+counter_name(CounterId id)
+{
+    switch (id) {
+      case kWorkItems: return "work_items";
+      case kEdgeVisits: return "edge_visits";
+      case kLabelReads: return "label_reads";
+      case kLabelWrites: return "label_writes";
+      case kBytesMaterialized: return "bytes_materialized";
+      case kPasses: return "passes";
+      case kRounds: return "rounds";
+      default: return "unknown";
+    }
+}
+
+Snapshot
+Snapshot::since(const Snapshot& earlier) const
+{
+    Snapshot delta;
+    for (unsigned i = 0; i < kNumCounters; ++i) {
+        delta.values[i] = values[i] >= earlier.values[i]
+            ? values[i] - earlier.values[i]
+            : 0;
+    }
+    return delta;
+}
+
+uint64_t
+Snapshot::memory_accesses() const
+{
+    return values[kLabelReads] + values[kLabelWrites];
+}
+
+std::string
+Snapshot::to_string() const
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < kNumCounters; ++i) {
+        if (i != 0) {
+            os << ' ';
+        }
+        os << counter_name(static_cast<CounterId>(i)) << '=' << values[i];
+    }
+    return os.str();
+}
+
+void
+bump(CounterId id, uint64_t amount)
+{
+    local_block().values[id] += amount;
+}
+
+Snapshot
+read()
+{
+    Registry& registry = Registry::instance();
+    std::lock_guard guard(registry.lock);
+    Snapshot total;
+    total.values = registry.retired;
+    for (const ThreadBlock* block : registry.blocks) {
+        for (unsigned i = 0; i < kNumCounters; ++i) {
+            total.values[i] += block->values[i];
+        }
+    }
+    return total;
+}
+
+void
+reset()
+{
+    Registry& registry = Registry::instance();
+    std::lock_guard guard(registry.lock);
+    registry.retired.fill(0);
+    for (ThreadBlock* block : registry.blocks) {
+        block->values.fill(0);
+    }
+}
+
+} // namespace gas::metrics

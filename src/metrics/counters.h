@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Software performance counters.
+ *
+ * The paper collects hardware events (instruction count, L1/L2/L3/DRAM
+ * accesses) with Intel CapeScripts and reports only *ratios* between
+ * systems (Tables IV and V). Hardware counters are unavailable here, so
+ * this module counts the algorithmic events that cause those hardware
+ * events:
+ *
+ *  - kWorkItems          operator applications / scalar semiring ops
+ *                        (proxy for dynamic instruction count)
+ *  - kEdgeVisits         edges touched by a kernel
+ *  - kLabelReads/Writes  vertex-label or vector-element accesses
+ *                        (proxy for L1 traffic)
+ *  - kBytesMaterialized  bytes allocated for intermediate matrices,
+ *                        vectors, and accumulators (proxy for the extra
+ *                        DRAM traffic caused by materialization)
+ *  - kPasses             full passes over a vertex- or edge-sized
+ *                        structure (each pass streams the structure
+ *                        through the cache hierarchy, so passes x size is
+ *                        a proxy for DRAM accesses)
+ *  - kRounds             bulk-synchronous rounds executed
+ *
+ * Counters are per-thread (plain non-atomic increments) and aggregated
+ * on demand, so instrumentation stays cheap enough to leave enabled in
+ * the hot loops of every kernel.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gas::metrics {
+
+/// Identifiers for the tracked event classes.
+enum CounterId : unsigned {
+    kWorkItems = 0,
+    kEdgeVisits,
+    kLabelReads,
+    kLabelWrites,
+    kBytesMaterialized,
+    kPasses,
+    kRounds,
+    kNumCounters,
+};
+
+/// Human-readable name of a counter.
+const char* counter_name(CounterId id);
+
+/// A full set of counter values; also the aggregation result type.
+struct Snapshot
+{
+    std::array<uint64_t, kNumCounters> values{};
+
+    uint64_t operator[](CounterId id) const { return values[id]; }
+
+    /// Element-wise difference (this - earlier), saturating at zero.
+    Snapshot since(const Snapshot& earlier) const;
+
+    /// Sum of the label read and write counters (memory-access proxy).
+    uint64_t memory_accesses() const;
+
+    /// Render as "name=value name=value ..." for logs and tests.
+    std::string to_string() const;
+};
+
+/// Bump a counter on the calling thread by @p amount.
+void bump(CounterId id, uint64_t amount = 1);
+
+/// Aggregate all threads' counters (including exited threads).
+Snapshot read();
+
+/// Zero every thread's counters. Must not race with worker activity.
+void reset();
+
+/// RAII scope measuring the counter delta across a region.
+class Interval
+{
+  public:
+    Interval() : start_(read()) {}
+
+    /// Events observed since construction.
+    Snapshot delta() const { return read().since(start_); }
+
+  private:
+    Snapshot start_;
+};
+
+} // namespace gas::metrics

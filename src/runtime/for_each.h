@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * Asynchronous data-driven executor (the Galois for_each analog).
+ *
+ * Threads process items from per-thread deques; an operator may push new
+ * work, which goes to the pushing thread's deque. Idle threads steal from
+ * victims. There is no notion of rounds: an item pushed by one thread can
+ * be processed by another thread while the rest of the worklist is still
+ * draining — this is the "asynchronous execution" the paper credits for
+ * the large sssp and cc wins of the graph API.
+ *
+ * Termination uses a global count of outstanding items: an item is
+ * counted when pushed and uncounted after its operator application (and
+ * after any pushes that application performed), so a zero count means no
+ * work exists or can appear.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "support/check.h"
+
+namespace gas::rt {
+
+namespace detail {
+
+/// A mutex-protected deque: owner pops from the back, thieves steal from
+/// the front. The mutex is uncontended in the common (no-steal) case.
+template <typename T>
+class WorkQueue
+{
+  public:
+    void
+    push(const T& item)
+    {
+        std::lock_guard guard(lock_);
+        items_.push_back(item);
+    }
+
+    bool
+    pop(T& out)
+    {
+        std::lock_guard guard(lock_);
+        if (items_.empty()) {
+            return false;
+        }
+        out = items_.back();
+        items_.pop_back();
+        return true;
+    }
+
+    bool
+    steal(T& out)
+    {
+        std::lock_guard guard(lock_);
+        if (items_.empty()) {
+            return false;
+        }
+        out = items_.front();
+        items_.pop_front();
+        return true;
+    }
+
+  private:
+    std::mutex lock_;
+    std::deque<T> items_;
+};
+
+} // namespace detail
+
+/**
+ * Handle passed to a for_each operator for pushing follow-up work.
+ */
+template <typename T>
+class UserContext
+{
+  public:
+    UserContext(detail::WorkQueue<T>& queue, std::atomic<std::size_t>& pending)
+        : queue_(queue), pending_(pending)
+    {
+    }
+
+    /// Add a new active item to the worklist.
+    void
+    push(const T& item)
+    {
+        pending_.fetch_add(1, std::memory_order_relaxed);
+        queue_.push(item);
+    }
+
+  private:
+    detail::WorkQueue<T>& queue_;
+    std::atomic<std::size_t>& pending_;
+};
+
+/**
+ * Process @p initial and all transitively pushed items with @p fn.
+ *
+ * @param initial any container of T iterable with a range-for.
+ * @param fn      operator: fn(const T& item, UserContext<T>& ctx).
+ */
+template <typename T, typename Container, typename Fn>
+void
+for_each(const Container& initial, Fn&& fn)
+{
+    ThreadPool& pool = ThreadPool::get();
+    const unsigned threads = pool.num_threads();
+
+    std::vector<detail::WorkQueue<T>> queues(threads);
+    std::atomic<std::size_t> pending{0};
+
+    // Seed the queues round-robin so all threads start with work.
+    {
+        std::size_t next = 0;
+        for (const T& item : initial) {
+            pending.fetch_add(1, std::memory_order_relaxed);
+            queues[next % threads].push(item);
+            ++next;
+        }
+    }
+    if (pending.load(std::memory_order_relaxed) == 0) {
+        return;
+    }
+
+    pool.run([&](unsigned tid, unsigned total) {
+        detail::WorkQueue<T>& mine = queues[tid];
+        UserContext<T> ctx(mine, pending);
+        unsigned spin = 0;
+        while (true) {
+            T item;
+            bool found = mine.pop(item);
+            if (!found) {
+                // Steal sweep over all other queues.
+                for (unsigned step = 1; step < total && !found; ++step) {
+                    found = queues[(tid + step) % total].steal(item);
+                }
+            }
+            if (found) {
+                spin = 0;
+                fn(item, ctx);
+                pending.fetch_sub(1, std::memory_order_acq_rel);
+                continue;
+            }
+            if (pending.load(std::memory_order_acquire) == 0) {
+                return;
+            }
+            if (++spin > 64) {
+                std::this_thread::yield();
+            }
+        }
+    });
+
+    GAS_CHECK(pending.load() == 0, "for_each terminated with pending work");
+}
+
+} // namespace gas::rt

@@ -1,0 +1,161 @@
+#pragma once
+
+/**
+ * @file
+ * Bulk parallel loop constructs (the Galois do_all / on_each analogs).
+ *
+ * Two scheduling policies are provided because the study's two matrix
+ * backends need to model different runtimes:
+ *
+ *  - kDynamic: a shared atomic cursor hands out fixed-size chunks, so
+ *    threads self-balance (Galois-style; used by the Parallel backend and
+ *    all Lonestar kernels).
+ *  - kStatic: the index space is split into one contiguous block per
+ *    thread up front (OpenMP-static-style; used by the Reference backend
+ *    standing in for SuiteSparse).
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/thread_pool.h"
+
+namespace gas::rt {
+
+/// Scheduling policy for do_all.
+enum class Schedule {
+    kDynamic,
+    kStatic,
+};
+
+/// Tuning knobs for do_all.
+struct LoopOptions
+{
+    Schedule schedule{Schedule::kDynamic};
+    /// Elements per chunk under dynamic scheduling; 0 picks a default.
+    std::size_t chunk_size{0};
+};
+
+/// Half-open contiguous index range.
+struct Range
+{
+    std::size_t begin;
+    std::size_t end;
+
+    std::size_t size() const { return end - begin; }
+};
+
+namespace detail {
+
+inline std::size_t
+default_chunk(std::size_t total, unsigned threads)
+{
+    // Aim for ~32 chunks per thread so stealing has slack, but keep
+    // chunks large enough to amortize the shared-cursor update.
+    const std::size_t target = total / (static_cast<std::size_t>(threads) * 32 + 1);
+    if (target < 64) {
+        return 64;
+    }
+    if (target > 4096) {
+        return 4096;
+    }
+    return target;
+}
+
+} // namespace detail
+
+/**
+ * Run @p fn once per thread: fn(tid, num_threads).
+ */
+template <typename Fn>
+void
+on_each(Fn&& fn)
+{
+    ThreadPool::get().run(
+        [&](unsigned tid, unsigned total) { fn(tid, total); });
+}
+
+/**
+ * Apply @p fn to every block of a [0, n) index space in parallel.
+ * fn receives a Range; callers iterate the block themselves, which keeps
+ * per-element overhead out of the runtime.
+ */
+template <typename Fn>
+void
+do_all_blocked(std::size_t n, Fn&& fn, LoopOptions options = {})
+{
+    if (n == 0) {
+        return;
+    }
+    ThreadPool& pool = ThreadPool::get();
+    const unsigned threads = pool.num_threads();
+
+    if (threads == 1) {
+        fn(Range{0, n});
+        return;
+    }
+
+    if (options.schedule == Schedule::kStatic) {
+        pool.run([&](unsigned tid, unsigned total) {
+            const std::size_t per = (n + total - 1) / total;
+            const std::size_t begin = std::min(n, per * tid);
+            const std::size_t end = std::min(n, begin + per);
+            if (begin < end) {
+                fn(Range{begin, end});
+            }
+        });
+        return;
+    }
+
+    const std::size_t chunk = options.chunk_size != 0
+        ? options.chunk_size
+        : detail::default_chunk(n, threads);
+    std::atomic<std::size_t> cursor{0};
+    pool.run([&](unsigned, unsigned) {
+        while (true) {
+            const std::size_t begin =
+                cursor.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= n) {
+                return;
+            }
+            fn(Range{begin, std::min(n, begin + chunk)});
+        }
+    });
+}
+
+/**
+ * Apply @p fn to every index in [0, n) in parallel.
+ */
+template <typename Fn>
+void
+do_all(std::size_t n, Fn&& fn, LoopOptions options = {})
+{
+    do_all_blocked(
+        n,
+        [&](Range range) {
+            for (std::size_t i = range.begin; i < range.end; ++i) {
+                fn(i);
+            }
+        },
+        options);
+}
+
+/**
+ * Apply @p fn to every element of a random-access container in parallel.
+ */
+template <typename Container, typename Fn>
+void
+do_all_items(Container& container, Fn&& fn, LoopOptions options = {})
+{
+    do_all_blocked(
+        container.size(),
+        [&](Range range) {
+            for (std::size_t i = range.begin; i < range.end; ++i) {
+                fn(container[i]);
+            }
+        },
+        options);
+}
+
+} // namespace gas::rt

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Cache-line-padded per-thread storage.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "support/check.h"
+
+namespace gas::rt {
+
+/// Typical cache-line size used to pad per-thread slots.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * One value of type T per pool thread, padded to avoid false sharing.
+ *
+ * The container is sized for the pool's thread count at construction.
+ * Resizing the pool invalidates existing PerThread instances; they are
+ * intended to be short-lived (scoped to one kernel invocation) or
+ * constructed after the final set_num_threads() call.
+ */
+template <typename T>
+class PerThread
+{
+  public:
+    /// Construct one default-initialized slot per thread.
+    PerThread() : PerThread(T{}) {}
+
+    /// Construct one copy of @p initial per thread.
+    explicit PerThread(const T& initial)
+        : slots_(ThreadPool::get().num_threads(), Slot{initial})
+    {
+    }
+
+    /// The calling thread's slot.
+    T& local() { return slots_[thread_id()].value; }
+
+    /// Value for an explicit thread id (for post-loop aggregation).
+    T& at(unsigned tid)
+    {
+        GAS_CHECK(tid < slots_.size(), "thread id out of range");
+        return slots_[tid].value;
+    }
+
+    const T& at(unsigned tid) const
+    {
+        GAS_CHECK(tid < slots_.size(), "thread id out of range");
+        return slots_[tid].value;
+    }
+
+    /// Number of slots (the pool size at construction).
+    unsigned size() const { return static_cast<unsigned>(slots_.size()); }
+
+    /// Fold all slots with a binary functor, starting from @p init.
+    template <typename U, typename Merge>
+    U
+    reduce(U init, Merge&& merge) const
+    {
+        U accum = init;
+        for (const Slot& slot : slots_) {
+            accum = merge(accum, slot.value);
+        }
+        return accum;
+    }
+
+  private:
+    struct alignas(kCacheLineBytes) Slot
+    {
+        T value;
+    };
+
+    std::vector<Slot> slots_;
+};
+
+} // namespace gas::rt

@@ -1,0 +1,127 @@
+#pragma once
+
+/**
+ * @file
+ * Parallel reduction accumulators (the Galois GAccumulator analogs).
+ *
+ * Each thread updates a private padded slot; the final value is folded
+ * on demand. Used by kernels for triangle counts, frontier sizes,
+ * convergence flags, and max-degree style statistics.
+ */
+
+#include <algorithm>
+#include <limits>
+
+#include "runtime/per_thread.h"
+
+namespace gas::rt {
+
+/// Generic reducer: per-thread partial values merged by @p Merge.
+template <typename T, typename Merge>
+class Reducer
+{
+  public:
+    /// @param identity the merge identity (also each slot's start value).
+    explicit Reducer(T identity, Merge merge = Merge{})
+        : identity_(identity), merge_(merge), slots_(identity)
+    {
+    }
+
+    /// Fold @p value into the calling thread's partial result.
+    void
+    update(const T& value)
+    {
+        T& mine = slots_.local();
+        mine = merge_(mine, value);
+    }
+
+    /// Combined value across all threads.
+    T
+    reduce() const
+    {
+        return slots_.reduce(identity_, merge_);
+    }
+
+    /// Reset all slots to the identity. Call only outside parallel code.
+    void
+    reset()
+    {
+        for (unsigned tid = 0; tid < slots_.size(); ++tid) {
+            slots_.at(tid) = identity_;
+        }
+    }
+
+  private:
+    T identity_;
+    Merge merge_;
+    mutable PerThread<T> slots_;
+};
+
+namespace detail {
+
+struct PlusMerge
+{
+    template <typename T>
+    T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+struct MaxMerge
+{
+    template <typename T>
+    T operator()(const T& a, const T& b) const { return std::max(a, b); }
+};
+
+struct MinMerge
+{
+    template <typename T>
+    T operator()(const T& a, const T& b) const { return std::min(a, b); }
+};
+
+struct OrMerge
+{
+    bool operator()(bool a, bool b) const { return a || b; }
+};
+
+} // namespace detail
+
+/// Sum accumulator.
+template <typename T>
+class Accumulator : public Reducer<T, detail::PlusMerge>
+{
+  public:
+    Accumulator() : Reducer<T, detail::PlusMerge>(T{}) {}
+
+    /// Convenience: add @p value (same as update).
+    void operator+=(const T& value) { this->update(value); }
+};
+
+/// Maximum accumulator.
+template <typename T>
+class ReduceMax : public Reducer<T, detail::MaxMerge>
+{
+  public:
+    ReduceMax()
+        : Reducer<T, detail::MaxMerge>(std::numeric_limits<T>::lowest())
+    {
+    }
+};
+
+/// Minimum accumulator.
+template <typename T>
+class ReduceMin : public Reducer<T, detail::MinMerge>
+{
+  public:
+    ReduceMin()
+        : Reducer<T, detail::MinMerge>(std::numeric_limits<T>::max())
+    {
+    }
+};
+
+/// Logical-or accumulator (e.g. "did any thread make progress?").
+class ReduceOr : public Reducer<bool, detail::OrMerge>
+{
+  public:
+    ReduceOr() : Reducer<bool, detail::OrMerge>(false) {}
+};
+
+} // namespace gas::rt

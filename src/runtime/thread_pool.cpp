@@ -1,0 +1,163 @@
+#include "runtime/thread_pool.h"
+
+#include "support/check.h"
+
+namespace gas::rt {
+
+namespace {
+
+thread_local unsigned current_thread_id = 0;
+thread_local bool inside_region = false;
+
+} // namespace
+
+ThreadPool&
+ThreadPool::get()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads_ = hw == 0 ? 1 : hw;
+    start_workers(num_threads_ - 1);
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_workers();
+}
+
+void
+ThreadPool::set_num_threads(unsigned total)
+{
+    GAS_CHECK(!inside_region,
+              "set_num_threads called inside a parallel region");
+    if (total == 0) {
+        total = 1;
+    }
+    if (total == num_threads_) {
+        return;
+    }
+    stop_workers();
+    num_threads_ = total;
+    start_workers(total - 1);
+}
+
+void
+ThreadPool::start_workers(unsigned worker_count)
+{
+    shutting_down_ = false;
+    // Capture the epoch before any worker starts: a worker must treat
+    // every later epoch as new work, but never re-run epochs from
+    // before its creation (the pool is quiescent here, so epoch_ is
+    // stable).
+    const uint64_t birth_epoch = epoch_;
+    workers_.reserve(worker_count);
+    for (unsigned i = 0; i < worker_count; ++i) {
+        const unsigned tid = i + 1;
+        workers_.emplace_back(
+            [this, tid, birth_epoch] { worker_loop(tid, birth_epoch); });
+    }
+}
+
+void
+ThreadPool::stop_workers()
+{
+    {
+        std::lock_guard guard(lock_);
+        shutting_down_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+    workers_.clear();
+}
+
+void
+ThreadPool::worker_loop(unsigned tid, uint64_t seen_epoch)
+{
+    while (true) {
+        const Task* task = nullptr;
+        {
+            std::unique_lock guard(lock_);
+            work_ready_.wait(guard, [&] {
+                return shutting_down_ || epoch_ != seen_epoch;
+            });
+            if (shutting_down_) {
+                return;
+            }
+            seen_epoch = epoch_;
+            task = active_task_;
+        }
+        current_thread_id = tid;
+        inside_region = true;
+        (*task)(tid, num_threads_);
+        inside_region = false;
+        {
+            std::lock_guard guard(lock_);
+            if (--workers_remaining_ == 0) {
+                work_done_.notify_one();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::run(const Task& task)
+{
+    if (inside_region) {
+        // Nested parallelism runs inline on the calling thread.
+        task(0, 1);
+        return;
+    }
+    {
+        std::lock_guard guard(lock_);
+        active_task_ = &task;
+        workers_remaining_ = static_cast<unsigned>(workers_.size());
+        ++epoch_;
+        in_parallel_region_ = true;
+    }
+    work_ready_.notify_all();
+
+    current_thread_id = 0;
+    inside_region = true;
+    task(0, num_threads_);
+    inside_region = false;
+
+    {
+        std::unique_lock guard(lock_);
+        work_done_.wait(guard, [&] { return workers_remaining_ == 0; });
+        active_task_ = nullptr;
+        in_parallel_region_ = false;
+    }
+}
+
+unsigned
+ThreadPool::this_thread_id()
+{
+    return current_thread_id;
+}
+
+void
+set_num_threads(unsigned total)
+{
+    ThreadPool::get().set_num_threads(total);
+}
+
+unsigned
+num_threads()
+{
+    return ThreadPool::get().num_threads();
+}
+
+unsigned
+thread_id()
+{
+    return ThreadPool::this_thread_id();
+}
+
+} // namespace gas::rt

@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * A persistent pool of worker threads.
+ *
+ * This is the foundation of the Galois-style runtime: the pool is created
+ * once, and every parallel construct (do_all, on_each, for_each, the OBIM
+ * executor) dispatches work to the same threads. The calling thread
+ * participates as thread 0, so a pool of size one runs entirely inline.
+ */
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gas::rt {
+
+/**
+ * Singleton worker-thread pool.
+ *
+ * run() executes a function once per thread and blocks until every
+ * thread has finished — the building block for all higher-level loops.
+ * Nested run() calls from inside a parallel region execute inline on the
+ * calling thread only, which keeps composed parallel constructs correct
+ * (if not faster).
+ */
+class ThreadPool
+{
+  public:
+    /// Function executed by each thread: fn(thread_id, num_threads).
+    using Task = std::function<void(unsigned, unsigned)>;
+
+    /// The process-wide pool.
+    static ThreadPool& get();
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Resize the pool. Must be called from outside any parallel region.
+     * @param total desired number of threads including the caller
+     *              (clamped to at least 1).
+     */
+    void set_num_threads(unsigned total);
+
+    /// Number of threads (including the calling thread).
+    unsigned num_threads() const { return num_threads_; }
+
+    /// Execute @p task on every thread and wait for completion.
+    void run(const Task& task);
+
+    /// Thread id of the calling thread within the active parallel region
+    /// (0 when called outside one).
+    static unsigned this_thread_id();
+
+  private:
+    ThreadPool();
+
+    void worker_loop(unsigned tid, uint64_t seen_epoch);
+    void stop_workers();
+    void start_workers(unsigned worker_count);
+
+    std::vector<std::thread> workers_;
+    unsigned num_threads_{1};
+
+    std::mutex lock_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    const Task* active_task_{nullptr};
+    uint64_t epoch_{0};
+    unsigned workers_remaining_{0};
+    bool shutting_down_{false};
+    bool in_parallel_region_{false};
+};
+
+/// Set the number of threads used by all parallel constructs.
+void set_num_threads(unsigned total);
+
+/// Number of threads used by all parallel constructs.
+unsigned num_threads();
+
+/// Thread id of the caller inside a parallel region (0 outside).
+unsigned thread_id();
+
+} // namespace gas::rt

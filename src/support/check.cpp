@@ -1,0 +1,22 @@
+#include "support/check.h"
+
+#include <cstdio>
+
+namespace gas {
+
+void
+fatal(const std::string& message)
+{
+    std::fprintf(stderr, "gas: fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string& message, const char* file, int line)
+{
+    std::fprintf(stderr, "gas: panic at %s:%d: %s\n", file, line,
+                 message.c_str());
+    std::abort();
+}
+
+} // namespace gas

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Error-handling primitives, modelled on gem5's panic()/fatal() split.
+ *
+ * gas_fatal() reports a user error (bad arguments, impossible
+ * configuration) and exits; GAS_CHECK() guards internal invariants and
+ * aborts so a debugger or core dump can capture the state.
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gas {
+
+/// Print a formatted fatal-error message to stderr and exit(1).
+[[noreturn]] void fatal(const std::string& message);
+
+/// Print an internal-invariant violation to stderr and abort().
+[[noreturn]] void panic(const std::string& message, const char* file,
+                        int line);
+
+namespace detail {
+
+/// Fold a list of stream-printable values into one string.
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace gas
+
+/// Abort with a message if an internal invariant does not hold.
+#define GAS_CHECK(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::gas::panic(::gas::detail::concat("GAS_CHECK failed: " #cond   \
+                                               " ", ##__VA_ARGS__),         \
+                         __FILE__, __LINE__);                                \
+        }                                                                    \
+    } while (0)
+
+/// Exit with a user-facing error message if a usage condition fails.
+#define GAS_REQUIRE(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::gas::fatal(::gas::detail::concat(__VA_ARGS__));                \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,65 @@
+#include "support/format.h"
+
+#include <array>
+#include <cstdio>
+
+namespace gas {
+
+std::string
+human_bytes(std::size_t bytes)
+{
+    static const std::array<const char*, 5> units = {"B", "KB", "MB", "GB",
+                                                     "TB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < units.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), unit == 0 ? "%.0f %s" : "%.2f %s",
+                  value, units[unit]);
+    return buffer;
+}
+
+std::string
+human_count(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const std::size_t first_group = digits.size() % 3 == 0
+        ? 3
+        : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+            out.push_back(',');
+        }
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+human_seconds(double seconds)
+{
+    char buffer[48];
+    if (seconds < 0.01) {
+        std::snprintf(buffer, sizeof(buffer), "%.4f s", seconds);
+    } else if (seconds < 10.0) {
+        std::snprintf(buffer, sizeof(buffer), "%.3f s", seconds);
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+    }
+    return buffer;
+}
+
+std::string
+fixed(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+} // namespace gas

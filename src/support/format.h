@@ -1,0 +1,26 @@
+#pragma once
+
+/**
+ * @file
+ * Small string-formatting helpers shared by the harness and examples.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gas {
+
+/// Format a byte count with a binary-unit suffix ("1.5 GB" style).
+std::string human_bytes(std::size_t bytes);
+
+/// Format a count with thousands grouping ("1,468,364,884").
+std::string human_count(uint64_t value);
+
+/// Format seconds with a precision appropriate for its magnitude.
+std::string human_seconds(double seconds);
+
+/// Format a double with @p precision digits after the decimal point.
+std::string fixed(double value, int precision);
+
+} // namespace gas

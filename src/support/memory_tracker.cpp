@@ -1,0 +1,73 @@
+#include "support/memory_tracker.h"
+
+namespace gas::memory {
+
+namespace {
+
+std::atomic<std::size_t> live_bytes{0};
+std::atomic<std::size_t> peak{0};
+
+void
+raise_peak(std::size_t candidate)
+{
+    std::size_t observed = peak.load(std::memory_order_relaxed);
+    while (observed < candidate &&
+           !peak.compare_exchange_weak(observed, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+note_alloc(std::size_t bytes)
+{
+    const std::size_t now =
+        live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    raise_peak(now);
+}
+
+void
+note_free(std::size_t bytes)
+{
+    live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::size_t
+current_bytes()
+{
+    return live_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t
+peak_bytes()
+{
+    return peak.load(std::memory_order_relaxed);
+}
+
+void
+reset_peak()
+{
+    peak.store(live_bytes.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+PeakScope::PeakScope() : baseline_(current_bytes())
+{
+    reset_peak();
+}
+
+std::size_t
+PeakScope::peak_above_baseline() const
+{
+    const std::size_t observed = peak_bytes();
+    return observed > baseline_ ? observed - baseline_ : 0;
+}
+
+std::size_t
+PeakScope::peak_total() const
+{
+    return peak_bytes();
+}
+
+} // namespace gas::memory

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Process-internal memory accounting.
+ *
+ * The paper's Table III reports maximum resident set size per system.
+ * Hardware RSS is not meaningful inside this reproduction's container, so
+ * large allocations made through the library (graphs, matrices, vectors,
+ * worklists, accumulators) are routed through this tracker and the peak
+ * of tracked bytes is reported instead. The tracker is cheap (two relaxed
+ * atomics) and can be scoped so each benchmark cell measures its own peak.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gas::memory {
+
+/// Record an allocation of @p bytes.
+void note_alloc(std::size_t bytes);
+
+/// Record a deallocation of @p bytes.
+void note_free(std::size_t bytes);
+
+/// Bytes currently live in tracked allocations.
+std::size_t current_bytes();
+
+/// High-water mark of tracked bytes since the last reset_peak().
+std::size_t peak_bytes();
+
+/// Reset the peak to the current live byte count.
+void reset_peak();
+
+/**
+ * RAII scope that measures the peak number of tracked bytes live during
+ * its lifetime, relative to the live bytes at construction.
+ */
+class PeakScope
+{
+  public:
+    PeakScope();
+
+    /// Peak bytes observed so far inside this scope (above the baseline).
+    std::size_t peak_above_baseline() const;
+
+    /// Total peak (baseline + growth) observed inside this scope.
+    std::size_t peak_total() const;
+
+  private:
+    std::size_t baseline_;
+};
+
+} // namespace gas::memory

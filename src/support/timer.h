@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Wall-clock timing utilities used by the experiment harness.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+namespace gas {
+
+/**
+ * A restartable wall-clock stopwatch.
+ *
+ * The timer accumulates elapsed time across start()/stop() pairs, which
+ * lets the harness exclude graph loading and other preprocessing the way
+ * the paper's reported runtimes do.
+ */
+class Timer
+{
+  public:
+    /// Start (or resume) the stopwatch.
+    void
+    start()
+    {
+        start_ = Clock::now();
+        running_ = true;
+    }
+
+    /// Stop the stopwatch and fold the elapsed interval into the total.
+    void
+    stop()
+    {
+        if (running_) {
+            accumulated_ += Clock::now() - start_;
+            running_ = false;
+        }
+    }
+
+    /// Discard all accumulated time.
+    void
+    reset()
+    {
+        accumulated_ = Duration::zero();
+        running_ = false;
+    }
+
+    /// Total accumulated time in seconds.
+    double
+    seconds() const
+    {
+        Duration total = accumulated_;
+        if (running_) {
+            total += Clock::now() - start_;
+        }
+        return std::chrono::duration<double>(total).count();
+    }
+
+    /// Total accumulated time in milliseconds.
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using Duration = Clock::duration;
+
+    Clock::time_point start_{};
+    Duration accumulated_{Duration::zero()};
+    bool running_{false};
+};
+
+/// RAII helper that measures the lifetime of a scope into a double.
+class ScopedTimer
+{
+  public:
+    /// @param out_seconds receives the scope's elapsed seconds on exit.
+    explicit ScopedTimer(double& out_seconds) : out_(out_seconds)
+    {
+        timer_.start();
+    }
+
+    ~ScopedTimer() { out_ = timer_.seconds(); }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    Timer timer_;
+    double& out_;
+};
+
+} // namespace gas

@@ -1,0 +1,210 @@
+#pragma once
+
+/**
+ * @file
+ * A std::vector wrapper whose capacity is reported to the memory tracker.
+ *
+ * Graphs, matrices, vectors, and worklists store their payloads in
+ * TrackedVector so the Table III memory experiment can observe each
+ * system's peak footprint without OS-level RSS sampling.
+ */
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/memory_tracker.h"
+
+namespace gas {
+
+template <typename T>
+class TrackedVector
+{
+  public:
+    using value_type = T;
+    using iterator = typename std::vector<T>::iterator;
+    using const_iterator = typename std::vector<T>::const_iterator;
+
+    TrackedVector() = default;
+
+    explicit TrackedVector(std::size_t count) : storage_(count)
+    {
+        note_current();
+    }
+
+    TrackedVector(std::size_t count, const T& value)
+        : storage_(count, value)
+    {
+        note_current();
+    }
+
+    TrackedVector(std::initializer_list<T> init) : storage_(init)
+    {
+        note_current();
+    }
+
+    TrackedVector(const TrackedVector& other) : storage_(other.storage_)
+    {
+        note_current();
+    }
+
+    TrackedVector(TrackedVector&& other) noexcept
+        : storage_(std::move(other.storage_)),
+          tracked_bytes_(other.tracked_bytes_)
+    {
+        other.tracked_bytes_ = 0;
+    }
+
+    TrackedVector&
+    operator=(const TrackedVector& other)
+    {
+        if (this != &other) {
+            storage_ = other.storage_;
+            note_current();
+        }
+        return *this;
+    }
+
+    TrackedVector&
+    operator=(TrackedVector&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            storage_ = std::move(other.storage_);
+            tracked_bytes_ = other.tracked_bytes_;
+            other.tracked_bytes_ = 0;
+        }
+        return *this;
+    }
+
+    ~TrackedVector() { release(); }
+
+    T& operator[](std::size_t i) { return storage_[i]; }
+    const T& operator[](std::size_t i) const { return storage_[i]; }
+
+    T* data() { return storage_.data(); }
+    const T* data() const { return storage_.data(); }
+
+    std::size_t size() const { return storage_.size(); }
+    std::size_t capacity() const { return storage_.capacity(); }
+    bool empty() const { return storage_.empty(); }
+
+    iterator begin() { return storage_.begin(); }
+    iterator end() { return storage_.end(); }
+    const_iterator begin() const { return storage_.begin(); }
+    const_iterator end() const { return storage_.end(); }
+
+    T& back() { return storage_.back(); }
+    const T& back() const { return storage_.back(); }
+    T& front() { return storage_.front(); }
+    const T& front() const { return storage_.front(); }
+
+    void
+    push_back(const T& value)
+    {
+        storage_.push_back(value);
+        note_current();
+    }
+
+    void
+    push_back(T&& value)
+    {
+        storage_.push_back(std::move(value));
+        note_current();
+    }
+
+    template <typename... Args>
+    T&
+    emplace_back(Args&&... args)
+    {
+        T& ref = storage_.emplace_back(std::forward<Args>(args)...);
+        note_current();
+        return ref;
+    }
+
+    void
+    pop_back()
+    {
+        storage_.pop_back();
+    }
+
+    void
+    reserve(std::size_t count)
+    {
+        storage_.reserve(count);
+        note_current();
+    }
+
+    void
+    resize(std::size_t count)
+    {
+        storage_.resize(count);
+        note_current();
+    }
+
+    void
+    resize(std::size_t count, const T& value)
+    {
+        storage_.resize(count, value);
+        note_current();
+    }
+
+    void
+    assign(std::size_t count, const T& value)
+    {
+        storage_.assign(count, value);
+        note_current();
+    }
+
+    /// Remove all elements but keep capacity (and its accounting).
+    void
+    clear()
+    {
+        storage_.clear();
+    }
+
+    /// Remove all elements and free the underlying storage.
+    void
+    reset()
+    {
+        std::vector<T>().swap(storage_);
+        note_current();
+    }
+
+    void
+    swap(TrackedVector& other) noexcept
+    {
+        storage_.swap(other.storage_);
+        std::swap(tracked_bytes_, other.tracked_bytes_);
+    }
+
+    /// Access the wrapped vector (no accounting adjustments allowed).
+    const std::vector<T>& raw() const { return storage_; }
+
+  private:
+    void
+    note_current()
+    {
+        const std::size_t now = storage_.capacity() * sizeof(T);
+        if (now > tracked_bytes_) {
+            memory::note_alloc(now - tracked_bytes_);
+        } else if (now < tracked_bytes_) {
+            memory::note_free(tracked_bytes_ - now);
+        }
+        tracked_bytes_ = now;
+    }
+
+    void
+    release()
+    {
+        if (tracked_bytes_ != 0) {
+            memory::note_free(tracked_bytes_);
+            tracked_bytes_ = 0;
+        }
+    }
+
+    std::vector<T> storage_;
+    std::size_t tracked_bytes_{0};
+};
+
+} // namespace gas

@@ -1,0 +1,383 @@
+#include "verify/reference.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "support/check.h"
+
+namespace gas::verify {
+
+using graph::EdgeIdx;
+using graph::Graph;
+using graph::Node;
+
+std::vector<uint32_t>
+bfs_levels(const Graph& graph, Node source)
+{
+    std::vector<uint32_t> level(graph.num_nodes(), kInfLevel);
+    std::queue<Node> frontier;
+    level[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const Node u = frontier.front();
+        frontier.pop();
+        for (const Node v : graph.out_neighbors(u)) {
+            if (level[v] == kInfLevel) {
+                level[v] = level[u] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<uint64_t>
+dijkstra(const Graph& graph, Node source)
+{
+    GAS_CHECK(graph.has_weights() || graph.num_edges() == 0,
+              "dijkstra needs edge weights");
+    std::vector<uint64_t> dist(graph.num_nodes(), kInfDistance);
+    using Entry = std::pair<uint64_t, Node>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d != dist[u]) {
+            continue; // stale entry
+        }
+        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
+            const Node v = graph.edge_dst(e);
+            const uint64_t candidate = d + graph.edge_weight(e);
+            if (candidate < dist[v]) {
+                dist[v] = candidate;
+                heap.push({candidate, v});
+            }
+        }
+    }
+    return dist;
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class DisjointSets
+{
+  public:
+    explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), Node{0});
+    }
+
+    Node
+    find(Node x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(Node a, Node b)
+    {
+        Node ra = find(a);
+        Node rb = find(b);
+        if (ra == rb) {
+            return;
+        }
+        if (size_[ra] < size_[rb]) {
+            std::swap(ra, rb);
+        }
+        parent_[rb] = ra;
+        size_[ra] += size_[rb];
+    }
+
+  private:
+    std::vector<Node> parent_;
+    std::vector<uint32_t> size_;
+};
+
+} // namespace
+
+std::vector<Node>
+connected_components(const Graph& graph)
+{
+    DisjointSets sets(graph.num_nodes());
+    for (Node u = 0; u < graph.num_nodes(); ++u) {
+        for (const Node v : graph.out_neighbors(u)) {
+            sets.unite(u, v); // direction ignored: weak components
+        }
+    }
+    std::vector<Node> labels(graph.num_nodes());
+    for (Node v = 0; v < graph.num_nodes(); ++v) {
+        labels[v] = sets.find(v);
+    }
+    return canonicalize_components(labels);
+}
+
+std::vector<Node>
+canonicalize_components(const std::vector<Node>& labels)
+{
+    // Map every label to the smallest vertex id carrying it.
+    std::vector<Node> representative(labels.size(), ~Node{0});
+    for (Node v = 0; v < labels.size(); ++v) {
+        Node& repr = representative[labels[v]];
+        repr = std::min(repr, v);
+    }
+    std::vector<Node> canonical(labels.size());
+    for (Node v = 0; v < labels.size(); ++v) {
+        canonical[v] = representative[labels[v]];
+    }
+    return canonical;
+}
+
+namespace {
+
+/// Sorted intersection size of two neighbor spans.
+uint64_t
+intersection_size(std::span<const Node> a, std::span<const Node> b)
+{
+    uint64_t count = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            ++count;
+            ++i;
+            ++j;
+        }
+    }
+    return count;
+}
+
+} // namespace
+
+uint64_t
+count_triangles(const Graph& graph)
+{
+    // Orient each undirected edge from lower to higher id and intersect
+    // forward adjacency lists. Counts each triangle exactly once.
+    const Node n = graph.num_nodes();
+    std::vector<std::vector<Node>> forward(n);
+    for (Node u = 0; u < n; ++u) {
+        for (const Node v : graph.out_neighbors(u)) {
+            if (u < v) {
+                forward[u].push_back(v);
+            }
+        }
+        std::sort(forward[u].begin(), forward[u].end());
+        forward[u].erase(
+            std::unique(forward[u].begin(), forward[u].end()),
+            forward[u].end());
+    }
+    uint64_t triangles = 0;
+    for (Node u = 0; u < n; ++u) {
+        for (const Node v : forward[u]) {
+            triangles += intersection_size(
+                std::span<const Node>(forward[u]),
+                std::span<const Node>(forward[v]));
+        }
+    }
+    return triangles;
+}
+
+uint64_t
+ktruss_edge_count(const Graph& graph, uint32_t k)
+{
+    GAS_CHECK(k >= 2, "k-truss requires k >= 2");
+    const Node n = graph.num_nodes();
+
+    // Undirected edge set as sorted adjacency vectors with alive flags.
+    std::vector<std::vector<Node>> adj(n);
+    for (Node u = 0; u < n; ++u) {
+        for (const Node v : graph.out_neighbors(u)) {
+            if (u != v) {
+                adj[u].push_back(v);
+            }
+        }
+        std::sort(adj[u].begin(), adj[u].end());
+        adj[u].erase(std::unique(adj[u].begin(), adj[u].end()),
+                     adj[u].end());
+    }
+
+    const uint32_t required = k - 2;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (Node u = 0; u < n; ++u) {
+            for (std::size_t i = 0; i < adj[u].size();) {
+                const Node v = adj[u][i];
+                if (u > v) {
+                    ++i;
+                    continue; // process each undirected edge once
+                }
+                const uint64_t support = intersection_size(
+                    std::span<const Node>(adj[u]),
+                    std::span<const Node>(adj[v]));
+                if (support < required) {
+                    adj[u].erase(adj[u].begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                    auto it = std::lower_bound(adj[v].begin(),
+                                               adj[v].end(), u);
+                    GAS_CHECK(it != adj[v].end() && *it == u,
+                              "edge set inconsistent");
+                    adj[v].erase(it);
+                    changed = true;
+                } else {
+                    ++i;
+                }
+            }
+        }
+    }
+
+    uint64_t directed_edges = 0;
+    for (Node u = 0; u < n; ++u) {
+        directed_edges += adj[u].size();
+    }
+    return directed_edges / 2;
+}
+
+std::vector<uint32_t>
+core_numbers(const Graph& graph)
+{
+    const Node n = graph.num_nodes();
+    std::vector<uint32_t> degree(n);
+    uint32_t max_degree = 0;
+    for (Node v = 0; v < n; ++v) {
+        degree[v] = static_cast<uint32_t>(graph.out_degree(v));
+        max_degree = std::max(max_degree, degree[v]);
+    }
+
+    // Bucket sort vertices by degree (Batagelj-Zaversnik).
+    std::vector<Node> bucket_start(max_degree + 2, 0);
+    for (Node v = 0; v < n; ++v) {
+        ++bucket_start[degree[v] + 1];
+    }
+    for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+        bucket_start[d] += bucket_start[d - 1];
+    }
+    std::vector<Node> order(n);
+    std::vector<Node> position(n);
+    {
+        std::vector<Node> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+        for (Node v = 0; v < n; ++v) {
+            position[v] = cursor[degree[v]];
+            order[position[v]] = v;
+            ++cursor[degree[v]];
+        }
+    }
+
+    std::vector<uint32_t> core(n);
+    for (Node i = 0; i < n; ++i) {
+        const Node v = order[i];
+        core[v] = degree[v];
+        for (const Node u : graph.out_neighbors(v)) {
+            if (degree[u] > degree[v]) {
+                // Move u one bucket down: swap it with the first vertex
+                // of its current bucket, then shrink the bucket.
+                const Node du = degree[u];
+                const Node pu = position[u];
+                const Node pw = bucket_start[du];
+                const Node w = order[pw];
+                if (u != w) {
+                    std::swap(order[pu], order[pw]);
+                    position[u] = pw;
+                    position[w] = pu;
+                }
+                ++bucket_start[du];
+                --degree[u];
+            }
+        }
+    }
+    return core;
+}
+
+std::vector<double>
+betweenness(const Graph& graph, const std::vector<Node>& sources)
+{
+    const Node n = graph.num_nodes();
+    std::vector<double> centrality(n, 0.0);
+    std::vector<double> sigma(n);
+    std::vector<double> delta(n);
+    std::vector<int64_t> depth(n);
+    std::vector<Node> stack;
+    stack.reserve(n);
+
+    for (const Node source : sources) {
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        std::fill(delta.begin(), delta.end(), 0.0);
+        std::fill(depth.begin(), depth.end(), int64_t{-1});
+        stack.clear();
+
+        // Forward BFS recording path counts and visitation order.
+        sigma[source] = 1.0;
+        depth[source] = 0;
+        std::queue<Node> frontier;
+        frontier.push(source);
+        while (!frontier.empty()) {
+            const Node u = frontier.front();
+            frontier.pop();
+            stack.push_back(u);
+            for (const Node v : graph.out_neighbors(u)) {
+                if (depth[v] < 0) {
+                    depth[v] = depth[u] + 1;
+                    frontier.push(v);
+                }
+                if (depth[v] == depth[u] + 1) {
+                    sigma[v] += sigma[u];
+                }
+            }
+        }
+
+        // Backward dependency accumulation (Brandes).
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            const Node w = *it;
+            for (const Node v : graph.out_neighbors(w)) {
+                if (depth[v] == depth[w] + 1) {
+                    delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v]);
+                }
+            }
+            if (w != source) {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    return centrality;
+}
+
+std::vector<double>
+pagerank(const Graph& graph, double damping, unsigned iterations)
+{
+    const Node n = graph.num_nodes();
+    GAS_CHECK(n > 0, "pagerank needs a non-empty graph");
+    std::vector<double> rank(n, 1.0 / n);
+    std::vector<double> next(n);
+    const double base = (1.0 - damping) / n;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        std::fill(next.begin(), next.end(), base);
+        for (Node u = 0; u < n; ++u) {
+            const EdgeIdx degree = graph.out_degree(u);
+            if (degree == 0) {
+                continue; // no dangling redistribution in this study
+            }
+            const double share = damping * rank[u] /
+                static_cast<double>(degree);
+            for (const Node v : graph.out_neighbors(u)) {
+                next[v] += share;
+            }
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+} // namespace gas::verify

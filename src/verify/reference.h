@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Serial reference implementations ("oracles") of the six workloads.
+ *
+ * These are textbook algorithms — BFS with a FIFO queue, Dijkstra with a
+ * binary heap, union-find for components, merge-intersection triangle
+ * counting, iterative peeling for k-truss, and power iteration for
+ * pagerank. They exist solely so tests and benchmarks can validate the
+ * parallel graph-API and matrix-API implementations against an
+ * independent implementation.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gas::verify {
+
+/// Level of unreachable vertices in bfs_levels().
+inline constexpr uint32_t kInfLevel = ~uint32_t{0};
+
+/// Distance of unreachable vertices in dijkstra().
+inline constexpr uint64_t kInfDistance = ~uint64_t{0};
+
+/// Hop counts from @p source (kInfLevel when unreachable).
+std::vector<uint32_t> bfs_levels(const graph::Graph& graph,
+                                 graph::Node source);
+
+/// Shortest weighted distances from @p source (kInfDistance when
+/// unreachable). @pre graph.has_weights().
+std::vector<uint64_t> dijkstra(const graph::Graph& graph,
+                               graph::Node source);
+
+/// Weakly-connected component labels; each label is the smallest vertex
+/// id in its component, so labels are canonical and directly comparable.
+std::vector<graph::Node> connected_components(const graph::Graph& graph);
+
+/// Number of undirected triangles. @pre graph is symmetric and simple.
+uint64_t count_triangles(const graph::Graph& graph);
+
+/// Number of undirected edges in the maximal k-truss.
+/// @pre graph is symmetric and simple.
+uint64_t ktruss_edge_count(const graph::Graph& graph, uint32_t k);
+
+/// Pagerank after @p iterations of synchronous power iteration with
+/// uniform initialization 1/|V| and damping @p damping (no dangling-mass
+/// redistribution, matching the study's pr semantics).
+std::vector<double> pagerank(const graph::Graph& graph, double damping,
+                             unsigned iterations);
+
+/// Canonicalize arbitrary component labels to smallest-member labels so
+/// two labelings can be compared for identical partitions.
+std::vector<graph::Node>
+canonicalize_components(const std::vector<graph::Node>& labels);
+
+/// Core number of every vertex (Batagelj-Zaversnik peeling).
+/// @pre graph is symmetric and simple.
+std::vector<uint32_t> core_numbers(const graph::Graph& graph);
+
+/// Betweenness-centrality contributions accumulated from the given
+/// source vertices (Brandes, unweighted, unnormalized). Each source
+/// contributes dependency scores to all vertices on shortest paths.
+std::vector<double> betweenness(const graph::Graph& graph,
+                                const std::vector<graph::Node>& sources);
+
+} // namespace gas::verify

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the study harness: suite construction, the cell runner
+ * (timing, verification, counters, memory), and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/runner.h"
+#include "core/suite.h"
+#include "core/table.h"
+#include "graph/builder.h"
+#include "runtime/thread_pool.h"
+
+namespace gas::core {
+namespace {
+
+constexpr double kTinyScale = 0.05;
+
+TEST(Suite, HasNinePaperGraphs)
+{
+    const auto names = suite_graph_names();
+    ASSERT_EQ(names.size(), 9u);
+    EXPECT_EQ(names.front(), "road-USA-W");
+    EXPECT_EQ(names.back(), "uk07");
+}
+
+TEST(Suite, GraphsAreWellFormed)
+{
+    for (const auto& name : suite_graph_names()) {
+        const auto input = build_suite_graph(name, kTinyScale);
+        EXPECT_GT(input.directed.num_nodes(), 0u) << name;
+        EXPECT_GT(input.directed.num_edges(), 0u) << name;
+        EXPECT_TRUE(input.directed.has_weights()) << name;
+        EXPECT_TRUE(graph::is_symmetric(input.symmetric)) << name;
+        EXPECT_TRUE(input.symmetric.adjacencies_sorted()) << name;
+        EXPECT_LT(input.source, input.directed.num_nodes()) << name;
+    }
+}
+
+TEST(Suite, RoadPolicyApplied)
+{
+    const auto road = build_suite_graph("road-USA", kTinyScale);
+    EXPECT_TRUE(road.is_road);
+    EXPECT_EQ(road.source, 0u);
+    EXPECT_EQ(road.ktruss_k, 4u);
+    const auto social = build_suite_graph("twitter40", kTinyScale);
+    EXPECT_FALSE(social.is_road);
+    EXPECT_EQ(social.ktruss_k, 7u);
+}
+
+TEST(Suite, ScaleGrowsGraphs)
+{
+    const auto small = build_suite_graph("rmat22", 0.05);
+    const auto large = build_suite_graph("rmat22", 1.0);
+    EXPECT_GT(large.directed.num_nodes(), small.directed.num_nodes());
+}
+
+TEST(Suite, DeterministicAcrossBuilds)
+{
+    const auto a = build_suite_graph("eukarya", kTinyScale);
+    const auto b = build_suite_graph("eukarya", kTinyScale);
+    EXPECT_EQ(a.directed.num_edges(), b.directed.num_edges());
+    EXPECT_EQ(graph::to_edge_list(a.directed).edges,
+              graph::to_edge_list(b.directed).edges);
+}
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        rt::set_num_threads(2);
+        input_ = build_suite_graph("rmat22", kTinyScale);
+    }
+
+    SuiteGraph input_;
+};
+
+TEST_F(RunnerTest, AllCellsVerifyCorrect)
+{
+    RunConfig config;
+    config.repetitions = 1;
+    for (const App app : {App::kBfs, App::kCc, App::kKtruss, App::kPr,
+                          App::kSssp, App::kTc}) {
+        for (const System system :
+             {System::kSuiteSparse, System::kGaloisBlas,
+              System::kLonestar}) {
+            const auto result = run_cell(app, system, input_, config);
+            EXPECT_TRUE(result.verified)
+                << app_name(app) << "/" << system_name(system);
+            EXPECT_TRUE(result.correct)
+                << app_name(app) << "/" << system_name(system);
+            EXPECT_FALSE(result.timed_out);
+            EXPECT_GT(result.peak_bytes, 0u);
+        }
+    }
+}
+
+TEST_F(RunnerTest, CountersArePopulated)
+{
+    RunConfig config;
+    config.repetitions = 1;
+    const auto result =
+        run_cell(App::kBfs, System::kGaloisBlas, input_, config);
+    EXPECT_GT(result.counters[metrics::kWorkItems], 0u);
+    EXPECT_GT(result.counters[metrics::kRounds], 0u);
+    EXPECT_GT(result.counters[metrics::kPasses], 0u);
+}
+
+TEST_F(RunnerTest, MatrixSystemsMaterializeMoreThanLonestar)
+{
+    RunConfig config;
+    config.repetitions = 1;
+    const auto gb =
+        run_cell(App::kTc, System::kGaloisBlas, input_, config);
+    const auto ls = run_cell(App::kTc, System::kLonestar, input_, config);
+    EXPECT_GT(gb.counters[metrics::kBytesMaterialized],
+              ls.counters[metrics::kBytesMaterialized]);
+}
+
+TEST_F(RunnerTest, SameSignatureAcrossSystems)
+{
+    RunConfig config;
+    config.repetitions = 1;
+    const auto ss =
+        run_cell(App::kSssp, System::kSuiteSparse, input_, config);
+    const auto gb =
+        run_cell(App::kSssp, System::kGaloisBlas, input_, config);
+    const auto ls =
+        run_cell(App::kSssp, System::kLonestar, input_, config);
+    EXPECT_EQ(ss.result_signature, ls.result_signature);
+    EXPECT_EQ(gb.result_signature, ls.result_signature);
+}
+
+TEST_F(RunnerTest, TimeoutMarksCell)
+{
+    RunConfig config;
+    config.repetitions = 3;
+    config.timeout_seconds = 0.0; // everything "times out"
+    const auto result =
+        run_cell(App::kBfs, System::kLonestar, input_, config);
+    EXPECT_TRUE(result.timed_out);
+    EXPECT_EQ(format_cell(result), "TO");
+}
+
+TEST(FormatCell, Formats)
+{
+    CellResult result;
+    result.seconds = 0.1234;
+    result.verified = true;
+    result.correct = true;
+    EXPECT_EQ(format_cell(result), "0.123");
+    result.seconds = 42.5;
+    EXPECT_EQ(format_cell(result), "42.50");
+    result.correct = false;
+    EXPECT_EQ(format_cell(result), "C");
+    result.timed_out = true;
+    EXPECT_EQ(format_cell(result), "TO");
+}
+
+TEST(TableTest, PrintAndCsv)
+{
+    Table table("demo");
+    table.set_header({"a", "b"});
+    table.add_row({"x", "1"});
+    table.add_row({"y", "22"});
+    EXPECT_EQ(table.rows().size(), 2u);
+
+    const auto path = (std::filesystem::temp_directory_path() /
+                       "gas_table_test.csv")
+                          .string();
+    table.write_csv(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,1");
+    in.close();
+    std::remove(path.c_str());
+}
+
+TEST(SystemNames, Stable)
+{
+    EXPECT_STREQ(system_name(System::kSuiteSparse), "SS");
+    EXPECT_STREQ(system_name(System::kGaloisBlas), "GB");
+    EXPECT_STREQ(system_name(System::kLonestar), "LS");
+    EXPECT_STREQ(app_name(App::kKtruss), "ktruss");
+}
+
+} // namespace
+} // namespace gas::core

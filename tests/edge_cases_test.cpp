@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Degenerate and adversarial inputs across the whole stack: empty
+ * graphs, single vertices, isolated vertices, self-loops, disconnected
+ * sources, extreme weights, and tiny dimensions — the inputs most
+ * likely to expose off-by-one or empty-range bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+#include "runtime/thread_pool.h"
+#include "verify/reference.h"
+
+namespace gas {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::Graph;
+using graph::Node;
+
+class EdgeCasesTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { rt::set_num_threads(4); }
+};
+
+TEST_F(EdgeCasesTest, SingleVertexEverything)
+{
+    EdgeList list;
+    list.num_nodes = 1;
+    Graph g = Graph::from_edge_list(list, true);
+
+    EXPECT_EQ(ls::bfs(g, 0), (std::vector<uint32_t>{0}));
+    EXPECT_EQ(ls::cc_afforest(g), (std::vector<Node>{0}));
+    EXPECT_EQ(ls::cc_sv(g), (std::vector<Node>{0}));
+    EXPECT_EQ(ls::sssp(g, 0), (std::vector<uint64_t>{0}));
+    EXPECT_EQ(ls::ktruss(g, 3), 0u);
+    EXPECT_EQ(ls::tc(ls::build_forward_graph(g)), 0u);
+
+    const auto A8 = grb::Matrix<uint8_t>::from_graph(g, false);
+    EXPECT_EQ(la::bfs_levels_from(la::bfs(A8, 0)),
+              (std::vector<uint32_t>{0}));
+    const auto A32 = grb::Matrix<uint32_t>::from_graph(g, false);
+    EXPECT_EQ(la::cc_fastsv(A32), (std::vector<Node>{0}));
+    const auto A64 = grb::Matrix<uint64_t>::from_graph(g, true);
+    EXPECT_EQ(la::sssp_delta(A64, 0, 16), (std::vector<uint64_t>{0}));
+    EXPECT_EQ(la::tc_sandia(grb::Matrix<uint64_t>::from_graph(g, false)),
+              0u);
+}
+
+TEST_F(EdgeCasesTest, EdgelessGraph)
+{
+    EdgeList list;
+    list.num_nodes = 10;
+    Graph g = Graph::from_edge_list(list, true);
+
+    const auto bfs = ls::bfs(g, 3);
+    EXPECT_EQ(bfs[3], 0u);
+    for (Node v = 0; v < 10; ++v) {
+        if (v != 3) {
+            EXPECT_EQ(bfs[v], ls::kUnreachedLevel);
+        }
+    }
+    // Ten singleton components.
+    const auto components = ls::cc_afforest(g);
+    for (Node v = 0; v < 10; ++v) {
+        EXPECT_EQ(components[v], v);
+    }
+    const auto A = grb::Matrix<uint32_t>::from_graph(g, false);
+    EXPECT_EQ(la::cc_fastsv(A), components);
+    EXPECT_EQ(la::cc_sv(A), components);
+}
+
+TEST_F(EdgeCasesTest, SourceInTinyComponent)
+{
+    // Source isolated from the big component: most vertices unreached.
+    EdgeList list = graph::karate_club();
+    list.num_nodes = 36;
+    list.edges.push_back({34, 35, 5});
+    list.edges.push_back({35, 34, 5});
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+
+    const auto levels = ls::bfs(g, 34);
+    EXPECT_EQ(levels[34], 0u);
+    EXPECT_EQ(levels[35], 1u);
+    EXPECT_EQ(levels[0], ls::kUnreachedLevel);
+    EXPECT_EQ(levels, verify::bfs_levels(g, 34));
+
+    const auto dist = ls::sssp(g, 34);
+    EXPECT_EQ(dist[35], 5u);
+    EXPECT_EQ(dist[0], ls::kInfDistance);
+    const auto A = grb::Matrix<uint64_t>::from_graph(g, true);
+    EXPECT_EQ(la::sssp_delta(A, 34, 16), dist);
+}
+
+TEST_F(EdgeCasesTest, SelfLoopsDoNotBreakTraversals)
+{
+    EdgeList list = graph::karate_club();
+    list.edges.push_back({0, 0, 9});
+    list.edges.push_back({17, 17, 9});
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+
+    EXPECT_EQ(ls::bfs(g, 0), verify::bfs_levels(g, 0));
+    EXPECT_EQ(ls::sssp(g, 0), verify::dijkstra(g, 0));
+    EXPECT_EQ(ls::cc_afforest(g), verify::connected_components(g));
+    const auto A = grb::Matrix<uint8_t>::from_graph(g, false);
+    EXPECT_EQ(la::bfs_levels_from(la::bfs(A, 0)),
+              verify::bfs_levels(g, 0));
+}
+
+TEST_F(EdgeCasesTest, MaxWeightEdgesDoNotOverflow)
+{
+    // Long chain of maximum 32-bit weights: distances exceed 2^32 and
+    // must not wrap in any system.
+    constexpr Node kChain = 40;
+    EdgeList list;
+    list.num_nodes = kChain;
+    for (Node v = 0; v + 1 < kChain; ++v) {
+        list.edges.push_back({v, v + 1, ~graph::Weight{0}});
+        list.edges.push_back({v + 1, v, ~graph::Weight{0}});
+    }
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+
+    const auto oracle = verify::dijkstra(g, 0);
+    EXPECT_GT(oracle[kChain - 1], uint64_t{1} << 32);
+    EXPECT_EQ(ls::sssp(g, 0), oracle);
+    const auto A = grb::Matrix<uint64_t>::from_graph(g, true);
+    EXPECT_EQ(la::sssp_delta(A, 0, uint64_t{1} << 33), oracle);
+}
+
+TEST_F(EdgeCasesTest, TwoVertexGraph)
+{
+    EdgeList list;
+    list.num_nodes = 2;
+    list.edges = {{0, 1, 3}, {1, 0, 3}};
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+
+    EXPECT_EQ(ls::bfs(g, 0), (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(ls::sssp(g, 1), (std::vector<uint64_t>{3, 0}));
+    EXPECT_EQ(ls::tc(ls::build_forward_graph(g)), 0u);
+    EXPECT_EQ(ls::ktruss(g, 3), 0u);
+    const auto A = grb::Matrix<uint64_t>::from_graph(g, false);
+    EXPECT_EQ(la::ktruss(A, 3), 0u);
+    EXPECT_EQ(la::tc_sandia(A), 0u);
+}
+
+TEST_F(EdgeCasesTest, PagerankOnSinkOnlyGraph)
+{
+    // All edges point into vertex 0, which has no out-edges: rank mass
+    // drains but nothing divides by zero.
+    EdgeList list;
+    list.num_nodes = 6;
+    for (Node v = 1; v < 6; ++v) {
+        list.edges.push_back({v, 0, 1});
+    }
+    Graph g = Graph::from_edge_list(list, false);
+    const auto transpose = graph::transpose(g);
+    const auto expected = verify::pagerank(g, 0.85, 10);
+    const auto ls_ranks = ls::pagerank(g, transpose, 0.85, 10);
+    const auto A = grb::Matrix<double>::from_graph(g, false);
+    const auto gb_ranks = la::pagerank(A, A.transpose(), 0.85, 10);
+    for (Node v = 0; v < 6; ++v) {
+        EXPECT_NEAR(ls_ranks[v], expected[v], 1e-12);
+        EXPECT_NEAR(gb_ranks[v], expected[v], 1e-12);
+    }
+}
+
+TEST_F(EdgeCasesTest, KtrussKEqualsThreeKeepsAllTriangles)
+{
+    EdgeList list = graph::complete(4);
+    Graph g = Graph::from_edge_list(list, false);
+    g.sort_adjacencies();
+    EXPECT_EQ(ls::ktruss(g, 3), 6u);
+    const auto A = grb::Matrix<uint64_t>::from_graph(g, false);
+    EXPECT_EQ(la::ktruss(A, 3), 6u);
+}
+
+TEST_F(EdgeCasesTest, SsspDeltaOneDegeneratesToDijkstraOrder)
+{
+    EdgeList list = graph::grid2d(9, 9, 4);
+    graph::randomize_weights(list, 12, 1, 7);
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+    ls::SsspOptions options;
+    options.delta = 1;
+    EXPECT_EQ(ls::sssp(g, 0, options), verify::dijkstra(g, 0));
+    const auto A = grb::Matrix<uint64_t>::from_graph(g, true);
+    EXPECT_EQ(la::sssp_delta(A, 0, 1), verify::dijkstra(g, 0));
+}
+
+TEST_F(EdgeCasesTest, HugeDeltaDegeneratesToBellmanFord)
+{
+    EdgeList list = graph::grid2d(9, 9, 4);
+    graph::randomize_weights(list, 12, 1, 7);
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+    ls::SsspOptions options;
+    options.delta = ~uint64_t{0} / 2;
+    EXPECT_EQ(ls::sssp(g, 0, options), verify::dijkstra(g, 0));
+}
+
+TEST_F(EdgeCasesTest, GrbOpsOnZeroLengthVectors)
+{
+    grb::Vector<int64_t> empty(0);
+    EXPECT_EQ((grb::reduce<grb::PlusMonoid<int64_t>>(empty)), 0);
+    grb::Vector<int64_t> w;
+    grb::apply(w, empty, [](int64_t x) { return x; });
+    EXPECT_EQ(w.size(), 0u);
+    grb::select_entries(w, empty, [](grb::Index, int64_t) {
+        return true;
+    });
+    EXPECT_EQ(w.nvals(), 0u);
+}
+
+TEST_F(EdgeCasesTest, SingleThreadedRuntimeHandlesEverything)
+{
+    rt::set_num_threads(1);
+    EdgeList list = graph::rmat(8, 8, 2);
+    graph::symmetrize(list);
+    graph::randomize_weights(list, 3, 1, 50);
+    Graph g = Graph::from_edge_list(list, true);
+    g.sort_adjacencies();
+    const Node source = graph::highest_degree_node(g);
+    EXPECT_EQ(ls::bfs(g, source), verify::bfs_levels(g, source));
+    EXPECT_EQ(ls::sssp(g, source), verify::dijkstra(g, source));
+    EXPECT_EQ(ls::cc_afforest(g), verify::connected_components(g));
+    rt::set_num_threads(4);
+}
+
+} // namespace
+} // namespace gas

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property-based tests for the synthetic graph generators, swept over
+ * seeds/sizes with parameterized suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+namespace gas::graph {
+namespace {
+
+class SeededGeneratorTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SeededGeneratorTest, RmatInvariants)
+{
+    const uint64_t seed = GetParam();
+    const EdgeList list = rmat(10, 8, seed);
+    EXPECT_EQ(list.num_nodes, 1024u);
+    // Dedup + self-loop removal only ever shrink the edge count.
+    EXPECT_LE(list.edges.size(), 8u * 1024u);
+    EXPECT_GT(list.edges.size(), 4u * 1024u); // not degenerate
+    std::set<std::pair<Node, Node>> seen;
+    for (const Edge& edge : list.edges) {
+        EXPECT_LT(edge.src, list.num_nodes);
+        EXPECT_LT(edge.dst, list.num_nodes);
+        EXPECT_NE(edge.src, edge.dst);
+        EXPECT_TRUE(seen.insert({edge.src, edge.dst}).second)
+            << "duplicate edge";
+    }
+}
+
+TEST_P(SeededGeneratorTest, RmatDeterministicPerSeed)
+{
+    const uint64_t seed = GetParam();
+    EXPECT_EQ(rmat(9, 8, seed).edges, rmat(9, 8, seed).edges);
+}
+
+TEST_P(SeededGeneratorTest, RmatIsSkewed)
+{
+    const uint64_t seed = GetParam();
+    const Graph g = Graph::from_edge_list(rmat(11, 16, seed), false);
+    const GraphStats stats = compute_stats(g);
+    // A power-law generator must concentrate degree: the max degree
+    // should far exceed the average.
+    EXPECT_GT(static_cast<double>(stats.max_out_degree),
+              8.0 * stats.avg_degree);
+}
+
+TEST_P(SeededGeneratorTest, GridIsSymmetricAndHighDiameter)
+{
+    const uint64_t seed = GetParam();
+    const EdgeList list = grid2d(24, 18, seed);
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_TRUE(is_symmetric(g));
+    const GraphStats stats = compute_stats(g);
+    EXPECT_LE(stats.max_out_degree, 8u); // near-uniform low degree
+    EXPECT_GE(stats.approx_diameter, 20u);
+}
+
+TEST_P(SeededGeneratorTest, GridIsConnected)
+{
+    const uint64_t seed = GetParam();
+    const Graph g =
+        Graph::from_edge_list(grid2d(15, 15, seed), false);
+    // BFS from 0 must reach all vertices.
+    std::size_t reached = 0;
+    std::vector<uint32_t> levels(g.num_nodes(), ~uint32_t{0});
+    std::vector<Node> stack{0};
+    levels[0] = 0;
+    while (!stack.empty()) {
+        const Node u = stack.back();
+        stack.pop_back();
+        ++reached;
+        for (const Node v : g.out_neighbors(u)) {
+            if (levels[v] == ~uint32_t{0}) {
+                levels[v] = levels[u] + 1;
+                stack.push_back(v);
+            }
+        }
+    }
+    EXPECT_EQ(reached, g.num_nodes());
+}
+
+TEST_P(SeededGeneratorTest, ErdosRenyiExactEdgeCount)
+{
+    const uint64_t seed = GetParam();
+    const EdgeList list = erdos_renyi(500, 3000, seed);
+    EXPECT_EQ(list.edges.size(), 3000u);
+    std::set<std::pair<Node, Node>> seen;
+    for (const Edge& edge : list.edges) {
+        EXPECT_NE(edge.src, edge.dst);
+        EXPECT_TRUE(seen.insert({edge.src, edge.dst}).second);
+    }
+}
+
+TEST_P(SeededGeneratorTest, WebCopyingHasClustering)
+{
+    const uint64_t seed = GetParam();
+    EdgeList list = web_copying(2000, 10, seed);
+    symmetrize(list);
+    Graph g = Graph::from_edge_list(list, false);
+    g.sort_adjacencies();
+    // The copying model must produce far more triangles than a random
+    // graph of the same size (which would have ~avg_deg^3/6 per vertex
+    // neighborhood ~ small). Sanity: at least one triangle per 4
+    // vertices on average.
+    uint64_t triangles = 0;
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+        for (const Node v : g.out_neighbors(u)) {
+            if (v <= u) {
+                continue;
+            }
+            const auto nu = g.out_neighbors(u);
+            const auto nv = g.out_neighbors(v);
+            std::size_t a = 0;
+            std::size_t b = 0;
+            while (a < nu.size() && b < nv.size()) {
+                if (nu[a] < nv[b]) {
+                    ++a;
+                } else if (nu[a] > nv[b]) {
+                    ++b;
+                } else {
+                    triangles += nu[a] > v ? 1 : 0;
+                    ++a;
+                    ++b;
+                }
+            }
+        }
+    }
+    EXPECT_GT(triangles, g.num_nodes() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededGeneratorTest,
+                         ::testing::Values(1u, 7u, 42u, 12345u),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+TEST(Generators, PathCycleStarComplete)
+{
+    EXPECT_EQ(path(5).edges.size(), 4u);
+    EXPECT_EQ(cycle(5).edges.size(), 5u);
+    EXPECT_EQ(star(5).edges.size(), 4u);
+    EXPECT_EQ(complete(5).edges.size(), 20u);
+}
+
+TEST(Generators, KarateClubKnownFacts)
+{
+    const EdgeList list = karate_club();
+    EXPECT_EQ(list.num_nodes, 34u);
+    EXPECT_EQ(list.edges.size(), 156u); // 78 undirected edges
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_TRUE(is_symmetric(g));
+    EXPECT_EQ(g.out_degree(33), 17u); // instructor hub
+    EXPECT_EQ(g.out_degree(0), 16u);  // president hub
+}
+
+TEST(Generators, GridShortcutFractionZeroIsPureLattice)
+{
+    const EdgeList list = grid2d(10, 10, 1, 0.0);
+    // 2 * (9*10 + 10*9) directed edges.
+    EXPECT_EQ(list.edges.size(), 360u);
+}
+
+} // namespace
+} // namespace gas::graph

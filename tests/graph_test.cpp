@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: CSR construction, builders
+ * (dedup, symmetrize, transpose, relabel, triangles), and properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+
+namespace gas::graph {
+namespace {
+
+EdgeList
+small_list()
+{
+    EdgeList list;
+    list.num_nodes = 5;
+    list.edges = {{0, 1, 10}, {0, 2, 20}, {1, 2, 30}, {3, 0, 40},
+                  {2, 4, 50}};
+    return list;
+}
+
+TEST(CsrGraph, BuildFromEdgeList)
+{
+    const Graph g = Graph::from_edge_list(small_list(), true);
+    EXPECT_EQ(g.num_nodes(), 5u);
+    EXPECT_EQ(g.num_edges(), 5u);
+    EXPECT_EQ(g.out_degree(0), 2u);
+    EXPECT_EQ(g.out_degree(1), 1u);
+    EXPECT_EQ(g.out_degree(4), 0u);
+    EXPECT_TRUE(g.has_weights());
+}
+
+TEST(CsrGraph, NeighborsAndWeights)
+{
+    Graph g = Graph::from_edge_list(small_list(), true);
+    g.sort_adjacencies();
+    const auto neighbors = g.out_neighbors(0);
+    ASSERT_EQ(neighbors.size(), 2u);
+    EXPECT_EQ(neighbors[0], 1u);
+    EXPECT_EQ(neighbors[1], 2u);
+    const auto weights = g.out_weights(0);
+    EXPECT_EQ(weights[0], 10u);
+    EXPECT_EQ(weights[1], 20u);
+}
+
+TEST(CsrGraph, UnweightedBuildDropsWeights)
+{
+    const Graph g = Graph::from_edge_list(small_list(), false);
+    EXPECT_FALSE(g.has_weights());
+    EXPECT_EQ(g.num_edges(), 5u);
+}
+
+TEST(CsrGraph, EmptyGraph)
+{
+    EdgeList list;
+    list.num_nodes = 3;
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_EQ(g.num_nodes(), 3u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+TEST(CsrGraph, SortAdjacenciesKeepsWeightPairs)
+{
+    EdgeList list;
+    list.num_nodes = 2;
+    list.edges = {{0, 1, 11}, {0, 0, 7}};
+    Graph g = Graph::from_edge_list(list, true);
+    EXPECT_FALSE(g.adjacencies_sorted());
+    g.sort_adjacencies();
+    EXPECT_TRUE(g.adjacencies_sorted());
+    // Weight must follow its destination through the sort.
+    EXPECT_EQ(g.out_neighbors(0)[0], 0u);
+    EXPECT_EQ(g.out_weights(0)[0], 7u);
+    EXPECT_EQ(g.out_weights(0)[1], 11u);
+}
+
+TEST(CsrGraph, CsrBytesAccountsAllArrays)
+{
+    const Graph g = Graph::from_edge_list(small_list(), true);
+    const std::size_t expected = 6 * sizeof(EdgeIdx) +
+        5 * sizeof(Node) + 5 * sizeof(Weight);
+    EXPECT_EQ(g.csr_bytes(), expected);
+}
+
+TEST(Builder, RemoveSelfLoops)
+{
+    EdgeList list = small_list();
+    list.edges.push_back({2, 2, 1});
+    remove_self_loops(list);
+    EXPECT_EQ(list.edges.size(), 5u);
+}
+
+TEST(Builder, DeduplicateKeepsFirstWeight)
+{
+    EdgeList list;
+    list.num_nodes = 3;
+    list.edges = {{0, 1, 5}, {0, 1, 9}, {1, 2, 3}};
+    deduplicate(list);
+    ASSERT_EQ(list.edges.size(), 2u);
+    EXPECT_EQ(list.edges[0].weight, 5u);
+}
+
+TEST(Builder, SymmetrizeMakesSymmetric)
+{
+    EdgeList list = small_list();
+    symmetrize(list);
+    const Graph g = Graph::from_edge_list(list, true);
+    EXPECT_TRUE(is_symmetric(g));
+    EXPECT_EQ(g.num_edges(), 10u); // no coincident reverse edges
+}
+
+TEST(Builder, SymmetrizeIdempotent)
+{
+    EdgeList list = small_list();
+    symmetrize(list);
+    const std::size_t once = list.edges.size();
+    symmetrize(list);
+    EXPECT_EQ(list.edges.size(), once);
+}
+
+TEST(Builder, TransposeReversesEdges)
+{
+    const Graph g = Graph::from_edge_list(small_list(), true);
+    const Graph t = transpose(g);
+    EXPECT_EQ(t.num_edges(), g.num_edges());
+    // Edge 0->1 weight 10 becomes 1->0 weight 10.
+    bool found = false;
+    for (EdgeIdx e = t.edge_begin(1); e < t.edge_end(1); ++e) {
+        if (t.edge_dst(e) == 0) {
+            EXPECT_EQ(t.edge_weight(e), 10u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Builder, TransposeTwiceIsOriginal)
+{
+    Graph g = Graph::from_edge_list(small_list(), true);
+    g.sort_adjacencies();
+    Graph tt = transpose(transpose(g));
+    tt.sort_adjacencies();
+    EXPECT_EQ(to_edge_list(tt).edges.size(), to_edge_list(g).edges.size());
+    auto a = to_edge_list(g);
+    auto b = to_edge_list(tt);
+    deduplicate(a);
+    deduplicate(b);
+    EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Builder, IsSymmetricDetectsAsymmetry)
+{
+    const Graph g = Graph::from_edge_list(small_list(), false);
+    EXPECT_FALSE(is_symmetric(g));
+}
+
+TEST(Builder, RelabelByDegreeIsAscending)
+{
+    EdgeList list = star(10); // vertex 0 has degree 9
+    symmetrize(list);
+    const Graph g = Graph::from_edge_list(list, false);
+    const auto relabeled = relabel_by_degree(g);
+    // The hub must get the highest new id.
+    EXPECT_EQ(relabeled.perm[0], 9u);
+    // Degrees non-decreasing in the new id order.
+    for (Node v = 1; v < relabeled.graph.num_nodes(); ++v) {
+        EXPECT_LE(relabeled.graph.out_degree(v - 1),
+                  relabeled.graph.out_degree(v));
+    }
+}
+
+TEST(Builder, RelabelPreservesEdgeCountAndDegreesMultiset)
+{
+    EdgeList list = rmat(8, 8, 3);
+    symmetrize(list);
+    const Graph g = Graph::from_edge_list(list, false);
+    const auto relabeled = relabel_by_degree(g);
+    EXPECT_EQ(relabeled.graph.num_edges(), g.num_edges());
+    std::multiset<EdgeIdx> before;
+    std::multiset<EdgeIdx> after;
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+        before.insert(g.out_degree(v));
+        after.insert(relabeled.graph.out_degree(v));
+    }
+    EXPECT_EQ(before, after);
+}
+
+TEST(Builder, TriangleFiltersPartitionEdges)
+{
+    EdgeList list = karate_club();
+    const Graph g = Graph::from_edge_list(list, false);
+    const Graph lower = lower_triangle(g);
+    const Graph upper = upper_triangle(g);
+    EXPECT_EQ(lower.num_edges() + upper.num_edges(), g.num_edges());
+    for (Node u = 0; u < lower.num_nodes(); ++u) {
+        for (const Node v : lower.out_neighbors(u)) {
+            EXPECT_GT(u, v);
+        }
+        for (const Node v : upper.out_neighbors(u)) {
+            EXPECT_LT(u, v);
+        }
+    }
+}
+
+TEST(Properties, StatsOnPath)
+{
+    const Graph g = Graph::from_edge_list(path(10), false);
+    const GraphStats stats = compute_stats(g);
+    EXPECT_EQ(stats.num_nodes, 10u);
+    EXPECT_EQ(stats.num_edges, 9u);
+    EXPECT_EQ(stats.max_out_degree, 1u);
+    EXPECT_EQ(stats.max_in_degree, 1u);
+    EXPECT_EQ(stats.approx_diameter, 9u);
+}
+
+TEST(Properties, StatsOnStar)
+{
+    const Graph g = Graph::from_edge_list(star(21), false);
+    const GraphStats stats = compute_stats(g);
+    EXPECT_EQ(stats.max_out_degree, 20u);
+    EXPECT_EQ(stats.max_in_degree, 1u);
+    EXPECT_EQ(stats.approx_diameter, 2u);
+}
+
+TEST(Properties, HighestDegreeNode)
+{
+    const Graph g = Graph::from_edge_list(star(21), false);
+    EXPECT_EQ(highest_degree_node(g), 0u);
+}
+
+TEST(Properties, InDegrees)
+{
+    const Graph g = Graph::from_edge_list(small_list(), false);
+    const auto in = in_degrees(g);
+    EXPECT_EQ(in[0], 1u);
+    EXPECT_EQ(in[2], 2u);
+    EXPECT_EQ(in[3], 0u);
+}
+
+} // namespace
+} // namespace gas::graph

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Exhaustive semantics tests for masks and descriptors: the mask truth
+ * table (implicit / explicit zero / explicit non-zero) x (plain /
+ * complemented), across dense, sorted-sparse, and unsorted-sparse mask
+ * representations, applied through vxm, mxv, and assign.
+ */
+
+#include <gtest/gtest.h>
+
+#include "matrix/grb.h"
+#include "runtime/thread_pool.h"
+
+namespace gas::grb {
+namespace {
+
+enum class MaskRep {
+    kDense,
+    kSparseSorted,
+    kSparseUnsorted,
+};
+
+struct MaskCase
+{
+    Backend backend;
+    MaskRep rep;
+    bool complement;
+};
+
+/// Mask over 6 slots: 0 implicit, 1 explicit zero, 2..3 explicit
+/// non-zero, 4 implicit, 5 explicit non-zero.
+Vector<uint64_t>
+make_mask(MaskRep rep)
+{
+    Vector<uint64_t> mask(6);
+    if (rep == MaskRep::kSparseUnsorted) {
+        mask.set_element(5, 7);
+        mask.set_element(1, 0);
+        mask.set_element(3, 2);
+        mask.set_element(2, 1);
+        EXPECT_FALSE(mask.sorted());
+    } else {
+        mask.set_element(1, 0);
+        mask.set_element(2, 1);
+        mask.set_element(3, 2);
+        mask.set_element(5, 7);
+        if (rep == MaskRep::kDense) {
+            mask.densify();
+        }
+    }
+    return mask;
+}
+
+/// Expected mask truth per slot (before complement).
+constexpr bool kTruth[6] = {false, false, true, true, false, true};
+
+class GrbMaskTest : public ::testing::TestWithParam<MaskCase>
+{
+  protected:
+    void SetUp() override
+    {
+        rt::set_num_threads(4);
+        set_backend(GetParam().backend);
+    }
+
+    void TearDown() override { set_backend(Backend::kParallel); }
+
+    bool
+    expected(Index i) const
+    {
+        return GetParam().complement ? !kTruth[i] : kTruth[i];
+    }
+
+    Descriptor
+    desc() const
+    {
+        return Descriptor{GetParam().complement, true};
+    }
+};
+
+TEST_P(GrbMaskTest, AssignScalarHonorsMask)
+{
+    auto mask = make_mask(GetParam().rep);
+    Vector<uint64_t> w(6);
+    w.fill(100);
+    assign_scalar(w, &mask, Descriptor{GetParam().complement, false},
+                  uint64_t{9});
+    for (Index i = 0; i < 6; ++i) {
+        EXPECT_EQ(w.get_element(i), expected(i) ? 9u : 100u)
+            << "slot " << i;
+    }
+}
+
+TEST_P(GrbMaskTest, VxmHonorsMask)
+{
+    // Identity matrix: unmasked result would be u itself.
+    std::vector<std::tuple<Index, Index, uint64_t>> diagonal;
+    for (Index i = 0; i < 6; ++i) {
+        diagonal.emplace_back(i, i, 1);
+    }
+    const auto I = Matrix<uint64_t>::from_tuples(6, 6, diagonal);
+    Vector<uint64_t> u(6);
+    u.fill(5);
+    auto mask = make_mask(GetParam().rep);
+    Vector<uint64_t> w;
+    vxm<PlusTimes<uint64_t>>(w, &mask, desc(), u, I);
+    for (Index i = 0; i < 6; ++i) {
+        if (expected(i)) {
+            EXPECT_EQ(w.get_element(i), 5u) << "slot " << i;
+        } else {
+            EXPECT_FALSE(w.get_element(i).has_value()) << "slot " << i;
+        }
+    }
+}
+
+TEST_P(GrbMaskTest, MxvHonorsMask)
+{
+    std::vector<std::tuple<Index, Index, uint64_t>> diagonal;
+    for (Index i = 0; i < 6; ++i) {
+        diagonal.emplace_back(i, i, 1);
+    }
+    const auto I = Matrix<uint64_t>::from_tuples(6, 6, diagonal);
+    Vector<uint64_t> u(6);
+    u.fill(5);
+    auto mask = make_mask(GetParam().rep);
+    Vector<uint64_t> w;
+    mxv<PlusTimes<uint64_t>>(w, &mask, desc(), I, u);
+    for (Index i = 0; i < 6; ++i) {
+        if (expected(i)) {
+            EXPECT_EQ(w.get_element(i), 5u) << "slot " << i;
+        } else {
+            EXPECT_FALSE(w.get_element(i).has_value()) << "slot " << i;
+        }
+    }
+}
+
+std::vector<MaskCase>
+mask_cases()
+{
+    std::vector<MaskCase> cases;
+    for (const Backend backend :
+         {Backend::kReference, Backend::kParallel}) {
+        for (const MaskRep rep :
+             {MaskRep::kDense, MaskRep::kSparseSorted,
+              MaskRep::kSparseUnsorted}) {
+            for (const bool complement : {false, true}) {
+                cases.push_back({backend, rep, complement});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, GrbMaskTest, ::testing::ValuesIn(mask_cases()),
+    [](const auto& info) {
+        std::string name = info.param.backend == Backend::kReference
+            ? "Ref"
+            : "Par";
+        switch (info.param.rep) {
+          case MaskRep::kDense: name += "Dense"; break;
+          case MaskRep::kSparseSorted: name += "Sorted"; break;
+          case MaskRep::kSparseUnsorted: name += "Unsorted"; break;
+        }
+        name += info.param.complement ? "Comp" : "Plain";
+        return name;
+    });
+
+TEST(GrbMaskSemantics, NullMaskAllowsEverything)
+{
+    rt::set_num_threads(2);
+    Vector<uint64_t> w(4);
+    assign_scalar<uint64_t, uint8_t>(w, nullptr, kDefaultDesc,
+                                     uint64_t{1});
+    EXPECT_EQ(w.nvals(), 4u);
+}
+
+TEST(GrbMaskSemantics, ExplicitZeroIsMaskFalseEverywhere)
+{
+    // An all-explicit-zero mask behaves like an empty mask.
+    Vector<uint64_t> mask(4);
+    mask.fill(0);
+    Vector<uint64_t> w(4);
+    w.fill(3);
+    assign_scalar(w, &mask, kDefaultDesc, uint64_t{9});
+    for (Index i = 0; i < 4; ++i) {
+        EXPECT_EQ(w.get_element(i), 3u);
+    }
+    // ...and its complement like no mask at all.
+    assign_scalar(w, &mask, Descriptor{true, false}, uint64_t{9});
+    for (Index i = 0; i < 4; ++i) {
+        EXPECT_EQ(w.get_element(i), 9u);
+    }
+}
+
+} // namespace
+} // namespace gas::grb

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Algebraic-property tests for the semirings and monoids: identity
+ * laws, commutativity/associativity of the additive monoid on sampled
+ * values, annihilation where applicable, and the MinPlus saturation
+ * behaviour the sssp kernels depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "matrix/semiring.h"
+#include "support/random.h"
+
+namespace gas::grb {
+namespace {
+
+/// Sampled values for property checks (covers 0, 1, extremes).
+template <typename T>
+std::vector<T>
+samples()
+{
+    std::vector<T> out{T{0}, T{1}, T{2}, T{7},
+                       std::numeric_limits<T>::max()};
+    Rng rng(123);
+    for (int i = 0; i < 20; ++i) {
+        out.push_back(static_cast<T>(rng.next_bounded(1000)));
+    }
+    return out;
+}
+
+template <typename Monoid>
+void
+check_monoid_laws()
+{
+    using T = typename Monoid::Value;
+    const auto values = samples<T>();
+    for (const T a : values) {
+        // Identity law.
+        ASSERT_EQ(Monoid::add(Monoid::identity(), a), a);
+        ASSERT_EQ(Monoid::add(a, Monoid::identity()), a);
+        for (const T b : values) {
+            // Commutativity.
+            ASSERT_EQ(Monoid::add(a, b), Monoid::add(b, a));
+            for (const T c : values) {
+                // Associativity.
+                ASSERT_EQ(Monoid::add(Monoid::add(a, b), c),
+                          Monoid::add(a, Monoid::add(b, c)));
+            }
+        }
+    }
+}
+
+TEST(Semirings, PlusMonoidLaws)
+{
+    // Unsigned overflow wraps, which is still a valid commutative
+    // monoid over uint64.
+    check_monoid_laws<PlusMonoid<uint64_t>>();
+}
+
+TEST(Semirings, MinMonoidLaws)
+{
+    check_monoid_laws<MinMonoid<uint64_t>>();
+}
+
+TEST(Semirings, MaxMonoidLaws)
+{
+    check_monoid_laws<MaxMonoid<uint64_t>>();
+}
+
+TEST(Semirings, LorMonoidLaws)
+{
+    for (const uint8_t a : {0, 1, 2}) {
+        EXPECT_EQ(LorMonoid::add(0, a), a != 0 ? 1 : 0);
+        for (const uint8_t b : {0, 1, 2}) {
+            EXPECT_EQ(LorMonoid::add(a, b), LorMonoid::add(b, a));
+        }
+    }
+}
+
+TEST(Semirings, LandMonoidLaws)
+{
+    EXPECT_EQ(LandMonoid::identity(), 1);
+    EXPECT_EQ(LandMonoid::add(1, 1), 1);
+    EXPECT_EQ(LandMonoid::add(1, 0), 0);
+    EXPECT_EQ(LandMonoid::add(0, 0), 0);
+}
+
+TEST(Semirings, PlusTimesSemiringLaws)
+{
+    using S = PlusTimes<uint64_t>;
+    check_monoid_laws<PlusMonoid<uint64_t>>();
+    const auto values = samples<uint64_t>();
+    for (const uint64_t a : values) {
+        // 0 annihilates multiplication.
+        EXPECT_EQ(S::mul(a, 0), 0u);
+        EXPECT_EQ(S::mul(0, a), 0u);
+        for (const uint64_t b : values) {
+            EXPECT_EQ(S::mul(a, b), S::mul(b, a));
+        }
+    }
+}
+
+TEST(Semirings, MinPlusIdentityIsInfinity)
+{
+    using S = MinPlus<uint64_t>;
+    constexpr uint64_t inf = std::numeric_limits<uint64_t>::max();
+    EXPECT_EQ(S::identity(), inf);
+    // add = min with identity infinity.
+    EXPECT_EQ(S::add(inf, 42), 42u);
+    EXPECT_EQ(S::add(42, inf), 42u);
+}
+
+TEST(Semirings, MinPlusSaturatesInsteadOfWrapping)
+{
+    using S = MinPlus<uint64_t>;
+    constexpr uint64_t inf = std::numeric_limits<uint64_t>::max();
+    // inf + anything = inf (no wraparound to small values).
+    EXPECT_EQ(S::mul(inf, 1), inf);
+    EXPECT_EQ(S::mul(1, inf), inf);
+    EXPECT_EQ(S::mul(inf, inf), inf);
+    // Near-overflow sums clamp to inf.
+    EXPECT_EQ(S::mul(inf - 1, 2), inf);
+    // Ordinary sums are exact.
+    EXPECT_EQ(S::mul(3, 4), 7u);
+}
+
+TEST(Semirings, MinPlusDistancePropagation)
+{
+    // min-plus matrix powers model hop-by-hop relaxation: the add of
+    // two candidate routes picks the shorter, mul extends a route.
+    using S = MinPlus<uint64_t>;
+    const uint64_t via_a = S::mul(10, 5);
+    const uint64_t via_b = S::mul(8, 9);
+    EXPECT_EQ(S::add(via_a, via_b), 15u);
+}
+
+TEST(Semirings, LorLandBooleanAlgebra)
+{
+    for (const uint8_t a : {0, 1}) {
+        for (const uint8_t b : {0, 1}) {
+            EXPECT_EQ(LorLand::add(a, b), a | b);
+            EXPECT_EQ(LorLand::mul(a, b), a & b);
+        }
+    }
+    // Non-canonical "true" values normalize to 1.
+    EXPECT_EQ(LorLand::add(0, 7), 1);
+    EXPECT_EQ(LorLand::mul(3, 9), 1);
+}
+
+TEST(Semirings, MinSecondSelectsSecondOperand)
+{
+    using S = MinSecond<uint32_t>;
+    EXPECT_EQ(S::mul(999, 5), 5u);
+    EXPECT_EQ(S::add(7, 5), 5u);
+    EXPECT_EQ(S::add(S::identity(), 12), 12u);
+}
+
+TEST(Semirings, MinFirstSelectsFirstOperand)
+{
+    using S = MinFirst<uint32_t>;
+    EXPECT_EQ(S::mul(999, 5), 999u);
+    EXPECT_EQ(S::add(7, 5), 5u);
+}
+
+TEST(Semirings, PlusPairCountsRegardlessOfValues)
+{
+    using S = PlusPair<uint64_t>;
+    EXPECT_EQ(S::mul(12345, 678), 1u);
+    EXPECT_EQ(S::mul(0, 0), 1u); // pair semiring ignores values
+    EXPECT_EQ(S::add(3, 4), 7u);
+    EXPECT_EQ(S::identity(), 0u);
+}
+
+TEST(Semirings, PlusSecondAccumulatesSecondOperand)
+{
+    using S = PlusSecond<uint64_t>;
+    EXPECT_EQ(S::mul(999, 5), 5u);
+    EXPECT_EQ(S::add(3, 4), 7u);
+}
+
+TEST(Semirings, AddIsMinFlagsMatchBehaviour)
+{
+    // Kernels use add_is_min to skip identity writes; the flag must
+    // agree with the actual add operation.
+    static_assert(MinPlus<uint64_t>::add_is_min);
+    static_assert(MinSecond<uint32_t>::add_is_min);
+    static_assert(MinFirst<uint32_t>::add_is_min);
+    static_assert(!PlusTimes<uint64_t>::add_is_min);
+    static_assert(!PlusPair<uint64_t>::add_is_min);
+    static_assert(!LorLand::add_is_min);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gas::grb

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the SpGEMM extensions: unmasked dot-product SpGEMM with
+ * inspector (SDOT) and the Kronecker product.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matrix/grb.h"
+#include "runtime/thread_pool.h"
+#include "support/random.h"
+
+namespace gas::grb {
+namespace {
+
+using Key = std::pair<Index, Index>;
+using Model = std::map<Key, uint64_t>;
+
+Model
+to_model(const Matrix<uint64_t>& m)
+{
+    Model model;
+    for (const auto& [i, j, v] : m.extract_tuples()) {
+        model[{i, j}] = v;
+    }
+    return model;
+}
+
+Matrix<uint64_t>
+random_matrix(Index nrows, Index ncols, double density, uint64_t seed)
+{
+    std::vector<std::tuple<Index, Index, uint64_t>> tuples;
+    Rng rng(seed);
+    for (Index i = 0; i < nrows; ++i) {
+        for (Index j = 0; j < ncols; ++j) {
+            if (rng.next_double() < density) {
+                tuples.emplace_back(i, j, 1 + rng.next_bounded(5));
+            }
+        }
+    }
+    return Matrix<uint64_t>::from_tuples(nrows, ncols, std::move(tuples));
+}
+
+class GrbSpgemmExtTest : public ::testing::TestWithParam<Backend>
+{
+  protected:
+    void SetUp() override
+    {
+        rt::set_num_threads(4);
+        set_backend(GetParam());
+    }
+
+    void TearDown() override { set_backend(Backend::kParallel); }
+};
+
+TEST_P(GrbSpgemmExtTest, DotMatchesGustavson)
+{
+    for (uint64_t seed = 40; seed < 44; ++seed) {
+        const auto A = random_matrix(24, 20, 0.25, seed);
+        const auto B = random_matrix(20, 28, 0.25, seed + 100);
+        const auto Bt = B.transpose();
+        Matrix<uint64_t> via_dot;
+        Matrix<uint64_t> via_saxpy;
+        mxm_dot<PlusTimes<uint64_t>>(via_dot, A, Bt);
+        mxm_saxpy<PlusTimes<uint64_t>>(via_saxpy, A, B,
+                                       MxmMethod::kGustavson);
+        EXPECT_EQ(to_model(via_dot), to_model(via_saxpy))
+            << "seed " << seed;
+    }
+}
+
+TEST_P(GrbSpgemmExtTest, DotEmptyOperands)
+{
+    const Matrix<uint64_t> A(8, 8);
+    const auto B = random_matrix(8, 8, 0.3, 7);
+    Matrix<uint64_t> C;
+    mxm_dot<PlusTimes<uint64_t>>(C, A, B.transpose());
+    EXPECT_EQ(C.nvals(), 0u);
+}
+
+TEST_P(GrbSpgemmExtTest, DotMinPlusSemiring)
+{
+    const auto A = random_matrix(16, 16, 0.3, 55);
+    const auto At = A.transpose();
+    Matrix<uint64_t> C;
+    mxm_dot<MinPlus<uint64_t>>(C, A, At);
+    // Passing At as the pre-transposed operand makes B = A, so
+    // C(i,j) = min over k of A(i,k) + A(k,j).
+    for (const auto& [i, j, v] : C.extract_tuples()) {
+        uint64_t expected = std::numeric_limits<uint64_t>::max();
+        for (Nnz e = A.row_begin(i); e < A.row_end(i); ++e) {
+            const auto other = A.get_element(A.col_at(e), j);
+            if (other.has_value()) {
+                expected =
+                    std::min(expected, A.val_at(e) + *other);
+            }
+        }
+        EXPECT_EQ(v, expected);
+    }
+}
+
+TEST_P(GrbSpgemmExtTest, KroneckerBruteForce)
+{
+    const auto A = random_matrix(5, 4, 0.4, 71);
+    const auto B = random_matrix(3, 6, 0.4, 72);
+    Matrix<uint64_t> C;
+    kronecker<PlusTimes<uint64_t>>(C, A, B);
+    EXPECT_EQ(C.nrows(), 15u);
+    EXPECT_EQ(C.ncols(), 24u);
+    EXPECT_EQ(C.nvals(), A.nvals() * B.nvals());
+    for (const auto& [ai, aj, av] : A.extract_tuples()) {
+        for (const auto& [bi, bj, bv] : B.extract_tuples()) {
+            const auto entry =
+                C.get_element(ai * 3 + bi, aj * 6 + bj);
+            ASSERT_TRUE(entry.has_value());
+            EXPECT_EQ(*entry, av * bv);
+        }
+    }
+}
+
+TEST_P(GrbSpgemmExtTest, KroneckerPowerBuildsRmatStructure)
+{
+    // A 2x2 initiator raised to the 4th Kronecker power: 16x16 with
+    // nvals = nvals(initiator)^4 — the GraphBLAS RMAT recipe.
+    const auto initiator = Matrix<uint64_t>::from_tuples(
+        2, 2, {{0, 0, 1}, {0, 1, 1}, {1, 0, 1}});
+    Matrix<uint64_t> power = initiator;
+    for (int step = 0; step < 3; ++step) {
+        Matrix<uint64_t> next;
+        kronecker<PlusTimes<uint64_t>>(next, power, initiator);
+        power = std::move(next);
+    }
+    EXPECT_EQ(power.nrows(), 16u);
+    EXPECT_EQ(power.nvals(), 81u); // 3^4
+    // Vertex 0 is the hub: its row has the maximum entries.
+    Nnz max_row = 0;
+    for (Index i = 0; i < power.nrows(); ++i) {
+        max_row = std::max(max_row, power.row_nvals(i));
+    }
+    EXPECT_EQ(power.row_nvals(0), max_row);
+}
+
+TEST_P(GrbSpgemmExtTest, KroneckerWithIdentityIsBlockCopy)
+{
+    const auto A = random_matrix(4, 4, 0.5, 99);
+    const auto I = Matrix<uint64_t>::from_tuples(1, 1, {{0, 0, 1}});
+    Matrix<uint64_t> C;
+    kronecker<PlusTimes<uint64_t>>(C, A, I);
+    EXPECT_EQ(to_model(C), to_model(A));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GrbSpgemmExtTest,
+                         ::testing::Values(Backend::kReference,
+                                           Backend::kParallel),
+                         [](const auto& info) {
+                             return info.param == Backend::kReference
+                                 ? "Reference"
+                                 : "Parallel";
+                         });
+
+} // namespace
+} // namespace gas::grb

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for SpGEMM (masked dot, Gustavson, hash), matrix select/reduce,
+ * tril/triu, row counts, and apply — against dense oracles, on both
+ * backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matrix/grb.h"
+#include "runtime/thread_pool.h"
+#include "support/random.h"
+
+namespace gas::grb {
+namespace {
+
+using Key = std::pair<Index, Index>;
+using Model = std::map<Key, uint64_t>;
+
+Model
+to_model(const Matrix<uint64_t>& m)
+{
+    Model model;
+    for (const auto& [i, j, v] : m.extract_tuples()) {
+        model[{i, j}] = v;
+    }
+    return model;
+}
+
+Matrix<uint64_t>
+random_matrix(Index nrows, Index ncols, double density, uint64_t seed)
+{
+    std::vector<std::tuple<Index, Index, uint64_t>> tuples;
+    Rng rng(seed);
+    for (Index i = 0; i < nrows; ++i) {
+        for (Index j = 0; j < ncols; ++j) {
+            if (rng.next_double() < density) {
+                tuples.emplace_back(i, j, 1 + rng.next_bounded(5));
+            }
+        }
+    }
+    return Matrix<uint64_t>::from_tuples(nrows, ncols, std::move(tuples));
+}
+
+/// Dense-oracle SpGEMM over a semiring; entries whose accumulation was
+/// never hit are implicit.
+template <typename S>
+Model
+mxm_oracle(const Matrix<uint64_t>& A, const Matrix<uint64_t>& B)
+{
+    Model result;
+    for (Index i = 0; i < A.nrows(); ++i) {
+        for (Nnz e = A.row_begin(i); e < A.row_end(i); ++e) {
+            const Index k = A.col_at(e);
+            for (Nnz f = B.row_begin(k); f < B.row_end(k); ++f) {
+                const Index j = B.col_at(f);
+                const uint64_t product =
+                    S::mul(A.val_at(e), B.val_at(f));
+                auto [it, inserted] =
+                    result.try_emplace({i, j}, product);
+                if (!inserted) {
+                    it->second = S::add(it->second, product);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+class GrbSpgemmTest : public ::testing::TestWithParam<Backend>
+{
+  protected:
+    void SetUp() override
+    {
+        rt::set_num_threads(4);
+        set_backend(GetParam());
+    }
+
+    void TearDown() override { set_backend(Backend::kParallel); }
+};
+
+TEST_P(GrbSpgemmTest, GustavsonMatchesOracle)
+{
+    const auto A = random_matrix(40, 30, 0.15, 501);
+    const auto B = random_matrix(30, 50, 0.15, 502);
+    Matrix<uint64_t> C;
+    mxm_saxpy<PlusTimes<uint64_t>>(C, A, B, MxmMethod::kGustavson);
+    EXPECT_EQ(to_model(C), mxm_oracle<PlusTimes<uint64_t>>(A, B));
+}
+
+TEST_P(GrbSpgemmTest, HashMatchesOracle)
+{
+    const auto A = random_matrix(40, 30, 0.15, 503);
+    const auto B = random_matrix(30, 50, 0.15, 504);
+    Matrix<uint64_t> C;
+    mxm_saxpy<PlusTimes<uint64_t>>(C, A, B, MxmMethod::kHash);
+    EXPECT_EQ(to_model(C), mxm_oracle<PlusTimes<uint64_t>>(A, B));
+}
+
+TEST_P(GrbSpgemmTest, MethodsAgree)
+{
+    for (uint64_t seed = 600; seed < 605; ++seed) {
+        const auto A = random_matrix(32, 32, 0.2, seed);
+        const auto B = random_matrix(32, 32, 0.2, seed + 50);
+        Matrix<uint64_t> g;
+        Matrix<uint64_t> h;
+        Matrix<uint64_t> a;
+        mxm_saxpy<PlusTimes<uint64_t>>(g, A, B, MxmMethod::kGustavson);
+        mxm_saxpy<PlusTimes<uint64_t>>(h, A, B, MxmMethod::kHash);
+        mxm_saxpy<PlusTimes<uint64_t>>(a, A, B, MxmMethod::kAuto);
+        EXPECT_EQ(to_model(g), to_model(h)) << "seed=" << seed;
+        EXPECT_EQ(to_model(g), to_model(a)) << "seed=" << seed;
+    }
+}
+
+TEST_P(GrbSpgemmTest, MaskedDotMatchesMaskedOracle)
+{
+    const auto A = random_matrix(36, 36, 0.2, 701);
+    const auto B = random_matrix(36, 36, 0.2, 702);
+    const auto M = random_matrix(36, 36, 0.3, 703);
+    const auto Bt = B.transpose();
+    Matrix<uint64_t> C;
+    mxm_masked_dot<PlusTimes<uint64_t>>(C, M, A, Bt);
+
+    const Model full = mxm_oracle<PlusTimes<uint64_t>>(A, B);
+    // C has exactly M's structure; values are the oracle's where the
+    // oracle has an entry and the semiring identity elsewhere.
+    Model expected;
+    for (const auto& [i, j, v] : M.extract_tuples()) {
+        (void)v;
+        const auto it = full.find({i, j});
+        expected[{i, j}] =
+            it != full.end() ? it->second : PlusTimes<uint64_t>::identity();
+    }
+    EXPECT_EQ(to_model(C), expected);
+    EXPECT_EQ(C.nvals(), M.nvals());
+}
+
+TEST_P(GrbSpgemmTest, MaskedDotPlusPairCountsIntersections)
+{
+    // PlusPair over a masked dot counts common neighbors — the triangle
+    // counting kernel.
+    // Passing A itself as the pre-transposed right operand makes each
+    // entry C(i,j) = <A(i,:), A(j,:)>, a row-row intersection size.
+    const auto A = random_matrix(30, 30, 0.25, 801);
+    Matrix<uint64_t> C;
+    mxm_masked_dot<PlusPair<uint64_t>>(C, A, A, A);
+    for (const auto& [i, j, count] : C.extract_tuples()) {
+        // Oracle: |row(i) ∩ row(j)|.
+        uint64_t expected = 0;
+        const auto ri = A.row_indices(i);
+        const auto rj = A.row_indices(j);
+        for (const Index a : ri) {
+            for (const Index b : rj) {
+                if (a == b) {
+                    ++expected;
+                }
+            }
+        }
+        EXPECT_EQ(count, expected) << "entry (" << i << "," << j << ")";
+    }
+}
+
+TEST_P(GrbSpgemmTest, SelectMatrix)
+{
+    const auto A = random_matrix(25, 25, 0.3, 901);
+    Matrix<uint64_t> C;
+    select_matrix(C, A,
+                  [](Index, Index, uint64_t v) { return v >= 3; });
+    Model expected;
+    for (const auto& [key, v] : to_model(A)) {
+        if (v >= 3) {
+            expected[key] = v;
+        }
+    }
+    EXPECT_EQ(to_model(C), expected);
+}
+
+TEST_P(GrbSpgemmTest, TrilTriuPartitionOffDiagonal)
+{
+    const auto A = random_matrix(20, 20, 0.4, 902);
+    const auto L = tril(A);
+    const auto U = triu(A);
+    for (const auto& [i, j, v] : L.extract_tuples()) {
+        (void)v;
+        EXPECT_GT(i, j);
+    }
+    for (const auto& [i, j, v] : U.extract_tuples()) {
+        (void)v;
+        EXPECT_LT(i, j);
+    }
+    Nnz diagonal = 0;
+    for (const auto& [key, v] : to_model(A)) {
+        (void)v;
+        if (key.first == key.second) {
+            ++diagonal;
+        }
+    }
+    EXPECT_EQ(L.nvals() + U.nvals() + diagonal, A.nvals());
+}
+
+TEST_P(GrbSpgemmTest, ReduceMatrix)
+{
+    const auto A = random_matrix(30, 30, 0.2, 903);
+    uint64_t expected = 0;
+    for (const auto& [key, v] : to_model(A)) {
+        (void)key;
+        expected += v;
+    }
+    EXPECT_EQ((reduce_matrix<PlusMonoid<uint64_t>>(A)), expected);
+}
+
+TEST_P(GrbSpgemmTest, RowCounts)
+{
+    const auto A = random_matrix(15, 40, 0.25, 904);
+    const auto counts = row_counts(A);
+    EXPECT_EQ(counts.nvals(), A.nrows());
+    for (Index i = 0; i < A.nrows(); ++i) {
+        EXPECT_EQ(counts.get_element(i), A.row_nvals(i));
+    }
+}
+
+TEST_P(GrbSpgemmTest, ApplyMatrix)
+{
+    const auto A = random_matrix(15, 15, 0.3, 905);
+    Matrix<uint64_t> C;
+    apply_matrix(C, A, [](uint64_t v) { return v * 100; });
+    const Model before = to_model(A);
+    for (const auto& [key, v] : to_model(C)) {
+        EXPECT_EQ(v, before.at(key) * 100);
+    }
+    EXPECT_EQ(C.nvals(), A.nvals());
+}
+
+TEST_P(GrbSpgemmTest, EmptyMatrixProducts)
+{
+    const Matrix<uint64_t> A(10, 10);
+    const auto B = random_matrix(10, 10, 0.3, 906);
+    Matrix<uint64_t> C;
+    mxm_saxpy<PlusTimes<uint64_t>>(C, A, B, MxmMethod::kGustavson);
+    EXPECT_EQ(C.nvals(), 0u);
+    mxm_saxpy<PlusTimes<uint64_t>>(C, B, A, MxmMethod::kHash);
+    EXPECT_EQ(C.nvals(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GrbSpgemmTest,
+                         ::testing::Values(Backend::kReference,
+                                           Backend::kParallel),
+                         [](const auto& info) {
+                             return info.param == Backend::kReference
+                                 ? "Reference"
+                                 : "Parallel";
+                         });
+
+} // namespace
+} // namespace gas::grb

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for vxm/mxv against a brute-force dense oracle, across
+ * semirings, masks, vector formats, and both backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matrix/grb.h"
+#include "runtime/thread_pool.h"
+#include "support/random.h"
+
+namespace gas::grb {
+namespace {
+
+using Model = std::map<Index, uint64_t>;
+
+Model
+to_model(const Vector<uint64_t>& v)
+{
+    Model model;
+    v.for_entries([&](Index i, uint64_t x) { model[i] = x; });
+    return model;
+}
+
+/// LorLand lifted to uint64 payloads for mask tests.
+struct LorLandU64
+{
+    using Value = uint64_t;
+    static constexpr uint64_t identity() { return 0; }
+    static constexpr uint64_t add(uint64_t a, uint64_t b)
+    {
+        return (a != 0 || b != 0) ? 1 : 0;
+    }
+    static constexpr uint64_t mul(uint64_t a, uint64_t b)
+    {
+        return (a != 0 && b != 0) ? 1 : 0;
+    }
+    static constexpr bool add_is_min = false;
+};
+
+Matrix<uint64_t>
+random_matrix(Index nrows, Index ncols, double density, uint64_t seed)
+{
+    std::vector<std::tuple<Index, Index, uint64_t>> tuples;
+    Rng rng(seed);
+    for (Index i = 0; i < nrows; ++i) {
+        for (Index j = 0; j < ncols; ++j) {
+            if (rng.next_double() < density) {
+                tuples.emplace_back(i, j, 1 + rng.next_bounded(9));
+            }
+        }
+    }
+    return Matrix<uint64_t>::from_tuples(nrows, ncols, std::move(tuples));
+}
+
+Vector<uint64_t>
+random_vector(Index size, double density, uint64_t seed, bool dense)
+{
+    Vector<uint64_t> v(size);
+    Rng rng(seed);
+    for (Index i = 0; i < size; ++i) {
+        if (rng.next_double() < density) {
+            v.set_element(i, 1 + rng.next_bounded(20));
+        }
+    }
+    if (dense) {
+        v.densify();
+    }
+    return v;
+}
+
+/// Oracle: w(j) = add_i mul(u(i), A(i,j)) over explicit entries.
+template <typename S>
+Model
+vxm_oracle(const Vector<uint64_t>& u, const Matrix<uint64_t>& A)
+{
+    Model result;
+    u.for_entries([&](Index i, uint64_t x) {
+        for (Nnz e = A.row_begin(i); e < A.row_end(i); ++e) {
+            const Index j = A.col_at(e);
+            const uint64_t product = S::mul(x, A.val_at(e));
+            auto [it, inserted] = result.try_emplace(j, product);
+            if (!inserted) {
+                it->second = S::add(it->second, product);
+            }
+        }
+    });
+    return result;
+}
+
+/// Oracle: w(i) = add_j mul(A(i,j), u(j)) over explicit entries.
+template <typename S>
+Model
+mxv_oracle(const Matrix<uint64_t>& A, const Vector<uint64_t>& u)
+{
+    const Model mu = to_model(u);
+    Model result;
+    for (Index i = 0; i < A.nrows(); ++i) {
+        uint64_t accum = S::identity();
+        bool hit = false;
+        for (Nnz e = A.row_begin(i); e < A.row_end(i); ++e) {
+            const auto it = mu.find(A.col_at(e));
+            if (it != mu.end()) {
+                accum = S::add(accum, S::mul(A.val_at(e), it->second));
+                hit = true;
+            }
+        }
+        if (hit) {
+            result[i] = accum;
+        }
+    }
+    return result;
+}
+
+struct SpmvCase
+{
+    Backend backend;
+    bool dense_input;
+    uint64_t seed;
+};
+
+class GrbSpmvTest : public ::testing::TestWithParam<SpmvCase>
+{
+  protected:
+    void SetUp() override
+    {
+        rt::set_num_threads(4);
+        set_backend(GetParam().backend);
+    }
+
+    void TearDown() override { set_backend(Backend::kParallel); }
+};
+
+TEST_P(GrbSpmvTest, VxmPlusTimesMatchesOracle)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(60, 60, 0.1, param.seed);
+    const auto u = random_vector(60, 0.3, param.seed + 1,
+                                 param.dense_input);
+    Vector<uint64_t> w;
+    vxm<PlusTimes<uint64_t>>(w, static_cast<const Vector<uint64_t>*>(nullptr),
+                             kDefaultDesc, u, A);
+    EXPECT_EQ(to_model(w), vxm_oracle<PlusTimes<uint64_t>>(u, A));
+}
+
+TEST_P(GrbSpmvTest, VxmMinPlusMatchesOracle)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(50, 50, 0.15, param.seed + 2);
+    const auto u = random_vector(50, 0.2, param.seed + 3,
+                                 param.dense_input);
+    Vector<uint64_t> w;
+    vxm<MinPlus<uint64_t>>(w, static_cast<const Vector<uint64_t>*>(nullptr),
+                           kDefaultDesc, u, A);
+    EXPECT_EQ(to_model(w), vxm_oracle<MinPlus<uint64_t>>(u, A));
+}
+
+TEST_P(GrbSpmvTest, VxmWithMask)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(40, 40, 0.2, param.seed + 4);
+    const auto u = random_vector(40, 0.4, param.seed + 5,
+                                 param.dense_input);
+    auto mask = random_vector(40, 0.5, param.seed + 6, true);
+    Vector<uint64_t> w;
+    vxm<PlusTimes<uint64_t>>(w, &mask, kDefaultDesc, u, A);
+    Model expected;
+    for (const auto& [j, x] : vxm_oracle<PlusTimes<uint64_t>>(u, A)) {
+        if (mask.mask_true(j)) {
+            expected[j] = x;
+        }
+    }
+    EXPECT_EQ(to_model(w), expected);
+}
+
+TEST_P(GrbSpmvTest, VxmWithComplementMask)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(40, 40, 0.2, param.seed + 7);
+    const auto u = random_vector(40, 0.4, param.seed + 8,
+                                 param.dense_input);
+    auto mask = random_vector(40, 0.5, param.seed + 9, false);
+    Vector<uint64_t> w;
+    vxm<LorLandU64>(w, &mask, kComplementReplaceDesc, u, A);
+    Model expected;
+    for (const auto& [j, x] : vxm_oracle<LorLandU64>(u, A)) {
+        if (!mask.mask_true(j)) {
+            expected[j] = x;
+        }
+    }
+    EXPECT_EQ(to_model(w), expected);
+}
+
+TEST_P(GrbSpmvTest, MxvPlusTimesMatchesOracle)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(70, 45, 0.12, param.seed + 10);
+    const auto u = random_vector(45, 0.6, param.seed + 11,
+                                 param.dense_input);
+    Vector<uint64_t> w;
+    mxv<PlusTimes<uint64_t>>(w, static_cast<const Vector<uint64_t>*>(nullptr),
+                             kDefaultDesc, A, u);
+    EXPECT_EQ(to_model(w), mxv_oracle<PlusTimes<uint64_t>>(A, u));
+    EXPECT_EQ(w.format(), VectorFormat::kDense);
+}
+
+TEST_P(GrbSpmvTest, MxvMinSecondMatchesOracle)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(55, 55, 0.15, param.seed + 12);
+    const auto u = random_vector(55, 0.8, param.seed + 13, true);
+    Vector<uint64_t> w;
+    mxv<MinSecond<uint64_t>>(
+        w, static_cast<const Vector<uint64_t>*>(nullptr), kDefaultDesc, A,
+        u);
+    EXPECT_EQ(to_model(w), mxv_oracle<MinSecond<uint64_t>>(A, u));
+}
+
+TEST_P(GrbSpmvTest, MxvWithMaskSkipsRows)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(30, 30, 0.3, param.seed + 14);
+    const auto u = random_vector(30, 0.9, param.seed + 15, true);
+    auto mask = random_vector(30, 0.5, param.seed + 16, true);
+    Vector<uint64_t> w;
+    mxv<PlusTimes<uint64_t>>(w, &mask, kDefaultDesc, A, u);
+    Model expected;
+    for (const auto& [i, x] : mxv_oracle<PlusTimes<uint64_t>>(A, u)) {
+        if (mask.mask_true(i)) {
+            expected[i] = x;
+        }
+    }
+    EXPECT_EQ(to_model(w), expected);
+}
+
+TEST_P(GrbSpmvTest, VxmEmptyInputGivesEmptyOutput)
+{
+    const auto A = random_matrix(20, 20, 0.2, 99);
+    Vector<uint64_t> u(20);
+    Vector<uint64_t> w;
+    vxm<PlusTimes<uint64_t>>(w, static_cast<const Vector<uint64_t>*>(nullptr),
+                             kDefaultDesc, u, A);
+    EXPECT_EQ(w.nvals(), 0u);
+}
+
+TEST_P(GrbSpmvTest, ReferenceBackendSortsVxmOutput)
+{
+    const auto A = random_matrix(64, 64, 0.2, 123);
+    const auto u = random_vector(64, 0.5, 124, GetParam().dense_input);
+    Vector<uint64_t> w;
+    vxm<PlusTimes<uint64_t>>(w, static_cast<const Vector<uint64_t>*>(nullptr),
+                             kDefaultDesc, u, A);
+    if (GetParam().backend == Backend::kReference) {
+        EXPECT_TRUE(w.sorted());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GrbSpmvTest,
+    ::testing::Values(SpmvCase{Backend::kReference, false, 1000},
+                      SpmvCase{Backend::kReference, true, 2000},
+                      SpmvCase{Backend::kParallel, false, 3000},
+                      SpmvCase{Backend::kParallel, true, 4000}),
+    [](const auto& info) {
+        std::string name = info.param.backend == Backend::kReference
+            ? "Reference"
+            : "Parallel";
+        name += info.param.dense_input ? "DenseIn" : "SparseIn";
+        return name;
+    });
+
+} // namespace
+} // namespace gas::grb

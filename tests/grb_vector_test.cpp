@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for grb::Vector storage, conversions, and element access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "matrix/grb.h"
+
+namespace gas::grb {
+namespace {
+
+TEST(GrbVector, EmptyVector)
+{
+    Vector<int> v(10);
+    EXPECT_EQ(v.size(), 10u);
+    EXPECT_EQ(v.nvals(), 0u);
+    EXPECT_EQ(v.format(), VectorFormat::kSparse);
+    EXPECT_FALSE(v.get_element(3).has_value());
+}
+
+TEST(GrbVector, SetGetSparse)
+{
+    Vector<int> v(10);
+    v.set_element(3, 42);
+    v.set_element(7, -1);
+    EXPECT_EQ(v.nvals(), 2u);
+    EXPECT_EQ(v.get_element(3), 42);
+    EXPECT_EQ(v.get_element(7), -1);
+    EXPECT_FALSE(v.get_element(0).has_value());
+    v.set_element(3, 99);
+    EXPECT_EQ(v.nvals(), 2u);
+    EXPECT_EQ(v.get_element(3), 99);
+}
+
+TEST(GrbVector, SetOutOfOrderMarksUnsorted)
+{
+    Vector<int> v(10);
+    v.set_element(7, 1);
+    v.set_element(3, 2);
+    EXPECT_FALSE(v.sorted());
+    v.sort_entries();
+    EXPECT_TRUE(v.sorted());
+    EXPECT_EQ(v.get_element(3), 2);
+    EXPECT_EQ(v.get_element(7), 1);
+}
+
+TEST(GrbVector, Fill)
+{
+    Vector<int> v(5);
+    v.fill(9);
+    EXPECT_EQ(v.format(), VectorFormat::kDense);
+    EXPECT_EQ(v.nvals(), 5u);
+    for (Index i = 0; i < 5; ++i) {
+        EXPECT_EQ(v.get_element(i), 9);
+    }
+}
+
+TEST(GrbVector, DensifyPreservesEntries)
+{
+    Vector<int> v(8);
+    v.set_element(1, 10);
+    v.set_element(6, 60);
+    v.densify();
+    EXPECT_EQ(v.format(), VectorFormat::kDense);
+    EXPECT_EQ(v.nvals(), 2u);
+    EXPECT_EQ(v.get_element(1), 10);
+    EXPECT_EQ(v.get_element(6), 60);
+    EXPECT_FALSE(v.get_element(0).has_value());
+}
+
+TEST(GrbVector, SparsifyPreservesEntries)
+{
+    Vector<int> v(8);
+    v.fill(0);
+    v.set_element(2, 5);
+    v.sparsify();
+    EXPECT_EQ(v.format(), VectorFormat::kSparse);
+    EXPECT_EQ(v.nvals(), 8u);
+    EXPECT_EQ(v.get_element(2), 5);
+    EXPECT_EQ(v.get_element(3), 0);
+    EXPECT_TRUE(v.sorted());
+}
+
+TEST(GrbVector, RoundTripDenseSparseDense)
+{
+    Vector<uint32_t> v(100);
+    for (Index i = 0; i < 100; i += 7) {
+        v.set_element(i, i * 2);
+    }
+    const auto before = v.extract_tuples();
+    v.densify();
+    v.sparsify();
+    v.densify();
+    EXPECT_EQ(v.extract_tuples(), before);
+}
+
+TEST(GrbVector, MaskTrueSemantics)
+{
+    Vector<int> v(5);
+    v.set_element(0, 1);
+    v.set_element(1, 0); // explicit zero is mask-false
+    EXPECT_TRUE(v.mask_true(0));
+    EXPECT_FALSE(v.mask_true(1));
+    EXPECT_FALSE(v.mask_true(2)); // implicit is mask-false
+    v.densify();
+    EXPECT_TRUE(v.mask_true(0));
+    EXPECT_FALSE(v.mask_true(1));
+    EXPECT_FALSE(v.mask_true(2));
+}
+
+TEST(GrbVector, ClearResets)
+{
+    Vector<int> v(5);
+    v.fill(3);
+    v.clear();
+    EXPECT_EQ(v.nvals(), 0u);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_EQ(v.format(), VectorFormat::kSparse);
+}
+
+TEST(GrbVector, BuildFromArrays)
+{
+    TrackedVector<Index> idx{5, 1, 3};
+    TrackedVector<int> vals{50, 10, 30};
+    Vector<int> v(6);
+    v.build(std::move(idx), std::move(vals), /*indices_sorted=*/false);
+    EXPECT_EQ(v.nvals(), 3u);
+    EXPECT_FALSE(v.sorted());
+    EXPECT_EQ(v.get_element(5), 50);
+    EXPECT_EQ(v.get_element(1), 10);
+    const auto tuples = v.extract_tuples();
+    ASSERT_EQ(tuples.size(), 3u);
+    EXPECT_EQ(tuples[0], (std::pair<Index, int>{1, 10}));
+    EXPECT_EQ(tuples[1], (std::pair<Index, int>{3, 30}));
+    EXPECT_EQ(tuples[2], (std::pair<Index, int>{5, 50}));
+}
+
+TEST(GrbVector, ForEntriesVisitsAll)
+{
+    Vector<int> v(10);
+    v.set_element(2, 20);
+    v.set_element(8, 80);
+    int sum = 0;
+    v.for_entries([&](Index, int value) { sum += value; });
+    EXPECT_EQ(sum, 100);
+}
+
+TEST(GrbMatrix, FromTuplesAndAccess)
+{
+    auto m = Matrix<int>::from_tuples(
+        3, 4, {{0, 1, 5}, {2, 3, 7}, {0, 0, 1}, {2, 0, 2}});
+    EXPECT_EQ(m.nrows(), 3u);
+    EXPECT_EQ(m.ncols(), 4u);
+    EXPECT_EQ(m.nvals(), 4u);
+    EXPECT_EQ(m.get_element(0, 1), 5);
+    EXPECT_EQ(m.get_element(2, 3), 7);
+    EXPECT_FALSE(m.get_element(1, 1).has_value());
+    // Rows are sorted by column.
+    const auto row0 = m.row_indices(0);
+    EXPECT_EQ(row0[0], 0u);
+    EXPECT_EQ(row0[1], 1u);
+}
+
+TEST(GrbMatrix, Transpose)
+{
+    auto m = Matrix<int>::from_tuples(2, 3, {{0, 2, 9}, {1, 0, 4}});
+    const auto t = m.transpose();
+    EXPECT_EQ(t.nrows(), 3u);
+    EXPECT_EQ(t.ncols(), 2u);
+    EXPECT_EQ(t.get_element(2, 0), 9);
+    EXPECT_EQ(t.get_element(0, 1), 4);
+    EXPECT_EQ(t.nvals(), 2u);
+}
+
+TEST(GrbMatrix, TransposeTwiceIsIdentity)
+{
+    auto m = Matrix<int>::from_tuples(
+        4, 4, {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {1, 0, 5}});
+    const auto tt = m.transpose().transpose();
+    EXPECT_EQ(tt.extract_tuples(), m.extract_tuples());
+}
+
+TEST(GrbMatrix, FromGraph)
+{
+    graph::EdgeList list;
+    list.num_nodes = 3;
+    list.edges = {{0, 1, 7}, {1, 2, 3}};
+    const auto g = graph::Graph::from_edge_list(list, true);
+    const auto weighted = Matrix<uint64_t>::from_graph(g, true);
+    EXPECT_EQ(weighted.get_element(0, 1), 7u);
+    const auto pattern = Matrix<uint64_t>::from_graph(g, false);
+    EXPECT_EQ(pattern.get_element(0, 1), 1u);
+}
+
+} // namespace
+} // namespace gas::grb

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the software performance counters and graph binary I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "metrics/counters.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace gas {
+namespace {
+
+TEST(Metrics, BumpAndRead)
+{
+    metrics::reset();
+    metrics::bump(metrics::kWorkItems, 5);
+    metrics::bump(metrics::kWorkItems);
+    metrics::bump(metrics::kRounds, 2);
+    const auto snapshot = metrics::read();
+    EXPECT_EQ(snapshot[metrics::kWorkItems], 6u);
+    EXPECT_EQ(snapshot[metrics::kRounds], 2u);
+    EXPECT_EQ(snapshot[metrics::kEdgeVisits], 0u);
+}
+
+TEST(Metrics, AggregatesAcrossPoolThreads)
+{
+    rt::set_num_threads(4);
+    metrics::reset();
+    rt::do_all(10000, [](std::size_t) {
+        metrics::bump(metrics::kEdgeVisits);
+    });
+    EXPECT_EQ(metrics::read()[metrics::kEdgeVisits], 10000u);
+}
+
+TEST(Metrics, SurvivesThreadExit)
+{
+    metrics::reset();
+    std::thread worker([] { metrics::bump(metrics::kLabelReads, 7); });
+    worker.join();
+    // The thread's counters were retired into the global registry.
+    EXPECT_EQ(metrics::read()[metrics::kLabelReads], 7u);
+}
+
+TEST(Metrics, IntervalDelta)
+{
+    metrics::bump(metrics::kPasses, 3);
+    const metrics::Interval interval;
+    metrics::bump(metrics::kPasses, 2);
+    EXPECT_EQ(interval.delta()[metrics::kPasses], 2u);
+}
+
+TEST(Metrics, SnapshotSince)
+{
+    metrics::Snapshot early;
+    early.values[metrics::kRounds] = 5;
+    metrics::Snapshot late;
+    late.values[metrics::kRounds] = 8;
+    EXPECT_EQ(late.since(early)[metrics::kRounds], 3u);
+    // Saturates instead of wrapping.
+    EXPECT_EQ(early.since(late)[metrics::kRounds], 0u);
+}
+
+TEST(Metrics, MemoryAccessesAndToString)
+{
+    metrics::Snapshot snapshot;
+    snapshot.values[metrics::kLabelReads] = 10;
+    snapshot.values[metrics::kLabelWrites] = 4;
+    EXPECT_EQ(snapshot.memory_accesses(), 14u);
+    EXPECT_NE(snapshot.to_string().find("label_reads=10"),
+              std::string::npos);
+}
+
+TEST(Metrics, CounterNames)
+{
+    EXPECT_STREQ(metrics::counter_name(metrics::kWorkItems),
+                 "work_items");
+    EXPECT_STREQ(metrics::counter_name(metrics::kBytesMaterialized),
+                 "bytes_materialized");
+}
+
+class IoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    temp_path(const std::string& name)
+    {
+        const auto dir = std::filesystem::temp_directory_path();
+        return (dir / ("gas_io_test_" + name)).string();
+    }
+
+    void TearDown() override
+    {
+        for (const auto& file : created_) {
+            std::remove(file.c_str());
+        }
+    }
+
+    std::string
+    track(std::string path)
+    {
+        created_.push_back(path);
+        return path;
+    }
+
+    std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, RoundTripWeighted)
+{
+    graph::EdgeList list = graph::rmat(8, 8, 77);
+    graph::randomize_weights(list, 5, 1, 100);
+    graph::Graph original = graph::Graph::from_edge_list(list, true);
+    original.sort_adjacencies();
+
+    const std::string path = track(temp_path("weighted.gasg"));
+    graph::save_binary(original, path);
+    const graph::Graph loaded = graph::load_binary(path);
+
+    EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+    EXPECT_EQ(loaded.num_edges(), original.num_edges());
+    EXPECT_TRUE(loaded.has_weights());
+    EXPECT_EQ(graph::to_edge_list(loaded).edges,
+              graph::to_edge_list(original).edges);
+}
+
+TEST_F(IoTest, RoundTripUnweighted)
+{
+    const graph::Graph original =
+        graph::Graph::from_edge_list(graph::karate_club(), false);
+    const std::string path = track(temp_path("unweighted.gasg"));
+    graph::save_binary(original, path);
+    const graph::Graph loaded = graph::load_binary(path);
+    EXPECT_FALSE(loaded.has_weights());
+    EXPECT_EQ(graph::to_edge_list(loaded).edges,
+              graph::to_edge_list(original).edges);
+}
+
+TEST_F(IoTest, RoundTripEmptyGraph)
+{
+    graph::EdgeList list;
+    list.num_nodes = 5;
+    const graph::Graph original = graph::Graph::from_edge_list(list, false);
+    const std::string path = track(temp_path("empty.gasg"));
+    graph::save_binary(original, path);
+    const graph::Graph loaded = graph::load_binary(path);
+    EXPECT_EQ(loaded.num_nodes(), 5u);
+    EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+} // namespace
+} // namespace gas

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Stress and interaction tests for the runtime: heavy for_each churn,
+ * OBIM under priority inversion, nested constructs, repeated pool
+ * resizing, and reducer reuse across regions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/for_each.h"
+#include "runtime/insert_bag.h"
+#include "runtime/obim.h"
+#include "runtime/parallel.h"
+#include "runtime/reducers.h"
+#include "runtime/thread_pool.h"
+#include "support/random.h"
+
+namespace gas::rt {
+namespace {
+
+TEST(RuntimeStress, RepeatedPoolResizing)
+{
+    for (const unsigned threads : {1u, 3u, 8u, 2u, 5u, 1u, 4u}) {
+        set_num_threads(threads);
+        Accumulator<uint64_t> sum;
+        do_all(1000, [&](std::size_t i) { sum += i; });
+        ASSERT_EQ(sum.reduce(), 1000u * 999 / 2) << threads;
+    }
+    set_num_threads(4);
+}
+
+TEST(RuntimeStress, ManySmallParallelRegions)
+{
+    set_num_threads(4);
+    uint64_t total = 0;
+    for (int round = 0; round < 2000; ++round) {
+        Accumulator<uint64_t> sum;
+        do_all(8, [&](std::size_t i) { sum += i; });
+        total += sum.reduce();
+    }
+    EXPECT_EQ(total, 2000u * 28);
+}
+
+TEST(RuntimeStress, ForEachDeepRecursiveFanout)
+{
+    // Binary fan-out of depth 14: 2^15 - 1 operator applications.
+    set_num_threads(4);
+    Accumulator<uint64_t> count;
+    const std::vector<unsigned> initial{14};
+    for_each<unsigned>(initial, [&](unsigned depth,
+                                    UserContext<unsigned>& ctx) {
+        count += 1;
+        if (depth > 0) {
+            ctx.push(depth - 1);
+            ctx.push(depth - 1);
+        }
+    });
+    EXPECT_EQ(count.reduce(), (uint64_t{1} << 15) - 1);
+}
+
+TEST(RuntimeStress, ForEachRandomizedChurn)
+{
+    // Items randomly spawn 0-2 children, bounded by a budget; the
+    // processed count must equal the pushed count exactly.
+    set_num_threads(8);
+    std::atomic<uint64_t> budget{20000};
+    Accumulator<uint64_t> processed;
+    Accumulator<uint64_t> pushed;
+    std::vector<uint64_t> initial(64);
+    std::iota(initial.begin(), initial.end(), 1u);
+    pushed += initial.size();
+    for_each<uint64_t>(initial, [&](uint64_t seed,
+                                    UserContext<uint64_t>& ctx) {
+        processed += 1;
+        Rng rng(seed);
+        const unsigned children = rng.next_bounded(3);
+        for (unsigned c = 0; c < children; ++c) {
+            if (budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+                pushed += 1;
+                ctx.push(rng.next());
+            }
+        }
+    });
+    EXPECT_EQ(processed.reduce(), pushed.reduce());
+}
+
+TEST(RuntimeStress, ObimPriorityInversionChurn)
+{
+    // High-priority items spawn low-priority items and vice versa;
+    // everything must still be processed exactly once.
+    set_num_threads(4);
+    constexpr unsigned kItems = 4000;
+    std::vector<std::atomic<uint32_t>> hits(kItems);
+    std::vector<unsigned> initial;
+    for (unsigned i = 0; i < kItems / 2; ++i) {
+        initial.push_back(i);
+    }
+    for_each_ordered<unsigned>(
+        initial, [](unsigned item) { return item % 97; },
+        [&](unsigned item, OrderedContext<unsigned>& ctx) {
+            hits[item].fetch_add(1);
+            const unsigned child = item + kItems / 2;
+            if (child < kItems) {
+                // Children get the *opposite* end of the priority range.
+                ctx.push(child, 96 - (item % 97));
+            }
+        });
+    for (unsigned i = 0; i < kItems; ++i) {
+        ASSERT_EQ(hits[i].load(), 1u) << "item " << i;
+    }
+}
+
+TEST(RuntimeStress, ObimClampsHugePriorities)
+{
+    set_num_threads(2);
+    Accumulator<uint64_t> count;
+    const std::vector<unsigned> initial{1, 2, 3};
+    for_each_ordered<unsigned>(
+        initial,
+        [](unsigned item) { return item * 1000000000u; }, // clamped
+        [&](unsigned, OrderedContext<unsigned>&) { count += 1; });
+    EXPECT_EQ(count.reduce(), 3u);
+}
+
+TEST(RuntimeStress, InsertBagHeavyMixedUse)
+{
+    set_num_threads(8);
+    InsertBag<uint64_t> bag;
+    for (int round = 0; round < 5; ++round) {
+        bag.clear();
+        do_all(100000, [&](std::size_t i) {
+            if (i % 3 == 0) {
+                bag.push(i);
+            }
+        });
+        Accumulator<uint64_t> count;
+        bag.parallel_apply([&](uint64_t item) {
+            ASSERT_EQ(item % 3, 0u);
+            count += 1;
+        });
+        ASSERT_EQ(count.reduce(), bag.size());
+        ASSERT_EQ(count.reduce(), 33334u);
+    }
+}
+
+TEST(RuntimeStress, NestedDoAllInsideForEach)
+{
+    set_num_threads(4);
+    Accumulator<uint64_t> total;
+    std::vector<int> initial(32);
+    std::iota(initial.begin(), initial.end(), 0);
+    for_each<int>(initial, [&](int, UserContext<int>&) {
+        // Nested bulk loop runs inline on the worker.
+        do_all(100, [&](std::size_t) { total += 1; });
+    });
+    EXPECT_EQ(total.reduce(), 3200u);
+}
+
+TEST(RuntimeStress, ReducersAcrossManyRegions)
+{
+    set_num_threads(4);
+    ReduceMax<int64_t> max_val;
+    for (int region = 0; region < 100; ++region) {
+        do_all(64, [&](std::size_t i) {
+            max_val.update(static_cast<int64_t>(region * 64 + i));
+        });
+    }
+    EXPECT_EQ(max_val.reduce(), 100 * 64 - 1);
+}
+
+} // namespace
+} // namespace gas::rt

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the parallel runtime: thread pool, do_all scheduling,
+ * per-thread storage, reducers, InsertBag, asynchronous for_each, and
+ * the OBIM priority executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "runtime/for_each.h"
+#include "runtime/insert_bag.h"
+#include "runtime/obim.h"
+#include "runtime/parallel.h"
+#include "runtime/per_thread.h"
+#include "runtime/reducers.h"
+#include "runtime/thread_pool.h"
+
+namespace gas::rt {
+namespace {
+
+class RuntimeTest : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    void SetUp() override { set_num_threads(GetParam()); }
+    void TearDown() override { set_num_threads(4); }
+};
+
+TEST_P(RuntimeTest, PoolReportsThreadCount)
+{
+    EXPECT_EQ(num_threads(), GetParam());
+}
+
+TEST_P(RuntimeTest, OnEachRunsOncePerThread)
+{
+    std::atomic<unsigned> runs{0};
+    std::set<unsigned> tids;
+    std::mutex lock;
+    on_each([&](unsigned tid, unsigned total) {
+        EXPECT_EQ(total, GetParam());
+        runs.fetch_add(1);
+        std::lock_guard guard(lock);
+        tids.insert(tid);
+    });
+    EXPECT_EQ(runs.load(), GetParam());
+    EXPECT_EQ(tids.size(), GetParam());
+}
+
+TEST_P(RuntimeTest, DoAllCoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 100003;
+    std::vector<std::atomic<uint8_t>> hits(n);
+    do_all(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    }
+}
+
+TEST_P(RuntimeTest, DoAllStaticCoversEveryIndex)
+{
+    const std::size_t n = 54321;
+    std::vector<std::atomic<uint8_t>> hits(n);
+    do_all(
+        n, [&](std::size_t i) { hits[i].fetch_add(1); },
+        {Schedule::kStatic, 0});
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    }
+}
+
+TEST_P(RuntimeTest, DoAllEmptyRange)
+{
+    bool ran = false;
+    do_all(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST_P(RuntimeTest, DoAllBlockedRangesPartition)
+{
+    const std::size_t n = 9999;
+    std::atomic<std::size_t> total{0};
+    do_all_blocked(n, [&](Range range) {
+        EXPECT_LE(range.begin, range.end);
+        total.fetch_add(range.size());
+    });
+    EXPECT_EQ(total.load(), n);
+}
+
+TEST_P(RuntimeTest, NestedParallelismRunsInline)
+{
+    std::atomic<std::size_t> total{0};
+    do_all(10, [&](std::size_t) {
+        // Nested do_all must complete inline without deadlock.
+        do_all(10, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 100u);
+}
+
+TEST_P(RuntimeTest, AccumulatorSumsAcrossThreads)
+{
+    Accumulator<uint64_t> sum;
+    const std::size_t n = 100000;
+    do_all(n, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.reduce(), n * (n - 1) / 2);
+}
+
+TEST_P(RuntimeTest, ReduceMaxMin)
+{
+    ReduceMax<int64_t> max_val;
+    ReduceMin<int64_t> min_val;
+    do_all(1000, [&](std::size_t i) {
+        const auto v = static_cast<int64_t>(i * 7 % 997);
+        max_val.update(v);
+        min_val.update(v);
+    });
+    EXPECT_EQ(max_val.reduce(), 996);
+    EXPECT_EQ(min_val.reduce(), 0);
+}
+
+TEST_P(RuntimeTest, ReduceOr)
+{
+    ReduceOr any;
+    do_all(100, [&](std::size_t i) { any.update(i == 57); });
+    EXPECT_TRUE(any.reduce());
+    any.reset();
+    EXPECT_FALSE(any.reduce());
+}
+
+TEST_P(RuntimeTest, PerThreadSlotsAreIndependent)
+{
+    PerThread<uint64_t> counters(0);
+    do_all(10000, [&](std::size_t) { ++counters.local(); });
+    EXPECT_EQ(counters.reduce(uint64_t{0},
+                              [](uint64_t a, uint64_t b) { return a + b; }),
+              10000u);
+}
+
+TEST_P(RuntimeTest, InsertBagCollectsAllPushes)
+{
+    InsertBag<std::size_t> bag;
+    const std::size_t n = 50000;
+    do_all(n, [&](std::size_t i) { bag.push(i); });
+    EXPECT_EQ(bag.size(), n);
+    std::vector<std::size_t> items = bag.to_vector();
+    std::sort(items.begin(), items.end());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(items[i], i);
+    }
+}
+
+TEST_P(RuntimeTest, InsertBagParallelApply)
+{
+    InsertBag<std::size_t> bag;
+    do_all(10000, [&](std::size_t i) { bag.push(i); });
+    Accumulator<uint64_t> sum;
+    bag.parallel_apply([&](std::size_t item) { sum += item; });
+    EXPECT_EQ(sum.reduce(), uint64_t{10000} * 9999 / 2);
+}
+
+TEST_P(RuntimeTest, InsertBagClearKeepsReusable)
+{
+    InsertBag<int> bag;
+    bag.push(1);
+    bag.clear();
+    EXPECT_TRUE(bag.empty());
+    bag.push(2);
+    EXPECT_EQ(bag.size(), 1u);
+}
+
+TEST_P(RuntimeTest, ForEachProcessesAllInitialItems)
+{
+    std::vector<int> initial(1000);
+    std::iota(initial.begin(), initial.end(), 0);
+    Accumulator<int64_t> sum;
+    for_each<int>(initial,
+                  [&](int item, UserContext<int>&) { sum += item; });
+    EXPECT_EQ(sum.reduce(), 1000 * 999 / 2);
+}
+
+TEST_P(RuntimeTest, ForEachProcessesPushedWork)
+{
+    // Each item n spawns n-1 and n-2 (bounded fan-out); count total
+    // operator applications against a serial model.
+    auto serial_count = [](int n) {
+        std::vector<int> stack{n};
+        uint64_t count = 0;
+        while (!stack.empty()) {
+            const int x = stack.back();
+            stack.pop_back();
+            ++count;
+            if (x > 0) {
+                stack.push_back(x - 1);
+                if (x > 1) {
+                    stack.push_back(x - 2);
+                }
+            }
+        }
+        return count;
+    };
+    Accumulator<uint64_t> count;
+    const std::vector<int> initial{12};
+    for_each<int>(initial, [&](int item, UserContext<int>& ctx) {
+        count += 1;
+        if (item > 0) {
+            ctx.push(item - 1);
+            if (item > 1) {
+                ctx.push(item - 2);
+            }
+        }
+    });
+    EXPECT_EQ(count.reduce(), serial_count(12));
+}
+
+TEST_P(RuntimeTest, ForEachEmptyInitial)
+{
+    Accumulator<int> count;
+    for_each<int>(std::vector<int>{},
+                  [&](int, UserContext<int>&) { count += 1; });
+    EXPECT_EQ(count.reduce(), 0);
+}
+
+TEST_P(RuntimeTest, ObimProcessesEverythingOnce)
+{
+    std::vector<unsigned> initial(5000);
+    std::iota(initial.begin(), initial.end(), 0u);
+    std::vector<std::atomic<uint8_t>> hits(5000);
+    for_each_ordered<unsigned>(
+        initial, [](unsigned item) { return item % 13; },
+        [&](unsigned item, OrderedContext<unsigned>&) {
+            hits[item].fetch_add(1);
+        });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1u) << "item " << i;
+    }
+}
+
+TEST_P(RuntimeTest, ObimHandlesPushedWorkAndLowerPriorities)
+{
+    // Items push children at lower priority values; everything must
+    // still be processed.
+    Accumulator<uint64_t> count;
+    const std::vector<unsigned> initial{16};
+    for_each_ordered<unsigned>(
+        initial, [](unsigned item) { return item; },
+        [&](unsigned item, OrderedContext<unsigned>& ctx) {
+            count += 1;
+            if (item > 0) {
+                ctx.push(item - 1, item - 1);
+            }
+        });
+    EXPECT_EQ(count.reduce(), 17u);
+}
+
+TEST_P(RuntimeTest, ObimRoughlyRespectsPriorityOrder)
+{
+    // With a single thread the OBIM order is exact: strictly ascending
+    // priorities when no work is pushed.
+    if (GetParam() != 1) {
+        GTEST_SKIP() << "exact order is only guaranteed single-threaded";
+    }
+    std::vector<unsigned> initial;
+    for (unsigned i = 0; i < 100; ++i) {
+        initial.push_back(99 - i);
+    }
+    std::vector<unsigned> order;
+    for_each_ordered<unsigned>(
+        initial, [](unsigned item) { return item / 10; },
+        [&](unsigned item, OrderedContext<unsigned>&) {
+            order.push_back(item);
+        });
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(order[i - 1] / 10, order[i] / 10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, RuntimeTest,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                             return "Threads" +
+                                 std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace gas::rt

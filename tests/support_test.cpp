@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the support module: RNG, timers, formatting, memory
+ * tracking, and the tracked vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/format.h"
+#include "support/memory_tracker.h"
+#include "support/random.h"
+#include "support/timer.h"
+#include "support/tracked_vector.h"
+
+namespace gas {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() != b.next()) {
+            ++differing;
+        }
+    }
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.next_bounded(17), 17u);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(rng.next_bounded(8));
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, DoubleIsRoughlyUniform)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) {
+        sum += rng.next_double();
+    }
+    EXPECT_NEAR(sum / samples, 0.5, 0.01);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint32_t v = rng.next_in_range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Timer, AccumulatesAcrossStartStop)
+{
+    Timer timer;
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    timer.stop();
+    const double first = timer.seconds();
+    EXPECT_GE(first, 0.009);
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    timer.stop();
+    EXPECT_GE(timer.seconds(), first + 0.009);
+}
+
+TEST(Timer, ResetClears)
+{
+    Timer timer;
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    timer.stop();
+    timer.reset();
+    EXPECT_EQ(timer.seconds(), 0.0);
+}
+
+TEST(ScopedTimer, MeasuresScope)
+{
+    double seconds = 0.0;
+    {
+        ScopedTimer scope(seconds);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(seconds, 0.009);
+}
+
+TEST(Format, HumanBytes)
+{
+    EXPECT_EQ(human_bytes(512), "512 B");
+    EXPECT_EQ(human_bytes(2048), "2.00 KB");
+    EXPECT_EQ(human_bytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(Format, HumanCount)
+{
+    EXPECT_EQ(human_count(0), "0");
+    EXPECT_EQ(human_count(999), "999");
+    EXPECT_EQ(human_count(1000), "1,000");
+    EXPECT_EQ(human_count(1468364884), "1,468,364,884");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(1.0, 0), "1");
+}
+
+TEST(MemoryTracker, TracksAllocAndFree)
+{
+    const std::size_t before = memory::current_bytes();
+    memory::note_alloc(1000);
+    EXPECT_EQ(memory::current_bytes(), before + 1000);
+    memory::note_free(1000);
+    EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(MemoryTracker, PeakScopeSeesGrowth)
+{
+    memory::PeakScope scope;
+    memory::note_alloc(4096);
+    memory::note_free(4096);
+    EXPECT_GE(scope.peak_above_baseline(), 4096u);
+}
+
+TEST(TrackedVector, AccountsCapacity)
+{
+    const std::size_t before = memory::current_bytes();
+    {
+        TrackedVector<uint64_t> values;
+        values.resize(1024);
+        EXPECT_GE(memory::current_bytes(), before + 1024 * sizeof(uint64_t));
+    }
+    EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(TrackedVector, MoveTransfersAccounting)
+{
+    const std::size_t before = memory::current_bytes();
+    TrackedVector<int> a(100);
+    TrackedVector<int> b(std::move(a));
+    EXPECT_EQ(b.size(), 100u);
+    b.reset();
+    EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(TrackedVector, BehavesLikeVector)
+{
+    TrackedVector<int> values;
+    for (int i = 0; i < 100; ++i) {
+        values.push_back(i);
+    }
+    EXPECT_EQ(values.size(), 100u);
+    EXPECT_EQ(values.front(), 0);
+    EXPECT_EQ(values.back(), 99);
+    int sum = 0;
+    for (const int v : values) {
+        sum += v;
+    }
+    EXPECT_EQ(sum, 4950);
+}
+
+} // namespace
+} // namespace gas

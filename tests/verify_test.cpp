@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the serial oracles themselves on hand-checkable graphs.
+ * The oracles back every other correctness test, so they get their own
+ * independent fixtures with known answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "verify/reference.h"
+
+namespace gas::verify {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+using graph::Graph;
+using graph::Node;
+
+Graph
+weighted_diamond()
+{
+    // 0 -> 1 (w 1), 0 -> 2 (w 4), 1 -> 2 (w 2), 2 -> 3 (w 1),
+    // 1 -> 3 (w 10): shortest 0->3 is 0-1-2-3 = 4.
+    EdgeList list;
+    list.num_nodes = 4;
+    list.edges = {{0, 1, 1}, {0, 2, 4}, {1, 2, 2}, {2, 3, 1}, {1, 3, 10}};
+    return Graph::from_edge_list(list, true);
+}
+
+TEST(BfsOracle, PathLevels)
+{
+    const Graph g = Graph::from_edge_list(graph::path(5), false);
+    const auto levels = bfs_levels(g, 0);
+    EXPECT_EQ(levels, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsOracle, UnreachableIsInf)
+{
+    const Graph g = Graph::from_edge_list(graph::path(5), false);
+    const auto levels = bfs_levels(g, 2);
+    EXPECT_EQ(levels[0], kInfLevel);
+    EXPECT_EQ(levels[1], kInfLevel);
+    EXPECT_EQ(levels[2], 0u);
+    EXPECT_EQ(levels[4], 2u);
+}
+
+TEST(DijkstraOracle, Diamond)
+{
+    const auto dist = dijkstra(weighted_diamond(), 0);
+    EXPECT_EQ(dist, (std::vector<uint64_t>{0, 1, 3, 4}));
+}
+
+TEST(DijkstraOracle, UnreachableIsInf)
+{
+    const auto dist = dijkstra(weighted_diamond(), 3);
+    EXPECT_EQ(dist[3], 0u);
+    EXPECT_EQ(dist[0], kInfDistance);
+}
+
+TEST(CcOracle, TwoComponentsAndIsolated)
+{
+    EdgeList list;
+    list.num_nodes = 7;
+    list.edges = {{0, 1, 1}, {1, 2, 1}, {4, 5, 1}};
+    graph::symmetrize(list);
+    const Graph g = Graph::from_edge_list(list, false);
+    const auto labels = connected_components(g);
+    EXPECT_EQ(labels, (std::vector<Node>{0, 0, 0, 3, 4, 4, 6}));
+}
+
+TEST(CcOracle, DirectionIgnored)
+{
+    // Weak components: a directed path is one component.
+    const Graph g = Graph::from_edge_list(graph::path(4), false);
+    const auto labels = connected_components(g);
+    EXPECT_EQ(labels, (std::vector<Node>{0, 0, 0, 0}));
+}
+
+TEST(CanonicalizeComponents, MapsToSmallestMember)
+{
+    const std::vector<Node> labels{5, 5, 2, 2, 5};
+    EXPECT_EQ(canonicalize_components(labels),
+              (std::vector<Node>{0, 0, 2, 2, 0}));
+}
+
+TEST(TcOracle, KnownCounts)
+{
+    auto count_of = [](EdgeList list) {
+        graph::symmetrize(list);
+        Graph g = Graph::from_edge_list(list, false);
+        g.sort_adjacencies();
+        return count_triangles(g);
+    };
+    EXPECT_EQ(count_of(graph::karate_club()), 45u);
+    EXPECT_EQ(count_of(graph::complete(4)), 4u);
+    EXPECT_EQ(count_of(graph::complete(5)), 10u);
+    EXPECT_EQ(count_of(graph::path(10)), 0u);
+    EXPECT_EQ(count_of(graph::cycle(3)), 1u);
+    EXPECT_EQ(count_of(graph::cycle(4)), 0u);
+    EXPECT_EQ(count_of(graph::star(10)), 0u);
+}
+
+TEST(KtrussOracle, CompleteGraphIsItsOwnTruss)
+{
+    EdgeList list = graph::complete(6); // K6: every edge in 4 triangles
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_EQ(ktruss_edge_count(g, 3), 15u);
+    EXPECT_EQ(ktruss_edge_count(g, 6), 15u);
+    EXPECT_EQ(ktruss_edge_count(g, 7), 0u); // needs 5 common neighbors
+}
+
+TEST(KtrussOracle, TriangleWithTail)
+{
+    // Triangle 0-1-2 plus a pendant edge 2-3: the 3-truss drops the
+    // pendant.
+    EdgeList list;
+    list.num_nodes = 4;
+    list.edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {2, 3, 1}};
+    graph::symmetrize(list);
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_EQ(ktruss_edge_count(g, 3), 3u);
+    EXPECT_EQ(ktruss_edge_count(g, 4), 0u);
+}
+
+TEST(KtrussOracle, CascadingRemoval)
+{
+    // Two triangles sharing an edge: a 4-truss requires every edge in
+    // 2 triangles; only the shared edge has support 2, so removal
+    // cascades to empty.
+    EdgeList list;
+    list.num_nodes = 4;
+    list.edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}};
+    graph::symmetrize(list);
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_EQ(ktruss_edge_count(g, 3), 5u);
+    EXPECT_EQ(ktruss_edge_count(g, 4), 0u);
+}
+
+TEST(PagerankOracle, SumIsBoundedByOne)
+{
+    EdgeList list = graph::rmat(8, 8, 5);
+    const Graph g = Graph::from_edge_list(list, false);
+    const auto ranks = pagerank(g, 0.85, 10);
+    double sum = 0.0;
+    for (const double r : ranks) {
+        EXPECT_GT(r, 0.0);
+        sum += r;
+    }
+    // Dangling mass is dropped, so the sum is at most 1.
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    EXPECT_GT(sum, 0.1);
+}
+
+TEST(PagerankOracle, CycleIsUniform)
+{
+    const Graph g = Graph::from_edge_list(graph::cycle(8), false);
+    const auto ranks = pagerank(g, 0.85, 50);
+    for (const double r : ranks) {
+        EXPECT_NEAR(r, 1.0 / 8, 1e-12);
+    }
+}
+
+TEST(PagerankOracle, HubBeatsLeaves)
+{
+    // Every leaf points at vertex 0.
+    EdgeList list;
+    list.num_nodes = 10;
+    for (Node v = 1; v < 10; ++v) {
+        list.edges.push_back({v, 0, 1});
+    }
+    const Graph g = Graph::from_edge_list(list, false);
+    const auto ranks = pagerank(g, 0.85, 10);
+    for (Node v = 1; v < 10; ++v) {
+        EXPECT_GT(ranks[0], 5.0 * ranks[v]);
+    }
+}
+
+} // namespace
+} // namespace gas::verify
