@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bfs_direction.dir/ablation_bfs_direction.cpp.o"
+  "CMakeFiles/ablation_bfs_direction.dir/ablation_bfs_direction.cpp.o.d"
+  "ablation_bfs_direction"
+  "ablation_bfs_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bfs_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extra_apps.dir/ablation_extra_apps.cpp.o"
+  "CMakeFiles/ablation_extra_apps.dir/ablation_extra_apps.cpp.o.d"
+  "ablation_extra_apps"
+  "ablation_extra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_scaling.dir/fig2_scaling.cpp.o"
+  "CMakeFiles/fig2_scaling.dir/fig2_scaling.cpp.o.d"
+  "fig2_scaling"
+  "fig2_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tc_variants.dir/fig3_tc_variants.cpp.o"
+  "CMakeFiles/fig3_tc_variants.dir/fig3_tc_variants.cpp.o.d"
+  "fig3_tc_variants"
+  "fig3_tc_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tc_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

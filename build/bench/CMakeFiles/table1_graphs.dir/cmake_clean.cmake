@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_graphs.dir/table1_graphs.cpp.o"
+  "CMakeFiles/table1_graphs.dir/table1_graphs.cpp.o.d"
+  "table1_graphs"
+  "table1_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_runtime.dir/table2_runtime.cpp.o"
+  "CMakeFiles/table2_runtime.dir/table2_runtime.cpp.o.d"
+  "table2_runtime"
+  "table2_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_counters.dir/table4_counters.cpp.o"
+  "CMakeFiles/table4_counters.dir/table4_counters.cpp.o.d"
+  "table4_counters"
+  "table4_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

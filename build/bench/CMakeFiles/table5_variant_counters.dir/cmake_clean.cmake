@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_variant_counters.dir/table5_variant_counters.cpp.o"
+  "CMakeFiles/table5_variant_counters.dir/table5_variant_counters.cpp.o.d"
+  "table5_variant_counters"
+  "table5_variant_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_variant_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_semirings.dir/matrix_semirings.cpp.o"
+  "CMakeFiles/matrix_semirings.dir/matrix_semirings.cpp.o.d"
+  "matrix_semirings"
+  "matrix_semirings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_semirings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for matrix_semirings.
+# This may be replaced when dependencies are built.

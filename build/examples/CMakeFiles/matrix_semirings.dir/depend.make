@@ -1,0 +1,2 @@
+# Empty dependencies file for matrix_semirings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_workload.dir/run_workload.cpp.o"
+  "CMakeFiles/run_workload.dir/run_workload.cpp.o.d"
+  "run_workload"
+  "run_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/gas.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/gas.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/suite.cpp" "src/CMakeFiles/gas.dir/core/suite.cpp.o" "gcc" "src/CMakeFiles/gas.dir/core/suite.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/CMakeFiles/gas.dir/core/table.cpp.o" "gcc" "src/CMakeFiles/gas.dir/core/table.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/gas.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/gas.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/gas.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/gas.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/gas.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/gas.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/gas.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/gas.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/CMakeFiles/gas.dir/graph/properties.cpp.o" "gcc" "src/CMakeFiles/gas.dir/graph/properties.cpp.o.d"
+  "/root/repo/src/lagraph/la_bc.cpp" "src/CMakeFiles/gas.dir/lagraph/la_bc.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_bc.cpp.o.d"
+  "/root/repo/src/lagraph/la_bfs.cpp" "src/CMakeFiles/gas.dir/lagraph/la_bfs.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_bfs.cpp.o.d"
+  "/root/repo/src/lagraph/la_bfs_fused.cpp" "src/CMakeFiles/gas.dir/lagraph/la_bfs_fused.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_bfs_fused.cpp.o.d"
+  "/root/repo/src/lagraph/la_bfs_pushpull.cpp" "src/CMakeFiles/gas.dir/lagraph/la_bfs_pushpull.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_bfs_pushpull.cpp.o.d"
+  "/root/repo/src/lagraph/la_cc.cpp" "src/CMakeFiles/gas.dir/lagraph/la_cc.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_cc.cpp.o.d"
+  "/root/repo/src/lagraph/la_kcore.cpp" "src/CMakeFiles/gas.dir/lagraph/la_kcore.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_kcore.cpp.o.d"
+  "/root/repo/src/lagraph/la_ktruss.cpp" "src/CMakeFiles/gas.dir/lagraph/la_ktruss.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_ktruss.cpp.o.d"
+  "/root/repo/src/lagraph/la_pr.cpp" "src/CMakeFiles/gas.dir/lagraph/la_pr.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_pr.cpp.o.d"
+  "/root/repo/src/lagraph/la_sssp.cpp" "src/CMakeFiles/gas.dir/lagraph/la_sssp.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_sssp.cpp.o.d"
+  "/root/repo/src/lagraph/la_tc.cpp" "src/CMakeFiles/gas.dir/lagraph/la_tc.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lagraph/la_tc.cpp.o.d"
+  "/root/repo/src/lonestar/ls_bc.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_bc.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_bc.cpp.o.d"
+  "/root/repo/src/lonestar/ls_bfs.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_bfs.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_bfs.cpp.o.d"
+  "/root/repo/src/lonestar/ls_bfs_dirop.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_bfs_dirop.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_bfs_dirop.cpp.o.d"
+  "/root/repo/src/lonestar/ls_cc.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_cc.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_cc.cpp.o.d"
+  "/root/repo/src/lonestar/ls_kcore.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_kcore.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_kcore.cpp.o.d"
+  "/root/repo/src/lonestar/ls_ktruss.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_ktruss.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_ktruss.cpp.o.d"
+  "/root/repo/src/lonestar/ls_pr.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_pr.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_pr.cpp.o.d"
+  "/root/repo/src/lonestar/ls_sssp.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_sssp.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_sssp.cpp.o.d"
+  "/root/repo/src/lonestar/ls_tc.cpp" "src/CMakeFiles/gas.dir/lonestar/ls_tc.cpp.o" "gcc" "src/CMakeFiles/gas.dir/lonestar/ls_tc.cpp.o.d"
+  "/root/repo/src/matrix/backend.cpp" "src/CMakeFiles/gas.dir/matrix/backend.cpp.o" "gcc" "src/CMakeFiles/gas.dir/matrix/backend.cpp.o.d"
+  "/root/repo/src/metrics/counters.cpp" "src/CMakeFiles/gas.dir/metrics/counters.cpp.o" "gcc" "src/CMakeFiles/gas.dir/metrics/counters.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/gas.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gas.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/support/check.cpp" "src/CMakeFiles/gas.dir/support/check.cpp.o" "gcc" "src/CMakeFiles/gas.dir/support/check.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/CMakeFiles/gas.dir/support/format.cpp.o" "gcc" "src/CMakeFiles/gas.dir/support/format.cpp.o.d"
+  "/root/repo/src/support/memory_tracker.cpp" "src/CMakeFiles/gas.dir/support/memory_tracker.cpp.o" "gcc" "src/CMakeFiles/gas.dir/support/memory_tracker.cpp.o.d"
+  "/root/repo/src/verify/reference.cpp" "src/CMakeFiles/gas.dir/verify/reference.cpp.o" "gcc" "src/CMakeFiles/gas.dir/verify/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_system_test.dir/cross_system_test.cpp.o"
+  "CMakeFiles/cross_system_test.dir/cross_system_test.cpp.o.d"
+  "cross_system_test"
+  "cross_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

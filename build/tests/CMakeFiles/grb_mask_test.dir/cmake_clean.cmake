@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_mask_test.dir/grb_mask_test.cpp.o"
+  "CMakeFiles/grb_mask_test.dir/grb_mask_test.cpp.o.d"
+  "grb_mask_test"
+  "grb_mask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_semiring_test.dir/grb_semiring_test.cpp.o"
+  "CMakeFiles/grb_semiring_test.dir/grb_semiring_test.cpp.o.d"
+  "grb_semiring_test"
+  "grb_semiring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_semiring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_spgemm_ext_test.dir/grb_spgemm_ext_test.cpp.o"
+  "CMakeFiles/grb_spgemm_ext_test.dir/grb_spgemm_ext_test.cpp.o.d"
+  "grb_spgemm_ext_test"
+  "grb_spgemm_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_spgemm_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

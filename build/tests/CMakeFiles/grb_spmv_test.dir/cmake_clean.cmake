@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_spmv_test.dir/grb_spmv_test.cpp.o"
+  "CMakeFiles/grb_spmv_test.dir/grb_spmv_test.cpp.o.d"
+  "grb_spmv_test"
+  "grb_spmv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_spmv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

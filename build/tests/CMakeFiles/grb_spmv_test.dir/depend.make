@@ -1,0 +1,2 @@
+# Empty dependencies file for grb_spmv_test.
+# This may be replaced when dependencies are built.

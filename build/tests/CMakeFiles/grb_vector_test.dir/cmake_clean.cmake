@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_vector_test.dir/grb_vector_test.cpp.o"
+  "CMakeFiles/grb_vector_test.dir/grb_vector_test.cpp.o.d"
+  "grb_vector_test"
+  "grb_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

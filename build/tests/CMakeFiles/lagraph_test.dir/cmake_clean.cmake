@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagraph_test.dir/lagraph_test.cpp.o"
+  "CMakeFiles/lagraph_test.dir/lagraph_test.cpp.o.d"
+  "lagraph_test"
+  "lagraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lonestar_test.dir/lonestar_test.cpp.o"
+  "CMakeFiles/lonestar_test.dir/lonestar_test.cpp.o.d"
+  "lonestar_test"
+  "lonestar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lonestar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

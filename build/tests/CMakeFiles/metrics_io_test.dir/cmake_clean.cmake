@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_io_test.dir/metrics_io_test.cpp.o"
+  "CMakeFiles/metrics_io_test.dir/metrics_io_test.cpp.o.d"
+  "metrics_io_test"
+  "metrics_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

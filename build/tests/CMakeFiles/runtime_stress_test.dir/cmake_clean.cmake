@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_stress_test.dir/runtime_stress_test.cpp.o"
+  "CMakeFiles/runtime_stress_test.dir/runtime_stress_test.cpp.o.d"
+  "runtime_stress_test"
+  "runtime_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
