@@ -46,10 +46,11 @@ main()
 
     core::Table table(
         "Table IV: software-counter ratios GB/LS "
-        "(instruction and memory-access proxies; paper: all > 1)");
+        "(instruction and memory-access proxies; paper: all > 1; "
+        "trailing columns: LS scheduler activity, raw counts)");
     table.set_header({"app", "graph", "work items", "label accesses",
                       "edge visits", "bytes materialized", "passes",
-                      "rounds"});
+                      "rounds", "ls pushes", "ls steals", "ls backoffs"});
 
     for (const auto& [app, graph_name] : cells) {
         const auto input =
@@ -68,7 +69,13 @@ main()
              ratio_str(g[metrics::kBytesMaterialized],
                        l[metrics::kBytesMaterialized]),
              ratio_str(g[metrics::kPasses], l[metrics::kPasses]),
-             ratio_str(g[metrics::kRounds], l[metrics::kRounds])});
+             ratio_str(g[metrics::kRounds], l[metrics::kRounds]),
+             // The graph API's worklist scheduler at work: raw event
+             // counts (the matrix API has no dynamic worklist, so a
+             // ratio would be meaningless).
+             std::to_string(l[metrics::kPushes]),
+             std::to_string(l[metrics::kSteals]),
+             std::to_string(l[metrics::kBackoffs])});
     }
 
     table.print();

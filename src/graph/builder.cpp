@@ -17,9 +17,19 @@ remove_self_loops(EdgeList& list)
 void
 deduplicate(EdgeList& list)
 {
+    // Weight is the tiebreaker: std::sort is unstable, so ordering by
+    // (src, dst) alone would leave which parallel edge survives the
+    // unique() below up to the sort implementation and input order.
+    // Sorting the full key keeps the minimum weight, deterministically.
     std::sort(list.edges.begin(), list.edges.end(),
               [](const Edge& a, const Edge& b) {
-                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                  if (a.src != b.src) {
+                      return a.src < b.src;
+                  }
+                  if (a.dst != b.dst) {
+                      return a.dst < b.dst;
+                  }
+                  return a.weight < b.weight;
               });
     auto last = std::unique(list.edges.begin(), list.edges.end(),
                             [](const Edge& a, const Edge& b) {

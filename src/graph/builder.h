@@ -20,7 +20,8 @@ namespace gas::graph {
 void remove_self_loops(EdgeList& list);
 
 /// Sort edges by (src, dst) and drop duplicate (src, dst) pairs,
-/// keeping the first occurrence's weight.
+/// keeping the minimum weight (deterministic regardless of input
+/// order).
 void deduplicate(EdgeList& list);
 
 /// Add the reverse of every edge (same weight), then deduplicate.

@@ -79,8 +79,17 @@ bfs_dirop(const Graph& graph, const Graph& transpose, Node source,
                      e < transpose.edge_end(v); ++e) {
                     metrics::bump(metrics::kEdgeVisits);
                     metrics::bump(metrics::kLabelReads);
-                    if (dist[transpose.edge_dst(e)] == parent_level) {
-                        dist[v] = level;
+                    // Neighbor labels are written concurrently by their
+                    // own threads (line below); relaxed atomics keep
+                    // the probe race-free. Only level-(parent_level)
+                    // parents can satisfy the probe, so the weak
+                    // ordering cannot admit a wrong level.
+                    const Node parent = transpose.edge_dst(e);
+                    if (std::atomic_ref<uint32_t>(dist[parent])
+                            .load(std::memory_order_relaxed) ==
+                        parent_level) {
+                        std::atomic_ref<uint32_t>(dist[v]).store(
+                            level, std::memory_order_relaxed);
                         metrics::bump(metrics::kLabelWrites);
                         next->push(v);
                         next_edges += graph.out_degree(v);

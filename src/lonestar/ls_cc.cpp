@@ -20,11 +20,18 @@ namespace {
 /// Lock-free union by ID with on-the-fly compression (Afforest's link,
 /// after GAP). Hooks the larger root under the smaller so final labels
 /// are component minima.
+/// Relaxed atomic load of a concurrently updated component label.
+Node
+load_label(std::vector<Node>& comp, Node v)
+{
+    return std::atomic_ref<Node>(comp[v]).load(std::memory_order_relaxed);
+}
+
 void
 link(Node u, Node v, std::vector<Node>& comp)
 {
-    Node p1 = comp[u];
-    Node p2 = comp[v];
+    Node p1 = load_label(comp, u);
+    Node p2 = load_label(comp, v);
     while (p1 != p2) {
         metrics::bump(metrics::kWorkItems);
         const Node high = std::max(p1, p2);
@@ -39,8 +46,8 @@ link(Node u, Node v, std::vector<Node>& comp)
             metrics::bump(metrics::kLabelWrites);
             break;
         }
-        p1 = comp[comp[high]];
-        p2 = comp[low];
+        p1 = load_label(comp, load_label(comp, high));
+        p2 = load_label(comp, low);
     }
 }
 
@@ -50,8 +57,17 @@ compress(std::vector<Node>& comp)
 {
     rt::do_all(comp.size(), [&](std::size_t v) {
         metrics::bump(metrics::kWorkItems);
-        while (comp[v] != comp[comp[v]]) {
-            comp[v] = comp[comp[v]];
+        // Concurrent compression of overlapping chains is fine: labels
+        // only ever decrease toward the root, so relaxed atomics keep
+        // every interleaving convergent (and the algorithm race-free).
+        std::atomic_ref<Node> cv(comp[v]);
+        while (true) {
+            const Node parent = cv.load(std::memory_order_relaxed);
+            const Node root = load_label(comp, parent);
+            if (parent == root) {
+                break;
+            }
+            cv.store(root, std::memory_order_relaxed);
             metrics::bump(metrics::kLabelReads, 2);
             metrics::bump(metrics::kLabelWrites);
         }
@@ -122,7 +138,7 @@ cc_afforest(const Graph& graph, uint32_t sampling_rounds)
     metrics::bump(metrics::kRounds);
     rt::do_all(n, [&](std::size_t ui) {
         const Node u = static_cast<Node>(ui);
-        if (comp[u] == giant) {
+        if (load_label(comp, u) == giant) {
             return; // skip vertices already absorbed
         }
         const EdgeIdx begin = graph.edge_begin(u) + sampling_rounds;
@@ -157,7 +173,8 @@ cc_sv(const Graph& graph)
             for (EdgeIdx e = begin; e < end; ++e) {
                 const Node v = graph.edge_dst(e);
                 metrics::bump(metrics::kLabelReads, 2);
-                const Node cv = comp[v];
+                const Node cv = std::atomic_ref<Node>(comp[v]).load(
+                    std::memory_order_relaxed);
                 std::atomic_ref<Node> cu(comp[u]);
                 Node current = cu.load(std::memory_order_relaxed);
                 while (cv < current &&
@@ -176,8 +193,18 @@ cc_sv(const Graph& graph)
         // API cannot express.
         rt::do_all(n, [&](std::size_t v) {
             metrics::bump(metrics::kWorkItems);
-            while (comp[v] != comp[comp[v]]) {
-                comp[v] = comp[comp[v]];
+            // Other threads may be jumping the same chain concurrently;
+            // all accesses go through relaxed atomics (monotonically
+            // decreasing labels make any interleaving converge).
+            std::atomic_ref<Node> cv(comp[v]);
+            while (true) {
+                const Node parent = cv.load(std::memory_order_relaxed);
+                const Node root = std::atomic_ref<Node>(comp[parent])
+                                      .load(std::memory_order_relaxed);
+                if (parent == root) {
+                    break;
+                }
+                cv.store(root, std::memory_order_relaxed);
                 metrics::bump(metrics::kLabelReads, 2);
                 metrics::bump(metrics::kLabelWrites);
             }

@@ -103,7 +103,12 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
                         // Common neighbor w: the triangle counts only
                         // if both wing edges are still alive.
                         wing_reads += 2;
-                        if (alive[a] != 0 && alive[b] != 0) {
+                        // Wing edges may be killed concurrently by
+                        // other threads (Gauss-Seidel within a round).
+                        if (std::atomic_ref<uint8_t>(alive[a]).load(
+                                std::memory_order_relaxed) != 0 &&
+                            std::atomic_ref<uint8_t>(alive[b]).load(
+                                std::memory_order_relaxed) != 0) {
                             ++support;
                         }
                         ++a;

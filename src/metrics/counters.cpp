@@ -23,8 +23,14 @@ struct Registry
     static Registry&
     instance()
     {
-        static Registry registry;
-        return registry;
+        // Intentionally leaked: worker threads' ThreadHandle TLS
+        // destructors run when those threads exit, which can be after
+        // static destruction has begun on the main thread (the thread
+        // pool is itself a static singleton). A destructed registry
+        // would then be a use-after-free; an immortal one is always
+        // safe to deregister from.
+        static Registry* registry = new Registry;
+        return *registry;
     }
 };
 
@@ -71,6 +77,10 @@ counter_name(CounterId id)
       case kBytesMaterialized: return "bytes_materialized";
       case kPasses: return "passes";
       case kRounds: return "rounds";
+      case kPushes: return "pushes";
+      case kSteals: return "steals";
+      case kStealFails: return "steal_fails";
+      case kBackoffs: return "backoffs";
       default: return "unknown";
     }
 }

@@ -24,6 +24,16 @@
  *                        a proxy for DRAM accesses)
  *  - kRounds             bulk-synchronous rounds executed
  *
+ * Scheduler counters (the asynchronous executors' own behavior, used
+ * by table4_counters to report per-workload scheduler activity):
+ *
+ *  - kPushes             items pushed into a scheduler worklist
+ *  - kSteals             items obtained from a remote deque or a
+ *                        shared priority bin
+ *  - kStealFails         steal attempts / scan passes that found
+ *                        nothing (contention or emptiness)
+ *  - kBackoffs           idle backoff waits between steal sweeps
+ *
  * Counters are per-thread (plain non-atomic increments) and aggregated
  * on demand, so instrumentation stays cheap enough to leave enabled in
  * the hot loops of every kernel.
@@ -44,6 +54,10 @@ enum CounterId : unsigned {
     kBytesMaterialized,
     kPasses,
     kRounds,
+    kPushes,
+    kSteals,
+    kStealFails,
+    kBackoffs,
     kNumCounters,
 };
 

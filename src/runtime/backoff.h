@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * Exponential backoff for idle scheduler threads.
+ *
+ * An idle thread that fails to find work spins briefly (cheap, keeps
+ * latency low when work appears immediately), then waits exponentially
+ * longer, and finally falls back to yielding the core. This keeps idle
+ * threads from hammering the termination counter and the victims'
+ * deque tops — on an oversubscribed machine the yield path also lets
+ * the thread that actually holds work run.
+ */
+
+#include <thread>
+
+namespace gas::rt {
+
+/// Emit one "polite busy-wait" instruction (PAUSE/YIELD where available).
+inline void
+cpu_relax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Per-thread exponential backoff state.
+ *
+ * Each wait() spins 2^n pause instructions; once n passes
+ * kYieldThreshold the thread yields to the OS instead. reset() on any
+ * successful work acquisition returns to the cheap end of the curve.
+ */
+class Backoff
+{
+  public:
+    /// Exponent after which waits become OS yields instead of spins.
+    static constexpr unsigned kYieldThreshold = 8;
+    /// Exponent cap (bounds the spin count at 2^kMaxExponent).
+    static constexpr unsigned kMaxExponent = 12;
+
+    /// Wait once, exponentially longer than the previous wait.
+    void
+    wait()
+    {
+        if (exponent_ < kYieldThreshold) {
+            const unsigned spins = 1u << exponent_;
+            for (unsigned i = 0; i < spins; ++i) {
+                cpu_relax();
+            }
+        } else {
+            std::this_thread::yield();
+        }
+        if (exponent_ < kMaxExponent) {
+            ++exponent_;
+        }
+    }
+
+    /// Return to the cheap end of the curve (work was found).
+    void
+    reset()
+    {
+        exponent_ = 0;
+    }
+
+  private:
+    unsigned exponent_{0};
+};
+
+} // namespace gas::rt

@@ -1,0 +1,246 @@
+#pragma once
+
+/**
+ * @file
+ * Chase–Lev lock-free work-stealing deque.
+ *
+ * One thread owns each deque: only the owner may push() and pop(), both
+ * at the *bottom* end, so the owner's hot path is LIFO and entirely
+ * uncontended (a relaxed load, an atomic cell store, a release store).
+ * Any other thread may steal() from the *top* end; thieves serialize
+ * among themselves and against the owner's last-item pop with a single
+ * compare-and-swap on the top index. There are no locks anywhere: a
+ * stalled thief cannot block the owner and vice versa.
+ *
+ * The memory-ordering discipline follows Lê, Pop, Cohen & Zappa
+ * Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+ * Models" (PPoPP'13), with one deliberate change: the standalone
+ * seq_cst fences of the C11 version are strengthened into seq_cst
+ * accesses on `top_`/`bottom_` themselves. On x86 the cost is
+ * identical (the owner's pop pays one full barrier either way, and
+ * seq_cst *loads* are plain loads), and per-access ordering is modeled
+ * precisely by ThreadSanitizer, so the exact production protocol is
+ * what gets race-checked.
+ *
+ * The circular buffer grows geometrically on overflow. Retired buffers
+ * are kept alive until the deque is destroyed: a thief racing a grow
+ * may still read a cell of the old buffer, observe a stale item, and
+ * then fail its CAS — the read must stay valid even though the value
+ * is discarded. Cells are std::atomic<T>, which both makes those
+ * benign races defined behavior and requires T to be trivially
+ * copyable (work items here are small PODs: node ids, edge tiles).
+ *
+ * Indices are signed 64-bit and monotonically increasing, so the CAS
+ * on `top_` is ABA-free for any realistic execution length.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace gas::rt {
+
+template <typename T>
+class ChaseLevDeque
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "work items must be trivially copyable (they are read "
+                  "racily and discarded on CAS failure)");
+
+  public:
+    /// Largest number of items one steal_batch() may transfer.
+    static constexpr std::size_t kMaxBatch = 32;
+
+    explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+        : live_(std::make_unique<Ring>(
+              std::bit_ceil(std::max<std::size_t>(initial_capacity, 2))))
+    {
+        ring_.store(live_.get(), std::memory_order_relaxed);
+    }
+
+    ChaseLevDeque(const ChaseLevDeque&) = delete;
+    ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+    /**
+     * Owner-only: append @p item at the bottom. Also safe from a single
+     * thread before any concurrent activity starts (worklist seeding).
+     */
+    void
+    push(const T& item)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        Ring* ring = ring_.load(std::memory_order_relaxed);
+        if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+            ring = grow(ring, t, b);
+        }
+        ring->put(b, item);
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /**
+     * Owner-only: take the most recently pushed item. Returns false
+     * when the deque is empty (or a thief won the race to the last
+     * item).
+     */
+    bool
+    pop(T& out)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        Ring* ring = ring_.load(std::memory_order_relaxed);
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t <= b) {
+            out = ring->get(b);
+            if (t == b) {
+                // Last item: race thieves for it with a CAS on top.
+                const bool won = top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed);
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                return won;
+            }
+            return true;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /**
+     * Thief: take the oldest item. Returns false when the deque looks
+     * empty or the CAS lost to a concurrent steal/pop (callers treat
+     * both as "try elsewhere").
+     */
+    bool
+    steal(T& out)
+    {
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b) {
+            return false;
+        }
+        Ring* ring = ring_.load(std::memory_order_acquire);
+        const T item = ring->get(t); // must read before the CAS
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return false;
+        }
+        out = item;
+        return true;
+    }
+
+    /**
+     * Thief: take up to @p max items (capped at half the victim's
+     * visible work, so the victim keeps making progress locally). Each
+     * item is claimed by its own top-CAS — a multi-item CAS would race
+     * the owner's CAS-free interior pops — and the batch aborts on the
+     * first lost race. Returns the number of items written to @p out.
+     */
+    std::size_t
+    steal_batch(T* out, std::size_t max)
+    {
+        std::size_t got = 0;
+        std::size_t limit = max;
+        while (got < limit) {
+            std::int64_t t = top_.load(std::memory_order_seq_cst);
+            const std::int64_t b =
+                bottom_.load(std::memory_order_seq_cst);
+            const std::int64_t size = b - t;
+            if (size <= 0) {
+                break;
+            }
+            if (got == 0) {
+                limit = std::min<std::size_t>(
+                    max, static_cast<std::size_t>((size + 1) / 2));
+            }
+            Ring* ring = ring_.load(std::memory_order_acquire);
+            const T item = ring->get(t);
+            if (!top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+                break;
+            }
+            out[got++] = item;
+        }
+        return got;
+    }
+
+    /// Racy size estimate for victim selection (never negative).
+    std::size_t
+    size_hint() const
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    /// Racy emptiness hint (cheap pre-check before a steal attempt).
+    bool
+    looks_empty() const
+    {
+        return size_hint() == 0;
+    }
+
+  private:
+    /// Power-of-two circular buffer of atomic cells.
+    struct Ring
+    {
+        explicit Ring(std::size_t cap)
+            : capacity(cap), mask(cap - 1),
+              cells(std::make_unique<std::atomic<T>[]>(cap))
+        {
+        }
+
+        void
+        put(std::int64_t index, const T& value)
+        {
+            cells[static_cast<std::size_t>(index) & mask].store(
+                value, std::memory_order_relaxed);
+        }
+
+        T
+        get(std::int64_t index) const
+        {
+            return cells[static_cast<std::size_t>(index) & mask].load(
+                std::memory_order_relaxed);
+        }
+
+        const std::size_t capacity;
+        const std::size_t mask;
+        std::unique_ptr<std::atomic<T>[]> cells;
+    };
+
+    /// Owner-only: double the buffer, copying the live range [t, b).
+    Ring*
+    grow(Ring* old, std::int64_t t, std::int64_t b)
+    {
+        auto bigger = std::make_unique<Ring>(old->capacity * 2);
+        for (std::int64_t i = t; i < b; ++i) {
+            bigger->put(i, old->get(i));
+        }
+        Ring* raw = bigger.get();
+        // Publish before any use; in-flight thieves may keep reading the
+        // retired ring, so it stays allocated until destruction.
+        ring_.store(raw, std::memory_order_release);
+        retired_.push_back(std::move(live_));
+        live_ = std::move(bigger);
+        return raw;
+    }
+
+    // Top (thief end) and bottom (owner end) on separate cache lines:
+    // thieves hammer top_ with CASes while the owner streams bottom_.
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+    alignas(64) std::atomic<Ring*> ring_{nullptr};
+
+    std::unique_ptr<Ring> live_;                 // owner-only
+    std::vector<std::unique_ptr<Ring>> retired_; // owner-only
+};
+
+} // namespace gas::rt

@@ -4,76 +4,44 @@
  * @file
  * Asynchronous data-driven executor (the Galois for_each analog).
  *
- * Threads process items from per-thread deques; an operator may push new
- * work, which goes to the pushing thread's deque. Idle threads steal from
- * victims. There is no notion of rounds: an item pushed by one thread can
- * be processed by another thread while the rest of the worklist is still
+ * Threads process items from per-thread Chase–Lev deques; an operator
+ * may push new work, which goes to the pushing thread's deque (LIFO for
+ * locality, entirely lock-free and uncontended on the owner's end).
+ * Idle threads steal *batches* from victims — up to half the victim's
+ * visible work, capped at ChaseLevDeque::kMaxBatch — keep one item to
+ * run immediately and bank the rest in their own deque, so a thread
+ * that finds a loaded victim stops being a thief after one sweep.
+ * There is no notion of rounds: an item pushed by one thread can be
+ * processed by another thread while the rest of the worklist is still
  * draining — this is the "asynchronous execution" the paper credits for
  * the large sssp and cc wins of the graph API.
+ *
+ * A thread whose sweep finds nothing backs off exponentially (spin,
+ * then yield) before re-checking termination, so idle threads do not
+ * saturate the victims' deque tops or the shared pending counter.
  *
  * Termination uses a global count of outstanding items: an item is
  * counted when pushed and uncounted after its operator application (and
  * after any pushes that application performed), so a zero count means no
  * work exists or can appear.
+ *
+ * Scheduler activity is recorded in the software counters (kPushes,
+ * kSteals, kStealFails, kBackoffs) so benches can report per-workload
+ * scheduler behavior alongside the algorithmic event counts.
  */
 
+#include <array>
 #include <atomic>
 #include <cstddef>
-#include <deque>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "metrics/counters.h"
+#include "runtime/backoff.h"
+#include "runtime/chase_lev.h"
 #include "runtime/thread_pool.h"
 #include "support/check.h"
 
 namespace gas::rt {
-
-namespace detail {
-
-/// A mutex-protected deque: owner pops from the back, thieves steal from
-/// the front. The mutex is uncontended in the common (no-steal) case.
-template <typename T>
-class WorkQueue
-{
-  public:
-    void
-    push(const T& item)
-    {
-        std::lock_guard guard(lock_);
-        items_.push_back(item);
-    }
-
-    bool
-    pop(T& out)
-    {
-        std::lock_guard guard(lock_);
-        if (items_.empty()) {
-            return false;
-        }
-        out = items_.back();
-        items_.pop_back();
-        return true;
-    }
-
-    bool
-    steal(T& out)
-    {
-        std::lock_guard guard(lock_);
-        if (items_.empty()) {
-            return false;
-        }
-        out = items_.front();
-        items_.pop_front();
-        return true;
-    }
-
-  private:
-    std::mutex lock_;
-    std::deque<T> items_;
-};
-
-} // namespace detail
 
 /**
  * Handle passed to a for_each operator for pushing follow-up work.
@@ -82,8 +50,8 @@ template <typename T>
 class UserContext
 {
   public:
-    UserContext(detail::WorkQueue<T>& queue, std::atomic<std::size_t>& pending)
-        : queue_(queue), pending_(pending)
+    UserContext(ChaseLevDeque<T>& deque, std::atomic<std::size_t>& pending)
+        : deque_(deque), pending_(pending)
     {
     }
 
@@ -92,11 +60,12 @@ class UserContext
     push(const T& item)
     {
         pending_.fetch_add(1, std::memory_order_relaxed);
-        queue_.push(item);
+        deque_.push(item);
+        metrics::bump(metrics::kPushes);
     }
 
   private:
-    detail::WorkQueue<T>& queue_;
+    ChaseLevDeque<T>& deque_;
     std::atomic<std::size_t>& pending_;
 };
 
@@ -113,15 +82,17 @@ for_each(const Container& initial, Fn&& fn)
     ThreadPool& pool = ThreadPool::get();
     const unsigned threads = pool.num_threads();
 
-    std::vector<detail::WorkQueue<T>> queues(threads);
+    std::vector<ChaseLevDeque<T>> deques(threads);
     std::atomic<std::size_t> pending{0};
 
-    // Seed the queues round-robin so all threads start with work.
+    // Seed the deques round-robin so all threads start with work. This
+    // runs single-threaded before the region starts, so pushing into
+    // other threads' deques is safe here (and only here).
     {
         std::size_t next = 0;
         for (const T& item : initial) {
             pending.fetch_add(1, std::memory_order_relaxed);
-            queues[next % threads].push(item);
+            deques[next % threads].push(item);
             ++next;
         }
     }
@@ -130,29 +101,49 @@ for_each(const Container& initial, Fn&& fn)
     }
 
     pool.run([&](unsigned tid, unsigned total) {
-        detail::WorkQueue<T>& mine = queues[tid];
+        ChaseLevDeque<T>& mine = deques[tid];
         UserContext<T> ctx(mine, pending);
-        unsigned spin = 0;
+        std::array<T, ChaseLevDeque<T>::kMaxBatch> loot;
+        Backoff backoff;
         while (true) {
             T item;
             bool found = mine.pop(item);
             if (!found) {
-                // Steal sweep over all other queues.
+                // Steal sweep: batch-steal from the first victim with
+                // visible work, keep one item and bank the rest.
                 for (unsigned step = 1; step < total && !found; ++step) {
-                    found = queues[(tid + step) % total].steal(item);
+                    ChaseLevDeque<T>& victim =
+                        deques[(tid + step) % total];
+                    if (victim.looks_empty()) {
+                        continue;
+                    }
+                    const std::size_t got =
+                        victim.steal_batch(loot.data(), loot.size());
+                    if (got != 0) {
+                        metrics::bump(metrics::kSteals, got);
+                        item = loot[0];
+                        for (std::size_t i = 1; i < got; ++i) {
+                            mine.push(loot[i]);
+                        }
+                        found = true;
+                    } else {
+                        metrics::bump(metrics::kStealFails);
+                    }
                 }
             }
             if (found) {
-                spin = 0;
+                backoff.reset();
                 fn(item, ctx);
                 pending.fetch_sub(1, std::memory_order_acq_rel);
                 continue;
             }
+            // Nothing anywhere: back off, then check termination. The
+            // first backoff is a handful of pause instructions, so the
+            // exit path stays cheap.
+            metrics::bump(metrics::kBackoffs);
+            backoff.wait();
             if (pending.load(std::memory_order_acquire) == 0) {
                 return;
-            }
-            if (++spin > 64) {
-                std::this_thread::yield();
             }
         }
     });

@@ -23,9 +23,10 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "metrics/counters.h"
+#include "runtime/backoff.h"
 #include "runtime/thread_pool.h"
 #include "support/check.h"
 
@@ -40,6 +41,9 @@ template <typename T>
 class PriorityBin
 {
   public:
+    /// Drained prefix length above which pop_batch compacts the vector.
+    static constexpr std::size_t kCompactMin = 64;
+
     void
     push(const T& item)
     {
@@ -63,6 +67,16 @@ class PriorityBin
         if (head_ == items_.size()) {
             items_.clear();
             head_ = 0;
+        } else if (head_ >= kCompactMin && head_ >= items_.size() - head_) {
+            // A bin fed faster than it drains never hits the
+            // fully-drained branch above, so the processed prefix would
+            // otherwise grow without bound. Erasing once the prefix is
+            // at least as long as the live suffix keeps storage within
+            // 2x the live item count at amortized O(1) per item.
+            items_.erase(items_.begin(),
+                         items_.begin() +
+                             static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
         }
         size_hint_.store(items_.size() - head_,
                          std::memory_order_relaxed);
@@ -74,6 +88,15 @@ class PriorityBin
     looks_empty() const
     {
         return size_hint_.load(std::memory_order_relaxed) == 0;
+    }
+
+    /// Total buffered slots including the drained prefix (tests use
+    /// this to assert that bin memory stays bounded).
+    std::size_t
+    storage_size() const
+    {
+        std::lock_guard guard(lock_);
+        return items_.size();
     }
 
   private:
@@ -122,6 +145,7 @@ class ObimWorklist
         }
         pending_.fetch_add(1, std::memory_order_relaxed);
         bin(priority).push(item);
+        metrics::bump(metrics::kPushes);
 
         // Watermark maintenance: lower the scan cursor, raise the upper
         // bound. Both are hints; correctness comes from pending_.
@@ -142,7 +166,7 @@ class ObimWorklist
     bool
     pop_batch(std::vector<T>& out, std::size_t max)
     {
-        unsigned spin = 0;
+        Backoff backoff;
         while (true) {
             const std::size_t start =
                 cursor_.load(std::memory_order_relaxed);
@@ -155,6 +179,7 @@ class ObimWorklist
                 }
                 const std::size_t got = bin_ptr->pop_batch(out, max);
                 if (got != 0) {
+                    metrics::bump(metrics::kSteals, got);
                     // Advance the cursor hint past drained bins.
                     std::size_t cursor =
                         cursor_.load(std::memory_order_relaxed);
@@ -164,12 +189,14 @@ class ObimWorklist
                     }
                     return true;
                 }
+                metrics::bump(metrics::kStealFails);
             }
+            // Empty scan: back off exponentially before touching the
+            // shared pending counter again (same policy as for_each).
+            metrics::bump(metrics::kBackoffs);
+            backoff.wait();
             if (pending_.load(std::memory_order_acquire) == 0) {
                 return false;
-            }
-            if (++spin > 64) {
-                std::this_thread::yield();
             }
         }
     }

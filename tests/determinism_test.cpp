@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "graph/builder.h"
 #include "graph/generators.h"
@@ -151,6 +153,41 @@ TEST_F(DeterminismTest, BetweennessNearEqualAcrossThreadCounts)
         ASSERT_NEAR(baseline[v], threaded[v],
                     1e-9 * (1.0 + std::abs(baseline[v])));
     }
+}
+
+TEST(BuilderDeterminism, DeduplicateKeepsMinWeightForParallelEdges)
+{
+    // Regression: deduplicate used to sort by (src, dst) only with an
+    // unstable sort, so which weight survived among parallel edges
+    // depended on the input permutation. It must keep the minimum
+    // weight regardless of insertion order.
+    using graph::Edge;
+    using graph::EdgeList;
+    const std::vector<Edge> duplicates{
+        {0, 1, 5}, {0, 1, 2}, {0, 1, 9}, {2, 3, 7},
+        {2, 3, 4}, {1, 0, 6}, {1, 0, 1}, {4, 4, 3},
+    };
+    // Every rotation of the input must yield the same deduplicated
+    // list.
+    EdgeList baseline;
+    baseline.num_nodes = 5;
+    baseline.edges = duplicates;
+    graph::deduplicate(baseline);
+    ASSERT_EQ(baseline.edges.size(), 4u);
+    for (std::size_t shift = 1; shift < duplicates.size(); ++shift) {
+        EdgeList rotated;
+        rotated.num_nodes = 5;
+        rotated.edges = duplicates;
+        std::rotate(rotated.edges.begin(),
+                    rotated.edges.begin() + shift, rotated.edges.end());
+        graph::deduplicate(rotated);
+        ASSERT_EQ(rotated.edges, baseline.edges) << "shift " << shift;
+    }
+    // The survivor of each (src, dst) group carries the minimum weight.
+    EXPECT_EQ(baseline.edges[0], (Edge{0, 1, 2}));
+    EXPECT_EQ(baseline.edges[1], (Edge{1, 0, 1}));
+    EXPECT_EQ(baseline.edges[2], (Edge{2, 3, 4}));
+    EXPECT_EQ(baseline.edges[3], (Edge{4, 4, 3}));
 }
 
 TEST_F(DeterminismTest, SuiteGraphsAreReproducible)

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "runtime/for_each.h"
 #include "runtime/insert_bag.h"
@@ -85,6 +87,95 @@ TEST(RuntimeStress, ForEachRandomizedChurn)
         }
     });
     EXPECT_EQ(processed.reduce(), pushed.reduce());
+}
+
+TEST(RuntimeStress, ForEachPushStormAcrossThreadCounts)
+{
+    // High-contention push storm to pin the Chase-Lev termination
+    // protocol: every operator pushes kFanout children down to a depth
+    // bound, so the worklist both grows explosively (deque buffers must
+    // grow) and drains to empty repeatedly (thieves race the owners for
+    // last items). The total operator count has a closed form:
+    // kRoots * (kFanout^(kDepth+1) - 1) / (kFanout - 1).
+    constexpr uint64_t kFanout = 4;
+    constexpr unsigned kDepth = 7;
+    constexpr uint64_t kRoots = 8;
+    uint64_t per_root = 0;
+    uint64_t level = 1;
+    for (unsigned d = 0; d <= kDepth; ++d) {
+        per_root += level;
+        level *= kFanout;
+    }
+    const uint64_t expected = kRoots * per_root;
+
+    const unsigned max_threads =
+        std::max(4u, std::thread::hardware_concurrency());
+    for (const unsigned threads : {1u, 2u, max_threads}) {
+        set_num_threads(threads);
+        Accumulator<uint64_t> count;
+        const std::vector<unsigned> initial(kRoots, kDepth);
+        for_each<unsigned>(initial, [&](unsigned depth,
+                                        UserContext<unsigned>& ctx) {
+            count += 1;
+            if (depth > 0) {
+                for (uint64_t c = 0; c < kFanout; ++c) {
+                    ctx.push(depth - 1);
+                }
+            }
+        });
+        ASSERT_EQ(count.reduce(), expected) << threads << " threads";
+    }
+    set_num_threads(4);
+}
+
+TEST(RuntimeStress, ObimBinMemoryStaysBounded)
+{
+    // Regression: a PriorityBin fed as fast as it drains never hits
+    // its fully-drained reset, so before the compaction fix the
+    // processed prefix (and the backing vector) grew without bound.
+    detail::PriorityBin<int> bin;
+    for (int i = 0; i < 4; ++i) {
+        bin.push(i); // keep the bin permanently non-empty
+    }
+    std::vector<int> out;
+    constexpr int kRounds = 100000;
+    std::size_t high_water = 0;
+    for (int i = 0; i < kRounds; ++i) {
+        bin.push(i);
+        bin.push(i);
+        out.clear();
+        ASSERT_EQ(bin.pop_batch(out, 2), 2u);
+        high_water = std::max(high_water, bin.storage_size());
+    }
+    // 4 live items + a bounded drained prefix; without compaction the
+    // storage would reach ~2 * kRounds slots.
+    EXPECT_LE(high_water,
+              2 * (4 + detail::PriorityBin<int>::kCompactMin));
+}
+
+TEST(RuntimeStress, ObimBinCompactionPreservesFifoOrder)
+{
+    detail::PriorityBin<unsigned> bin;
+    std::vector<unsigned> out;
+    unsigned pushed = 0;
+    unsigned popped = 0;
+    for (int round = 0; round < 5000; ++round) {
+        for (int i = 0; i < 3; ++i) {
+            bin.push(pushed++);
+        }
+        out.clear();
+        bin.pop_batch(out, 3);
+        for (const unsigned item : out) {
+            ASSERT_EQ(item, popped++); // strict FIFO across compactions
+        }
+    }
+    while (popped < pushed) {
+        out.clear();
+        ASSERT_NE(bin.pop_batch(out, 16), 0u);
+        for (const unsigned item : out) {
+            ASSERT_EQ(item, popped++);
+        }
+    }
 }
 
 TEST(RuntimeStress, ObimPriorityInversionChurn)

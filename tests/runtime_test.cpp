@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <set>
 
+#include "runtime/chase_lev.h"
 #include "runtime/for_each.h"
 #include "runtime/insert_bag.h"
 #include "runtime/obim.h"
@@ -168,6 +170,85 @@ TEST_P(RuntimeTest, InsertBagClearKeepsReusable)
     EXPECT_TRUE(bag.empty());
     bag.push(2);
     EXPECT_EQ(bag.size(), 1u);
+}
+
+TEST(ChaseLevDequeTest, OwnerPopsLifoThievesStealFifo)
+{
+    ChaseLevDeque<int> deque;
+    for (int i = 0; i < 10; ++i) {
+        deque.push(i);
+    }
+    EXPECT_EQ(deque.size_hint(), 10u);
+    int item = -1;
+    ASSERT_TRUE(deque.pop(item));
+    EXPECT_EQ(item, 9); // owner end is LIFO
+    ASSERT_TRUE(deque.steal(item));
+    EXPECT_EQ(item, 0); // thief end is FIFO
+    ASSERT_TRUE(deque.steal(item));
+    EXPECT_EQ(item, 1);
+    for (int expected = 8; expected >= 2; --expected) {
+        ASSERT_TRUE(deque.pop(item));
+        EXPECT_EQ(item, expected);
+    }
+    EXPECT_FALSE(deque.pop(item));
+    EXPECT_FALSE(deque.steal(item));
+    EXPECT_TRUE(deque.looks_empty());
+}
+
+TEST(ChaseLevDequeTest, GrowsPastInitialCapacity)
+{
+    ChaseLevDeque<std::size_t> deque(/*initial_capacity=*/4);
+    constexpr std::size_t kItems = 10000;
+    for (std::size_t i = 0; i < kItems; ++i) {
+        deque.push(i);
+    }
+    EXPECT_EQ(deque.size_hint(), kItems);
+    for (std::size_t i = kItems; i-- > 0;) {
+        std::size_t item = 0;
+        ASSERT_TRUE(deque.pop(item));
+        ASSERT_EQ(item, i);
+    }
+    std::size_t item = 0;
+    EXPECT_FALSE(deque.pop(item));
+}
+
+TEST(ChaseLevDequeTest, StealBatchTakesAtMostHalf)
+{
+    ChaseLevDeque<int> deque;
+    for (int i = 0; i < 20; ++i) {
+        deque.push(i);
+    }
+    std::array<int, ChaseLevDeque<int>::kMaxBatch> loot;
+    // 20 visible items: a batch steal may take at most 10, oldest first.
+    const std::size_t got = deque.steal_batch(loot.data(), loot.size());
+    EXPECT_EQ(got, 10u);
+    for (std::size_t i = 0; i < got; ++i) {
+        EXPECT_EQ(loot[i], static_cast<int>(i));
+    }
+    EXPECT_EQ(deque.size_hint(), 10u);
+    // The request cap also binds: ask for 3 of the remaining 10.
+    EXPECT_EQ(deque.steal_batch(loot.data(), 3), 3u);
+    EXPECT_EQ(loot[0], 10);
+    EXPECT_EQ(deque.size_hint(), 7u);
+}
+
+TEST(ChaseLevDequeTest, InterleavedPushPopKeepsCount)
+{
+    ChaseLevDeque<int> deque(/*initial_capacity=*/2);
+    int popped = 0;
+    int item = 0;
+    for (int round = 0; round < 1000; ++round) {
+        deque.push(round);
+        deque.push(round);
+        if (deque.pop(item)) {
+            ++popped;
+        }
+    }
+    while (deque.pop(item)) {
+        ++popped;
+    }
+    EXPECT_EQ(popped, 2000);
+    EXPECT_TRUE(deque.looks_empty());
 }
 
 TEST_P(RuntimeTest, ForEachProcessesAllInitialItems)
