@@ -4,12 +4,31 @@
  * paper's figures; the paper's related work credits GraphBLAST with
  * direction optimization, and Lonestar ships a dir-opt bfs).
  *
- * Variants: gb (push-only Algorithm 2), gb-pp (push/pull switching in
- * the matrix API), ls (push-only Algorithm 1), ls-do (Beamer-style
- * push/pull with early-exit pull). Expected shape: direction
- * optimization helps most on low-diameter power-law graphs where the
- * frontier quickly covers most vertices; the graph API's pull step
- * benefits additionally from early exit, which mxv cannot do.
+ * Matrix-API variants (all routed through grb::SpmvDispatcher):
+ *   gb       push-only Algorithm 2 (the baseline, speedups relative
+ *            to it)
+ *   gb-pp    fixed-threshold push/pull switching with a dense value
+ *            mask (the historical bfs_pushpull policy)
+ *   gb-fpush bfs_auto with the dispatcher forced to push every round
+ *   gb-fpull bfs_auto with the dispatcher forced to pull every round
+ *   gb-auto  bfs_auto with the cost model deciding per round
+ * Graph-API variants:
+ *   ls       push-only Algorithm 1
+ *   ls-do    Beamer-style push/pull with early-exit pull
+ *
+ * For gb-auto the table also reports the dispatcher's decisions
+ * (push/pull rounds) and what the masked pull kernels saved (rows
+ * skipped via the structural mask, edges short-circuited by the
+ * first-hit early exit), measured over one run.
+ *
+ * Expected shape: direction optimization helps most on low-diameter
+ * power-law graphs where the frontier quickly covers most vertices.
+ * Since the early-exit upgrade the matrix API's pull rounds stop each
+ * row at the first visited parent too, so gb-auto should track ls-do's
+ * shape rather than trail it.
+ *
+ * Set GAS_GRAPHS to a comma-separated list of suite graph names to
+ * restrict the run (e.g. GAS_GRAPHS=rmat22 for the acceptance check).
  */
 
 #include "bench_common.h"
@@ -17,6 +36,40 @@
 #include "graph/builder.h"
 #include "lagraph/lagraph.h"
 #include "lonestar/lonestar.h"
+#include "metrics/counters.h"
+
+namespace {
+
+/// Suite graph names admitted by the optional GAS_GRAPHS filter.
+std::vector<std::string>
+selected_graphs()
+{
+    const auto all = gas::core::suite_graph_names();
+    const char* filter = std::getenv("GAS_GRAPHS");
+    if (filter == nullptr || *filter == '\0') {
+        return {all.begin(), all.end()};
+    }
+    std::vector<std::string> picked;
+    std::string token;
+    for (const char* p = filter;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            for (const auto& name : all) {
+                if (name == token) {
+                    picked.push_back(name);
+                }
+            }
+            token.clear();
+            if (*p == '\0') {
+                break;
+            }
+        } else {
+            token.push_back(*p);
+        }
+    }
+    return picked;
+}
+
+} // namespace
 
 int
 main()
@@ -25,10 +78,14 @@ main()
     const auto config = bench::configure("ablation_bfs_direction");
 
     core::Table table(
-        "BFS direction-optimization ablation: speedup over gb");
-    table.set_header({"graph", "gb", "gb-pp", "ls", "ls-do"});
+        "BFS direction-optimization ablation: speedup over gb "
+        "(trailing columns: gb-auto dispatch decisions and pull-kernel "
+        "savings)");
+    table.set_header({"graph", "gb", "gb-pp", "gb-fpush", "gb-fpull",
+                      "gb-auto", "ls", "ls-do", "auto push/pull",
+                      "auto rows skip", "auto edges sc"});
 
-    for (const auto& name : core::suite_graph_names()) {
+    for (const auto& name : selected_graphs()) {
         const auto input = core::build_suite_graph(name, config.scale);
         const auto A =
             grb::Matrix<uint8_t>::from_graph(input.directed, false);
@@ -41,15 +98,40 @@ main()
         const double gb_pp = bench::timed_seconds(config.reps, [&] {
             la::bfs_pushpull(A, At, input.source);
         });
+        const double gb_fpush = bench::timed_seconds(config.reps, [&] {
+            la::bfs_auto(A, At, input.source, grb::Direction::kPush);
+        });
+        const double gb_fpull = bench::timed_seconds(config.reps, [&] {
+            la::bfs_auto(A, At, input.source, grb::Direction::kPull);
+        });
+        const metrics::Interval auto_interval;
+        const double gb_auto = bench::timed_seconds(config.reps, [&] {
+            la::bfs_auto(A, At, input.source);
+        });
+        const auto auto_counters = auto_interval.delta();
         const double ls_push = bench::timed_seconds(
             config.reps, [&] { ls::bfs(input.directed, input.source); });
         const double ls_do = bench::timed_seconds(config.reps, [&] {
             ls::bfs_dirop(input.directed, transpose, input.source);
         });
 
-        table.add_row({name, "1.00x", bench::speedup_str(gb, gb_pp),
-                       bench::speedup_str(gb, ls_push),
-                       bench::speedup_str(gb, ls_do)});
+        table.add_row(
+            {name, "1.00x", bench::speedup_str(gb, gb_pp),
+             bench::speedup_str(gb, gb_fpush),
+             bench::speedup_str(gb, gb_fpull),
+             bench::speedup_str(gb, gb_auto),
+             bench::speedup_str(gb, ls_push),
+             bench::speedup_str(gb, ls_do),
+             std::to_string(auto_counters[metrics::kSpmvPushRounds] /
+                            config.reps) +
+                 "/" +
+                 std::to_string(auto_counters[metrics::kSpmvPullRounds] /
+                                config.reps),
+             std::to_string(auto_counters[metrics::kMaskSkippedRows] /
+                            config.reps),
+             std::to_string(
+                 auto_counters[metrics::kEdgesShortCircuited] /
+                 config.reps)});
     }
 
     table.print();

@@ -47,10 +47,13 @@ main()
     core::Table table(
         "Table IV: software-counter ratios GB/LS "
         "(instruction and memory-access proxies; paper: all > 1; "
-        "trailing columns: LS scheduler activity, raw counts)");
+        "trailing columns: raw per-system activity — GB's SpMV "
+        "dispatch decisions and pull-kernel savings, LS's scheduler)");
     table.set_header({"app", "graph", "work items", "label accesses",
                       "edge visits", "bytes materialized", "passes",
-                      "rounds", "ls pushes", "ls steals", "ls backoffs"});
+                      "rounds", "gb push/pull", "gb rows skip",
+                      "gb edges sc", "ls pushes", "ls steals",
+                      "ls backoffs", "ls grow/shrink"});
 
     for (const auto& [app, graph_name] : cells) {
         const auto input =
@@ -70,12 +73,21 @@ main()
                        l[metrics::kBytesMaterialized]),
              ratio_str(g[metrics::kPasses], l[metrics::kPasses]),
              ratio_str(g[metrics::kRounds], l[metrics::kRounds]),
+             // The matrix API's direction-optimizing SpMV engine at
+             // work: dispatch decisions and what the pull kernels
+             // saved (raw counts; LS has no SpMV to compare against).
+             std::to_string(g[metrics::kSpmvPushRounds]) + "/" +
+                 std::to_string(g[metrics::kSpmvPullRounds]),
+             std::to_string(g[metrics::kMaskSkippedRows]),
+             std::to_string(g[metrics::kEdgesShortCircuited]),
              // The graph API's worklist scheduler at work: raw event
              // counts (the matrix API has no dynamic worklist, so a
              // ratio would be meaningless).
              std::to_string(l[metrics::kPushes]),
              std::to_string(l[metrics::kSteals]),
-             std::to_string(l[metrics::kBackoffs])});
+             std::to_string(l[metrics::kBackoffs]),
+             std::to_string(l[metrics::kStealGrows]) + "/" +
+                 std::to_string(l[metrics::kStealShrinks])});
     }
 
     table.print();

@@ -45,10 +45,13 @@ main()
     const auto config = bench::configure("table5_variant_counters");
 
     core::Table table("Table V: software-counter ratios for the "
-                      "differential-analysis variant pairs");
+                      "differential-analysis variant pairs "
+                      "(trailing columns: the matrix-API variant's raw "
+                      "SpMV dispatch decisions and pull savings)");
     table.set_header({"app", "pair", "graph", "work items",
                       "label accesses", "edge visits",
-                      "bytes materialized", "rounds"});
+                      "bytes materialized", "rounds", "gb push/pull",
+                      "gb rows skip", "gb edges sc"});
 
     auto add_pair = [&](const char* app, const char* pair,
                         const std::string& graph_name, auto&& gb_fn,
@@ -67,7 +70,11 @@ main()
              ratio_str(g[metrics::kEdgeVisits], l[metrics::kEdgeVisits]),
              ratio_str(g[metrics::kBytesMaterialized],
                        l[metrics::kBytesMaterialized]),
-             ratio_str(g[metrics::kRounds], l[metrics::kRounds])});
+             ratio_str(g[metrics::kRounds], l[metrics::kRounds]),
+             std::to_string(g[metrics::kSpmvPushRounds]) + "/" +
+                 std::to_string(g[metrics::kSpmvPullRounds]),
+             std::to_string(g[metrics::kMaskSkippedRows]),
+             std::to_string(g[metrics::kEdgesShortCircuited])});
     };
 
     grb::BackendScope scope(grb::Backend::kParallel);

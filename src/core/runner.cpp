@@ -1,5 +1,6 @@
 #include "core/runner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <unordered_map>
@@ -234,7 +235,7 @@ run_cell(App app, System system, const SuiteGraph& input,
     };
 
     double total_seconds = 0.0;
-    unsigned completed = 0;
+    std::vector<double> rep_seconds;
     for (unsigned rep = 0; rep < std::max(1u, config.repetitions); ++rep) {
         const metrics::Interval interval;
         Timer timer;
@@ -242,7 +243,7 @@ run_cell(App app, System system, const SuiteGraph& input,
         run_once();
         timer.stop();
         total_seconds += timer.seconds();
-        ++completed;
+        rep_seconds.push_back(timer.seconds());
         if (rep == 0) {
             result.counters = interval.delta();
             if (timer.seconds() > config.timeout_seconds) {
@@ -251,7 +252,12 @@ run_cell(App app, System system, const SuiteGraph& input,
             }
         }
     }
-    result.seconds = total_seconds / completed;
+    result.seconds = total_seconds / rep_seconds.size();
+    std::sort(rep_seconds.begin(), rep_seconds.end());
+    const std::size_t mid = rep_seconds.size() / 2;
+    result.median_seconds = rep_seconds.size() % 2 != 0
+        ? rep_seconds[mid]
+        : 0.5 * (rep_seconds[mid - 1] + rep_seconds[mid]);
     result.peak_bytes = peak_scope.peak_above_baseline() +
         input.directed.csr_bytes() + input.symmetric.csr_bytes();
 

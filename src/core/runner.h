@@ -51,6 +51,7 @@ struct RunConfig
 struct CellResult
 {
     double seconds{0.0};        ///< average timed seconds per rep
+    double median_seconds{0.0}; ///< median timed seconds over the reps
     bool correct{false};        ///< oracle comparison result
     bool verified{false};       ///< whether the oracle comparison ran
     bool timed_out{false};      ///< first rep exceeded the timeout

@@ -23,6 +23,12 @@ bfs(const grb::Matrix<uint8_t>& A, Index source)
     Vector<uint8_t> frontier(n);
     frontier.set_element(source, 1);
 
+    // Push-only dispatcher (no transpose registered): every round
+    // resolves to vxm, so this stays the paper's pure-push baseline
+    // while exercising the same dispatch_spmv entry point the
+    // direction-optimizing variants use.
+    grb::SpmvDispatcher<uint8_t> spmv(A);
+
     uint32_t level = 1;
     while (true) {
         metrics::bump(metrics::kRounds);
@@ -32,8 +38,9 @@ bfs(const grb::Matrix<uint8_t>& A, Index source)
         // out-neighbors of the frontier, filtered to unvisited vertices
         // (visited have a non-zero dist, so the complemented mask keeps
         // only zeros).
-        grb::vxm<grb::LorLand>(frontier, &dist,
-                               grb::kComplementReplaceDesc, frontier, A);
+        spmv.dispatch_spmv<grb::LorLand>(frontier, &dist,
+                                         grb::kComplementReplaceDesc,
+                                         frontier);
 
         // Second API call: are there new vertices to visit?
         if (frontier.nvals() == 0) {

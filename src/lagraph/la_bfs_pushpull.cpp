@@ -4,17 +4,37 @@
 
 namespace gas::la {
 
+using grb::Descriptor;
+using grb::Direction;
 using grb::Index;
 using grb::Vector;
 
 /*
  * Direction-optimizing bfs in the matrix API (the GraphBLAST-style
- * variant the paper's related work cites). The push round is a vxm
- * over the adjacency matrix; the pull round is an mxv over the
- * transpose with the complemented visited mask. Unlike the graph API's
- * bottom-up step, the pull mxv cannot early-exit at the first visited
- * parent — each row's dot product runs to completion, one of the
- * lightweight-loop limitations the paper identifies.
+ * variant the paper's related work cites). Both variants below route
+ * every round through grb::SpmvDispatcher; they differ in who decides
+ * the direction and what the mask looks like.
+ *
+ * bfs_pushpull keeps its historical fixed-threshold policy (frontier
+ * larger than pull_threshold x |V| means pull) by *forcing* the
+ * dispatcher's direction per round, and masks with the dense dist
+ * vector — a value mask, so the pull round is a full-height mxv. Since
+ * the early-exit upgrade the pull mxv does stop each row at the first
+ * visited parent, closing the gap this file's old header comment
+ * conceded to the graph API's bottom-up step.
+ *
+ * bfs_auto hands the decision to the dispatcher's cost model and
+ * maintains a separate `visited` vector used as a structural
+ * complement mask. visited is kept *dense* on purpose: only discovered
+ * vertices are present, so the presence bitmap is the visited set —
+ * mask tests are O(1) bitmap probes and the per-round update is an
+ * O(nnz(frontier)) masked assign, where a sparse visited set would
+ * cost a merge of the whole set every round (quadratic over a
+ * high-diameter traversal). Pull rounds are a full-height mxv whose
+ * row loop skips visited rows off the bitmap and stops unvisited rows
+ * at the first frontier parent; after a pull the (dense) frontier is
+ * re-sparsified once it thins so the dispatcher can return to push for
+ * the tail rounds.
  */
 
 Vector<uint32_t>
@@ -31,6 +51,8 @@ bfs_pushpull(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
     Vector<uint8_t> frontier(n);
     frontier.set_element(source, 1);
 
+    grb::SpmvDispatcher<uint8_t> spmv(A, At);
+
     uint32_t level = 1;
     while (true) {
         metrics::bump(metrics::kRounds);
@@ -38,30 +60,88 @@ bfs_pushpull(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
 
         const bool pull = static_cast<double>(frontier.nvals()) >
             pull_threshold * n;
+        Descriptor desc = grb::kComplementReplaceDesc;
+        desc.direction = pull ? Direction::kPull : Direction::kPush;
         if (pull) {
             // Bottom-up: candidates(v) = OR over in-neighbors u of
-            // frontier(u), masked to unvisited vertices. mxv needs a
-            // dense input vector, so the frontier is densified — a
-            // materialization the graph API's bottom-up step avoids.
+            // frontier(u), masked to unvisited vertices. The pull mxv
+            // needs a dense input vector, so the frontier is densified
+            // — a materialization the graph API's bottom-up step
+            // avoids. dist is a dense value mask, so the kernel walks
+            // all n rows (contrast bfs_auto).
             frontier.densify();
-            grb::mxv<grb::LorLand>(frontier, &dist,
-                                   grb::kComplementReplaceDesc, At,
-                                   frontier);
+            spmv.dispatch_spmv<grb::LorLand>(frontier, &dist, desc,
+                                             frontier);
             // Drop explicit zeros produced by the OR over misses.
             Vector<uint8_t> compact;
             grb::select_entries(compact, frontier,
                                 [](Index, uint8_t x) { return x != 0; });
             frontier = std::move(compact);
         } else {
-            grb::vxm<grb::LorLand>(frontier, &dist,
-                                   grb::kComplementReplaceDesc, frontier,
-                                   A);
+            spmv.dispatch_spmv<grb::LorLand>(frontier, &dist, desc,
+                                             frontier);
         }
 
         if (frontier.nvals() == 0) {
             break;
         }
         grb::assign_scalar(dist, &frontier, grb::kDefaultDesc, level);
+    }
+    return dist;
+}
+
+Vector<uint32_t>
+bfs_auto(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
+         Index source, Direction force)
+{
+    const Index n = A.nrows();
+
+    Vector<uint32_t> dist(n);
+    grb::assign_scalar<uint32_t, uint8_t>(dist, nullptr, grb::kDefaultDesc,
+                                          0u);
+    dist.set_element(source, 1);
+
+    // The mask. dist cannot serve as a structural mask (it is dense
+    // with *every* entry explicit), so visited tracks the discovered
+    // set as a dense vector whose presence bitmap holds exactly the
+    // discovered vertices: structure tests are O(1) and the complement
+    // of that structure is the pull candidate set.
+    Vector<uint8_t> visited(n);
+    visited.densify();
+    visited.set_element(source, 1);
+
+    Vector<uint8_t> frontier(n);
+    frontier.set_element(source, 1);
+
+    grb::SpmvDispatcher<uint8_t> spmv(A, At);
+    Descriptor desc = grb::kStructuralComplementReplaceDesc;
+    desc.direction = force;
+
+    uint32_t level = 1;
+    while (true) {
+        metrics::bump(metrics::kRounds);
+        ++level;
+
+        // frontier<!struct(visited), replace> = frontier * A over
+        // LOR.LAND, direction chosen by the dispatcher's cost model
+        // (push: vxm; pull: mxv over the transpose skipping visited
+        // rows and stopping each scan at the first frontier parent).
+        spmv.dispatch_spmv<grb::LorLand>(frontier, &visited, desc,
+                                         frontier);
+
+        if (frontier.nvals() == 0) {
+            break;
+        }
+        // A pull round produces a dense frontier; once it has thinned
+        // out, compact it so the masked assigns run over nnz(frontier)
+        // entries and the dispatcher can switch back to push.
+        if (frontier.format() == grb::VectorFormat::kDense &&
+            frontier.nvals() * 16 < static_cast<uint64_t>(n)) {
+            frontier.sparsify();
+        }
+        grb::assign_scalar(dist, &frontier, grb::kStructuralDesc, level);
+        grb::assign_scalar(visited, &frontier, grb::kStructuralDesc,
+                           uint8_t{1});
     }
     return dist;
 }

@@ -61,12 +61,19 @@ cc_fastsv(const grb::Matrix<uint32_t>& A)
     Vector<uint32_t> gp = f;                   // grandparent
     Vector<uint32_t> mngp;                     // min neighbor grandparent
 
+    // A is symmetric, so it serves as its own transpose. gp is dense,
+    // so the dispatcher always resolves to the pull mxv — which, with
+    // MinFirst's multiply flipped, is exactly the MinSecond mxv this
+    // code used to call directly — and the output stays dense for the
+    // scatter_min/gather steps below.
+    grb::SpmvDispatcher<uint32_t> spmv(A, A);
+
     while (true) {
         metrics::bump(metrics::kRounds);
 
         // Stochastic hooking: mngp(u) = min over neighbors v of gp(v).
-        grb::mxv<grb::MinSecond<uint32_t>>(mngp, grb::kDefaultDesc, A,
-                                           gp);
+        spmv.dispatch_spmv<grb::MinFirst<uint32_t>>(mngp, grb::kDefaultDesc,
+                                                    gp);
 
         // Hooking: f(gp(u)) = min(f(gp(u)), mngp(u)).
         grb::scatter_min(f, gp, mngp);
@@ -99,12 +106,15 @@ cc_sv(const grb::Matrix<uint32_t>& A)
     const Index n = A.nrows();
     Vector<uint32_t> f = iota_vector(n);
 
+    grb::SpmvDispatcher<uint32_t> spmv(A, A);
+
     while (true) {
         metrics::bump(metrics::kRounds);
 
         // Hooking: f(u) = min(f(u), min over neighbors v of f(v)).
         Vector<uint32_t> mnf;
-        grb::mxv<grb::MinSecond<uint32_t>>(mnf, grb::kDefaultDesc, A, f);
+        spmv.dispatch_spmv<grb::MinFirst<uint32_t>>(mnf, grb::kDefaultDesc,
+                                                    f);
         Vector<uint32_t> hooked;
         grb::ewise_add(hooked, f, mnf, [](uint32_t a, uint32_t b) {
             return std::min(a, b);

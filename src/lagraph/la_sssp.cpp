@@ -47,6 +47,14 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
     dist.fill(kInf);
     dist.set_element(source, 0);
 
+    // Push-only dispatchers: no transposes are materialized for the
+    // light/heavy splits (doubling preprocessing memory for matrices
+    // used only with small frontiers would be a net loss), so every
+    // relaxation resolves to the push vxm — the direction delta-
+    // stepping wants anyway.
+    grb::SpmvDispatcher<uint64_t> light_spmv(light);
+    grb::SpmvDispatcher<uint64_t> heavy_spmv(heavy);
+
     uint64_t bucket_index = 0;
     while (true) {
         const uint64_t lo = bucket_index * delta;
@@ -59,9 +67,8 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
 
             // Candidate distances through light edges.
             Vector<uint64_t> candidates;
-            grb::vxm<grb::MinPlus<uint64_t>>(candidates,
-                                             grb::kDefaultDesc, frontier,
-                                             light);
+            light_spmv.dispatch_spmv<grb::MinPlus<uint64_t>>(
+                candidates, grb::kDefaultDesc, frontier);
 
             // Improvements: candidate < current distance. The matrix
             // API needs an eWise pass plus a select pass for this.
@@ -94,9 +101,8 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
         Vector<uint64_t> settled = bucket_of(dist, lo, hi);
         if (settled.nvals() != 0) {
             Vector<uint64_t> candidates;
-            grb::vxm<grb::MinPlus<uint64_t>>(candidates,
-                                             grb::kDefaultDesc, settled,
-                                             heavy);
+            heavy_spmv.dispatch_spmv<grb::MinPlus<uint64_t>>(
+                candidates, grb::kDefaultDesc, settled);
             Vector<uint64_t> improvements;
             grb::ewise_mult(improvements, candidates, dist,
                             [](uint64_t c, uint64_t d) {

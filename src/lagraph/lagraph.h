@@ -56,6 +56,19 @@ grb::Vector<uint32_t> bfs_pushpull(const grb::Matrix<uint8_t>& A,
                                    double pull_threshold = 0.05);
 
 /**
+ * bfs with the direction chosen per round by grb::SpmvDispatcher's
+ * cost model (frontier out-degree vs. masked pull candidates, with
+ * hysteresis). Maintains a sorted sparse visited vector as a
+ * structural complement mask so pull rounds run the mask-driven
+ * mxv_sparse kernel with first-hit early exit. @p force overrides the
+ * cost model (the ablation bench's forced-push / forced-pull modes).
+ */
+grb::Vector<uint32_t> bfs_auto(const grb::Matrix<uint8_t>& A,
+                               const grb::Matrix<uint8_t>& At,
+                               grb::Index source,
+                               grb::Direction force = grb::Direction::kAuto);
+
+/**
  * bfs built on the fused vxm+assign composite kernel (not expressible
  * in standard GraphBLAS; see grb::vxm_fused_assign). Demonstrates the
  * loop-fusion future work of the paper's Section VI: one kernel call

@@ -6,6 +6,7 @@
  */
 
 #include "matrix/matrix.h"       // IWYU pragma: export
+#include "matrix/ops_dispatch.h" // IWYU pragma: export
 #include "matrix/ops_spgemm.h"   // IWYU pragma: export
 #include "matrix/ops_spmv.h"     // IWYU pragma: export
 #include "matrix/ops_vector.h"   // IWYU pragma: export

@@ -42,21 +42,35 @@ backend_sorts_outputs()
  * O(1)-testable view of an optional vector mask.
  *
  * Sparse masks are lazily sorted so membership tests can binary-search.
- * A null mask tests true everywhere.
+ * A null mask tests true everywhere. With the descriptor's
+ * structural_mask hint set, presence alone decides the test and mask
+ * values are never read (GrB_STRUCTURE semantics).
  */
 template <typename MT>
 class MaskView
 {
   public:
     MaskView(const Vector<MT>* mask, const Descriptor& desc)
-        : mask_(mask), complement_(desc.mask_complement)
+        : mask_(mask), complement_(desc.mask_complement),
+          structural_(desc.structural_mask)
     {
-        if (mask_ != nullptr &&
-            mask_->format() == VectorFormat::kSparse && !mask_->sorted()) {
-            // The caller owns the mask; sorting requires a mutable copy.
-            sorted_copy_ = *mask_;
-            sorted_copy_->sort_entries();
-            mask_ = &*sorted_copy_;
+        if (mask_ == nullptr ||
+            mask_->format() != VectorFormat::kSparse) {
+            return;
+        }
+        // The caller owns the mask, so any normalization works on a
+        // private copy. A dense-ish sparse mask (>= 1/32 occupancy,
+        // e.g. a traversal's visited set on its way to saturation) is
+        // densified so each test is an O(1) bitmap probe instead of a
+        // binary search; sparser masks are merely sorted.
+        if (mask_->nvals() * 32 >= mask_->size()) {
+            copy_ = *mask_;
+            copy_->densify();
+            mask_ = &*copy_;
+        } else if (!mask_->sorted()) {
+            copy_ = *mask_;
+            copy_->sort_entries();
+            mask_ = &*copy_;
         }
     }
 
@@ -69,14 +83,15 @@ class MaskView
         bool present_true;
         if (mask_->format() == VectorFormat::kDense) {
             present_true = mask_->dense_presence()[i] != 0 &&
-                mask_->dense_values()[i] != MT{0};
+                (structural_ || mask_->dense_values()[i] != MT{0});
         } else {
             const auto& idx = mask_->sparse_indices();
             const auto it =
                 std::lower_bound(idx.begin(), idx.end(), i);
             present_true = it != idx.end() && *it == i &&
-                mask_->sparse_values()[static_cast<std::size_t>(
-                    it - idx.begin())] != MT{0};
+                (structural_ ||
+                 mask_->sparse_values()[static_cast<std::size_t>(
+                     it - idx.begin())] != MT{0});
         }
         return complement_ ? !present_true : present_true;
     }
@@ -84,7 +99,8 @@ class MaskView
   private:
     const Vector<MT>* mask_;
     bool complement_;
-    std::optional<Vector<MT>> sorted_copy_;
+    bool structural_;
+    std::optional<Vector<MT>> copy_;
 };
 
 /// Specialization tag for "no mask": NoMask{} can be passed wherever a

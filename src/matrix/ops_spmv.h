@@ -13,11 +13,20 @@
  *
  * mxv (w = A * u) is the pull-style kernel (SDOT form): every row of A
  * computes a dot product against a dense u. Work is proportional to
- * nvals(A) — one full topology pass per call.
+ * nvals(A) — one full topology pass per call. Two mitigations recover
+ * much of that cost for traversal workloads (the GraphBLAST recipe):
+ * masked-out rows are skipped before the row is touched, and semirings
+ * with an absorbing add element (LorLand's "any"-style OR) stop the
+ * row scan at the first hit.
+ *
+ * mxv_sparse is the mask-driven pull variant: when the mask is sparse
+ * it iterates only candidate rows (mask support, or its sorted
+ * complement) instead of all n, producing a sparse output.
  */
 
 #include "matrix/matrix.h"
 #include "matrix/ops_common.h"
+#include "matrix/semiring.h"
 
 namespace gas::grb {
 
@@ -152,24 +161,35 @@ mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
         A.nrows(),
         [&](rt::Range range) {
             Nnz local = 0;
+            uint64_t skipped_rows = 0;
+            uint64_t short_circuited = 0;
+            uint64_t visited = 0;
             for (std::size_t ri = range.begin; ri < range.end; ++ri) {
                 const Index i = static_cast<Index>(ri);
                 if (!view.test(i)) {
+                    ++skipped_rows;
                     continue;
                 }
                 T accum = Semiring::identity();
                 bool hit = false;
                 const Nnz begin = A.row_begin(i);
                 const Nnz end = A.row_end(i);
-                metrics::bump(metrics::kEdgeVisits, end - begin);
-                metrics::bump(metrics::kWorkItems, end - begin);
                 for (Nnz e = begin; e < end; ++e) {
+                    ++visited;
                     const Index j = A.col_at(e);
                     if (upresent[j] != 0) {
                         accum = Semiring::add(
                             accum, Semiring::mul(A.val_at(e), uvals[j]));
                         hit = true;
                         metrics::bump(metrics::kLabelReads);
+                        if constexpr (HasAbsorbing<Semiring>) {
+                            // The add monoid saturated: no later edge
+                            // can change accum, so stop the row scan.
+                            if (accum == Semiring::absorbing()) {
+                                short_circuited += end - (e + 1);
+                                break;
+                            }
+                        }
                     }
                 }
                 if (hit) {
@@ -180,11 +200,161 @@ mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
                 }
             }
             count.fetch_add(local, std::memory_order_relaxed);
+            metrics::bump(metrics::kEdgeVisits, visited);
+            metrics::bump(metrics::kWorkItems, visited);
+            if (mask != nullptr) {
+                metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
+            }
+            metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
         },
         backend_schedule());
     result.set_dense_nvals(count.load());
     metrics::bump(metrics::kBytesMaterialized,
                   static_cast<uint64_t>(A.nrows()) * (sizeof(T) + 1));
+    w = std::move(result);
+}
+
+/**
+ * Mask-driven pull kernel: w<mask> = A * u computed only for candidate
+ * rows named by a *sparse* mask, producing a sparse output.
+ *
+ * Plain mxv spends O(n) on the row loop even when the mask admits a
+ * handful of rows. With a sparse mask the candidate set is explicit:
+ * the mask's support (or, complemented, the sorted gap sequence between
+ * support entries), so this kernel's row loop is O(candidates) plus —
+ * complemented — one merge over the support. Combined with the
+ * absorbing-element early exit this is the bottom-up BFS step expressed
+ * inside the matrix API.
+ *
+ * Requirements: mask != nullptr and sparse. With a value mask
+ * (structural_mask unset), zero-valued mask entries are treated exactly
+ * as MaskView would treat them: present-but-zero is "false", so under
+ * complement those rows become candidates.
+ */
+template <typename Semiring, typename T, typename MT = uint8_t>
+void
+mxv_sparse(Vector<T>& w, const Vector<MT>& mask, const Descriptor& desc,
+           const Matrix<T>& A, const Vector<T>& u)
+{
+    GAS_CHECK(u.size() == A.ncols(), "mxv_sparse dimension mismatch");
+    GAS_CHECK(mask.format() == VectorFormat::kSparse,
+              "mxv_sparse requires a sparse mask");
+    metrics::bump(metrics::kPasses);
+
+    const Vector<T>* uview = &u;
+    Vector<T> dense_copy;
+    if (u.format() != VectorFormat::kDense) {
+        dense_copy = u;
+        dense_copy.densify();
+        uview = &dense_copy;
+    }
+    const auto& uvals = uview->dense_values();
+    const auto& upresent = uview->dense_presence();
+
+    // Materialize the candidate row list from the mask. "True" support
+    // entries are the present ones (structural) or the present non-zero
+    // ones (value mask); complement selects everything else.
+    const Vector<MT>* mview = &mask;
+    Vector<MT> sorted_mask;
+    if (!mask.sorted()) {
+        sorted_mask = mask;
+        sorted_mask.sort_entries();
+        mview = &sorted_mask;
+    }
+    const auto& midx = mview->sparse_indices();
+    const auto& mvals = mview->sparse_values();
+
+    TrackedVector<Index> candidates;
+    uint64_t skipped_rows = 0;
+    if (!desc.mask_complement) {
+        candidates.reserve(midx.size());
+        for (std::size_t k = 0; k < midx.size(); ++k) {
+            if (desc.structural_mask || mvals[k] != MT{0}) {
+                candidates.push_back(midx[k]);
+            } else {
+                ++skipped_rows;
+            }
+        }
+        skipped_rows +=
+            static_cast<uint64_t>(A.nrows()) - midx.size();
+    } else {
+        candidates.reserve(A.nrows() >= midx.size()
+                               ? A.nrows() - midx.size()
+                               : 0);
+        std::size_t k = 0;
+        for (Index i = 0; i < A.nrows(); ++i) {
+            while (k < midx.size() && midx[k] < i) {
+                ++k;
+            }
+            const bool present = k < midx.size() && midx[k] == i;
+            const bool mask_true = present &&
+                (desc.structural_mask || mvals[k] != MT{0});
+            if (!mask_true) {
+                candidates.push_back(i);
+            } else {
+                ++skipped_rows;
+            }
+        }
+    }
+    metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
+    metrics::bump(metrics::kBytesMaterialized,
+                  candidates.size() * sizeof(Index));
+
+    rt::InsertBag<std::pair<Index, T>> output;
+    rt::do_all_blocked(
+        candidates.size(),
+        [&](rt::Range range) {
+            uint64_t short_circuited = 0;
+            uint64_t visited = 0;
+            for (std::size_t ci = range.begin; ci < range.end; ++ci) {
+                const Index i = candidates[ci];
+                T accum = Semiring::identity();
+                bool hit = false;
+                const Nnz begin = A.row_begin(i);
+                const Nnz end = A.row_end(i);
+                for (Nnz e = begin; e < end; ++e) {
+                    ++visited;
+                    const Index j = A.col_at(e);
+                    if (upresent[j] != 0) {
+                        accum = Semiring::add(
+                            accum, Semiring::mul(A.val_at(e), uvals[j]));
+                        hit = true;
+                        metrics::bump(metrics::kLabelReads);
+                        if constexpr (HasAbsorbing<Semiring>) {
+                            if (accum == Semiring::absorbing()) {
+                                short_circuited += end - (e + 1);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if (hit) {
+                    output.push({i, accum});
+                    metrics::bump(metrics::kLabelWrites);
+                }
+            }
+            metrics::bump(metrics::kEdgeVisits, visited);
+            metrics::bump(metrics::kWorkItems, visited);
+            metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
+        },
+        backend_schedule());
+
+    Vector<T> result(A.nrows());
+    auto& oidx = result.sparse_indices();
+    auto& ovals = result.sparse_values();
+    oidx.reserve(output.size());
+    ovals.reserve(output.size());
+    output.for_each([&](const std::pair<Index, T>& entry) {
+        oidx.push_back(entry.first);
+        ovals.push_back(entry.second);
+    });
+    result.set_format(VectorFormat::kSparse);
+    result.set_sorted(false);
+    if (backend_sorts_outputs()) {
+        result.sort_entries();
+    }
+    metrics::bump(metrics::kBytesMaterialized,
+                  oidx.size() * (sizeof(Index) + sizeof(T)));
     w = std::move(result);
 }
 

@@ -48,7 +48,7 @@ assign_scalar(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
             [&](rt::Range range) {
                 Nnz local_added = 0;
                 for (std::size_t k = range.begin; k < range.end; ++k) {
-                    if (mvals[k] == MT{0}) {
+                    if (!desc.structural_mask && mvals[k] == MT{0}) {
                         continue;
                     }
                     const Index i = idx[k];

@@ -17,6 +17,8 @@
  */
 
 #include <algorithm>
+#include <concepts>
+#include <cstdint>
 #include <limits>
 
 namespace gas::grb {
@@ -68,6 +70,41 @@ struct LorLand
         return (a != 0 && b != 0) ? 1 : 0;
     }
     static constexpr bool add_is_min = false;
+    /// OR saturates at 1: once an accumulator holds the absorbing
+    /// element no further add can change it, so row scans may stop at
+    /// the first hit (the "any"-monoid early exit of mxv/mxv_sparse).
+    static constexpr uint8_t absorbing() { return 1; }
+};
+
+/// True when @p S declares an absorbing element for its add monoid
+/// (an accumulator holding it can never change again), enabling the
+/// early-exit row scan in the pull kernels.
+template <typename S>
+concept HasAbsorbing = requires {
+    { S::absorbing() } -> std::convertible_to<typename S::Value>;
+};
+
+/**
+ * Semiring adapter that swaps the multiply's argument order.
+ *
+ * vxm computes mul(u(i), A(i,j)) while mxv computes mul(A(i,j), u(j));
+ * a dispatcher that reroutes w = u*A onto mxv over the transpose must
+ * therefore flip non-commutative multiplies (MinFirst <-> MinSecond) to
+ * keep the scalar arguments in the order the caller wrote.
+ */
+template <typename S>
+struct FlipMul
+{
+    using Value = typename S::Value;
+    static constexpr Value identity() { return S::identity(); }
+    static constexpr Value add(Value a, Value b) { return S::add(a, b); }
+    static constexpr Value mul(Value a, Value b) { return S::mul(b, a); }
+    static constexpr bool add_is_min = S::add_is_min;
+    static constexpr Value absorbing()
+        requires HasAbsorbing<S>
+    {
+        return S::absorbing();
+    }
 };
 
 /// add = min, mul = second argument (minimum neighbor label).

@@ -56,6 +56,19 @@ class BackendScope
 };
 
 /**
+ * Traversal direction of a sparse matrix-vector product
+ * (dispatch_spmv). kPush enumerates the input vector's entries and
+ * scatters along matrix rows (vxm, SAXPY form); kPull computes row-wise
+ * dot products against the transpose (mxv, SDOT form); kAuto lets the
+ * dispatcher pick per call from frontier and mask statistics.
+ */
+enum class Direction {
+    kAuto,
+    kPush,
+    kPull,
+};
+
+/**
  * Operation modifiers, mirroring GrB_Descriptor.
  *
  * The mask of an operation marks which output positions may be written.
@@ -63,16 +76,28 @@ class BackendScope
  * complement inverts that test. With replace, output positions not
  * written by the operation are cleared; without it they keep their old
  * values.
+ *
+ * structural_mask mirrors GrB_STRUCTURE: the mask test considers only
+ * which entries are *present*, never their values. Kernels exploit the
+ * hint to skip the value load entirely, and — for sparse masks — to
+ * drive iteration from the mask's index list (see mxv_sparse).
+ *
+ * direction is consumed by dispatch_spmv only; plain vxm/mxv ignore it.
  */
 struct Descriptor
 {
     bool mask_complement{false};
     bool replace{false};
+    bool structural_mask{false};
+    Direction direction{Direction::kAuto};
 };
 
 /// Convenience descriptor constants matching LAGraph usage.
 inline constexpr Descriptor kDefaultDesc{};
 inline constexpr Descriptor kReplaceDesc{false, true};
 inline constexpr Descriptor kComplementReplaceDesc{true, true};
+inline constexpr Descriptor kStructuralDesc{false, false, true};
+inline constexpr Descriptor kStructuralComplementReplaceDesc{true, true,
+                                                             true};
 
 } // namespace gas::grb

@@ -81,6 +81,13 @@ class Vector
     }
 
     /// Set (or overwrite) a single element.
+    ///
+    /// Sparse vectors used to pay an O(nvals) scan per call, making an
+    /// incremental build quadratic. Sorted sparse storage now appends
+    /// in O(1) when @p i extends the tail (the common build pattern)
+    /// and binary-searches otherwise; only an unsorted vector still
+    /// scans. Inserting out of order appends and drops the sorted flag
+    /// rather than shifting entries.
     void
     set_element(Index i, T value)
     {
@@ -93,14 +100,27 @@ class Vector
             dense_vals_[i] = value;
             return;
         }
+        if (sorted_) {
+            if (sparse_idx_.empty() || sparse_idx_.back() < i) {
+                sparse_idx_.push_back(i);
+                sparse_vals_.push_back(value);
+                return;
+            }
+            const std::size_t k = sparse_lower_bound(i);
+            if (k < sparse_idx_.size() && sparse_idx_[k] == i) {
+                sparse_vals_[k] = value;
+                return;
+            }
+            sorted_ = false;
+            sparse_idx_.push_back(i);
+            sparse_vals_.push_back(value);
+            return;
+        }
         for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
             if (sparse_idx_[k] == i) {
                 sparse_vals_[k] = value;
                 return;
             }
-        }
-        if (!sparse_idx_.empty() && sparse_idx_.back() > i) {
-            sorted_ = false;
         }
         sparse_idx_.push_back(i);
         sparse_vals_.push_back(value);
@@ -114,6 +134,13 @@ class Vector
         if (format_ == VectorFormat::kDense) {
             if (dense_present_[i] != 0) {
                 return dense_vals_[i];
+            }
+            return std::nullopt;
+        }
+        if (sorted_) {
+            const std::size_t k = sparse_lower_bound(i);
+            if (k < sparse_idx_.size() && sparse_idx_[k] == i) {
+                return sparse_vals_[k];
             }
             return std::nullopt;
         }
@@ -132,6 +159,11 @@ class Vector
     {
         if (format_ == VectorFormat::kDense) {
             return dense_present_[i] != 0 && dense_vals_[i] != T{0};
+        }
+        if (sorted_) {
+            const std::size_t k = sparse_lower_bound(i);
+            return k < sparse_idx_.size() && sparse_idx_[k] == i &&
+                sparse_vals_[k] != T{0};
         }
         for (std::size_t k = 0; k < sparse_idx_.size(); ++k) {
             if (sparse_idx_[k] == i) {
@@ -311,6 +343,15 @@ class Vector
     void set_format(VectorFormat format) { format_ = format; }
 
   private:
+    /// First position k with sparse_idx_[k] >= i. Sorted storage only.
+    std::size_t
+    sparse_lower_bound(Index i) const
+    {
+        const auto it = std::lower_bound(sparse_idx_.begin(),
+                                         sparse_idx_.end(), i);
+        return static_cast<std::size_t>(it - sparse_idx_.begin());
+    }
+
     Index size_{0};
     VectorFormat format_{VectorFormat::kSparse};
     bool sorted_{true};

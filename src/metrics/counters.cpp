@@ -81,6 +81,12 @@ counter_name(CounterId id)
       case kSteals: return "steals";
       case kStealFails: return "steal_fails";
       case kBackoffs: return "backoffs";
+      case kStealGrows: return "steal_grows";
+      case kStealShrinks: return "steal_shrinks";
+      case kSpmvPushRounds: return "spmv_push_rounds";
+      case kSpmvPullRounds: return "spmv_pull_rounds";
+      case kMaskSkippedRows: return "mask_skipped_rows";
+      case kEdgesShortCircuited: return "edges_short_circuited";
       default: return "unknown";
     }
 }

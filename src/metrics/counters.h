@@ -33,6 +33,23 @@
  *  - kStealFails         steal attempts / scan passes that found
  *                        nothing (contention or emptiness)
  *  - kBackoffs           idle backoff waits between steal sweeps
+ *  - kStealGrows/Shrinks adaptive steal-batch cap adjustments (grow on
+ *                        sustained successful steals, shrink when a
+ *                        batch aborts on CAS contention)
+ *
+ * Direction-optimizing SpMV counters (the dispatch_spmv engine in
+ * src/matrix/ops_dispatch.h and the masked pull kernels behind it):
+ *
+ *  - kSpmvPushRounds     dispatch decisions that ran the push (vxm)
+ *                        kernel
+ *  - kSpmvPullRounds     dispatch decisions that ran a pull (mxv /
+ *                        mxv_sparse) kernel
+ *  - kMaskSkippedRows    rows a pull kernel skipped wholesale because
+ *                        the mask ruled them out before the row was
+ *                        touched
+ *  - kEdgesShortCircuited edges never scanned because a row's
+ *                        accumulator reached the monoid's absorbing
+ *                        element (the "any"-style early exit)
  *
  * Counters are per-thread (plain non-atomic increments) and aggregated
  * on demand, so instrumentation stays cheap enough to leave enabled in
@@ -58,6 +75,12 @@ enum CounterId : unsigned {
     kSteals,
     kStealFails,
     kBackoffs,
+    kStealGrows,
+    kStealShrinks,
+    kSpmvPushRounds,
+    kSpmvPullRounds,
+    kMaskSkippedRows,
+    kEdgesShortCircuited,
     kNumCounters,
 };
 

@@ -141,12 +141,20 @@ class ChaseLevDeque
      * item is claimed by its own top-CAS — a multi-item CAS would race
      * the owner's CAS-free interior pops — and the batch aborts on the
      * first lost race. Returns the number of items written to @p out.
+     *
+     * When @p contended is non-null it is set to true iff the batch
+     * ended on a lost CAS (another thief or the owner raced us) rather
+     * than by draining the deque or filling the cap — the signal the
+     * adaptive batch throttle shrinks on.
      */
     std::size_t
-    steal_batch(T* out, std::size_t max)
+    steal_batch(T* out, std::size_t max, bool* contended = nullptr)
     {
         std::size_t got = 0;
         std::size_t limit = max;
+        if (contended != nullptr) {
+            *contended = false;
+        }
         while (got < limit) {
             std::int64_t t = top_.load(std::memory_order_seq_cst);
             const std::int64_t b =
@@ -164,6 +172,9 @@ class ChaseLevDeque
             if (!top_.compare_exchange_strong(
                     t, t + 1, std::memory_order_seq_cst,
                     std::memory_order_relaxed)) {
+                if (contended != nullptr) {
+                    *contended = true;
+                }
                 break;
             }
             out[got++] = item;
@@ -241,6 +252,76 @@ class ChaseLevDeque
 
     std::unique_ptr<Ring> live_;                 // owner-only
     std::vector<std::unique_ptr<Ring>> retired_; // owner-only
+};
+
+/**
+ * Adaptive steal-batch cap (per thief, no shared state).
+ *
+ * A fixed batch cap wastes one of two ways: too small and a thief
+ * revisits the same loaded victim over and over (each visit a seq_cst
+ * CAS on the victim's top), too large and two thieves draining the same
+ * victim serialize on that CAS, with the loser discarding its progress.
+ * The throttle moves the cap between the two regimes from observed
+ * outcomes: each completed batch that hit the cap without losing a CAS
+ * counts toward a growth streak (kGrowStreak of them double the cap);
+ * any batch that aborted on a lost CAS halves it immediately.
+ *
+ * Purely deterministic given the outcome sequence, so tests can drive
+ * it directly; the caller translates AdjustEvent into the kStealGrows /
+ * kStealShrinks counters.
+ */
+class StealThrottle
+{
+  public:
+    enum class Adjust {
+        kNone,
+        kGrew,
+        kShrank,
+    };
+
+    static constexpr std::size_t kMinCap = 2;
+    static constexpr unsigned kGrowStreak = 2;
+
+    explicit StealThrottle(std::size_t max_cap, std::size_t initial_cap)
+        : max_cap_(max_cap), cap_(std::min(initial_cap, max_cap))
+    {
+    }
+
+    /// Current cap to pass as steal_batch's max.
+    std::size_t cap() const { return cap_; }
+
+    /// Feed one steal_batch outcome; returns the cap adjustment made.
+    Adjust
+    record(std::size_t got, bool contended)
+    {
+        if (contended) {
+            streak_ = 0;
+            if (cap_ > kMinCap) {
+                cap_ = std::max(kMinCap, cap_ / 2);
+                return Adjust::kShrank;
+            }
+            return Adjust::kNone;
+        }
+        if (got >= cap_) {
+            // Full batch, no interference: the victim had more than we
+            // were allowed to take.
+            if (++streak_ >= kGrowStreak && cap_ < max_cap_) {
+                streak_ = 0;
+                cap_ = std::min(max_cap_, cap_ * 2);
+                return Adjust::kGrew;
+            }
+            return Adjust::kNone;
+        }
+        // Partial or empty batch: the victim drained; nothing to learn
+        // about contention, so just end any growth streak.
+        streak_ = 0;
+        return Adjust::kNone;
+    }
+
+  private:
+    const std::size_t max_cap_;
+    std::size_t cap_;
+    unsigned streak_{0};
 };
 
 } // namespace gas::rt

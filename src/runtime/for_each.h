@@ -8,8 +8,10 @@
  * may push new work, which goes to the pushing thread's deque (LIFO for
  * locality, entirely lock-free and uncontended on the owner's end).
  * Idle threads steal *batches* from victims — up to half the victim's
- * visible work, capped at ChaseLevDeque::kMaxBatch — keep one item to
- * run immediately and bank the rest in their own deque, so a thread
+ * visible work, capped by a per-thread adaptive StealThrottle (grows on
+ * consecutive full uncontended batches, shrinks when a batch aborts on
+ * CAS contention, never above ChaseLevDeque::kMaxBatch) — keep one item
+ * to run immediately and bank the rest in their own deque, so a thread
  * that finds a loaded victim stops being a thief after one sweep.
  * There is no notion of rounds: an item pushed by one thread can be
  * processed by another thread while the rest of the worklist is still
@@ -104,6 +106,8 @@ for_each(const Container& initial, Fn&& fn)
         ChaseLevDeque<T>& mine = deques[tid];
         UserContext<T> ctx(mine, pending);
         std::array<T, ChaseLevDeque<T>::kMaxBatch> loot;
+        StealThrottle throttle(ChaseLevDeque<T>::kMaxBatch,
+                               ChaseLevDeque<T>::kMaxBatch / 4);
         Backoff backoff;
         while (true) {
             T item;
@@ -117,8 +121,19 @@ for_each(const Container& initial, Fn&& fn)
                     if (victim.looks_empty()) {
                         continue;
                     }
-                    const std::size_t got =
-                        victim.steal_batch(loot.data(), loot.size());
+                    bool contended = false;
+                    const std::size_t got = victim.steal_batch(
+                        loot.data(), throttle.cap(), &contended);
+                    switch (throttle.record(got, contended)) {
+                      case StealThrottle::Adjust::kGrew:
+                        metrics::bump(metrics::kStealGrows);
+                        break;
+                      case StealThrottle::Adjust::kShrank:
+                        metrics::bump(metrics::kStealShrinks);
+                        break;
+                      case StealThrottle::Adjust::kNone:
+                        break;
+                    }
                     if (got != 0) {
                         metrics::bump(metrics::kSteals, got);
                         item = loot[0];

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the direction-optimizing SpMV engine: mask-semantics
+ * equivalence between the push (vxm) and pull (mxv with FlipMul,
+ * mxv_sparse) formulations across complement / replace / structural
+ * descriptors and sorted / unsorted sparse inputs, the absorbing-
+ * element early exit, and SpmvDispatcher's decisions and counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "matrix/grb.h"
+#include "runtime/thread_pool.h"
+#include "support/random.h"
+
+namespace gas::grb {
+namespace {
+
+using Model = std::map<Index, uint64_t>;
+
+Model
+to_model(const Vector<uint64_t>& v)
+{
+    Model model;
+    v.for_entries([&](Index i, uint64_t x) { model[i] = x; });
+    return model;
+}
+
+Matrix<uint64_t>
+random_matrix(Index nrows, Index ncols, double density, uint64_t seed)
+{
+    std::vector<std::tuple<Index, Index, uint64_t>> tuples;
+    Rng rng(seed);
+    for (Index i = 0; i < nrows; ++i) {
+        for (Index j = 0; j < ncols; ++j) {
+            if (rng.next_double() < density) {
+                tuples.emplace_back(i, j, 1 + rng.next_bounded(9));
+            }
+        }
+    }
+    return Matrix<uint64_t>::from_tuples(nrows, ncols, std::move(tuples));
+}
+
+Vector<uint64_t>
+random_vector(Index size, double density, uint64_t seed, bool dense)
+{
+    Vector<uint64_t> v(size);
+    Rng rng(seed);
+    for (Index i = 0; i < size; ++i) {
+        if (rng.next_double() < density) {
+            v.set_element(i, 1 + rng.next_bounded(20));
+        }
+    }
+    if (dense) {
+        v.densify();
+    }
+    return v;
+}
+
+/// Sparse mask mixing non-zero and explicit-zero entries (so value and
+/// structural semantics differ), optionally left unsorted by inserting
+/// in descending index order.
+Vector<uint64_t>
+zero_mixed_mask(Index size, double density, uint64_t seed, bool sorted)
+{
+    Vector<uint64_t> v(size);
+    Rng rng(seed);
+    std::vector<std::pair<Index, uint64_t>> entries;
+    for (Index i = 0; i < size; ++i) {
+        if (rng.next_double() < density) {
+            entries.emplace_back(i, rng.next_bounded(2)); // 0 or 1
+        }
+    }
+    if (!sorted) {
+        std::reverse(entries.begin(), entries.end());
+    }
+    for (const auto& [i, x] : entries) {
+        v.set_element(i, x);
+    }
+    EXPECT_EQ(v.sorted(), sorted || entries.size() < 2);
+    return v;
+}
+
+struct DispatchCase
+{
+    Backend backend;
+    uint64_t seed;
+};
+
+class GrbDispatchTest : public ::testing::TestWithParam<DispatchCase>
+{
+  protected:
+    void SetUp() override
+    {
+        rt::set_num_threads(4);
+        set_backend(GetParam().backend);
+    }
+
+    void TearDown() override { set_backend(Backend::kParallel); }
+};
+
+/// The tentpole invariant: for any semiring (commutative or not), mask,
+/// and descriptor, the push formulation w = u*A and the pull
+/// formulation w = (A^T)*u with the multiply flipped must agree.
+template <typename S>
+void
+expect_push_pull_equal(const Matrix<uint64_t>& A,
+                       const Matrix<uint64_t>& At,
+                       const Vector<uint64_t>& u,
+                       const Vector<uint64_t>* mask,
+                       const Descriptor& desc)
+{
+    Vector<uint64_t> w_push;
+    vxm<S>(w_push, mask, desc, u, A);
+    Vector<uint64_t> w_pull;
+    mxv<FlipMul<S>>(w_pull, mask, desc, At, u);
+    EXPECT_EQ(to_model(w_push), to_model(w_pull));
+    if (mask != nullptr && mask->format() == VectorFormat::kSparse) {
+        Vector<uint64_t> w_pull_sparse;
+        mxv_sparse<FlipMul<S>>(w_pull_sparse, *mask, desc, At, u);
+        EXPECT_EQ(to_model(w_push), to_model(w_pull_sparse));
+    }
+}
+
+TEST_P(GrbDispatchTest, MaskSemanticsEquivalence)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(48, 48, 0.15, param.seed);
+    const auto At = A.transpose();
+
+    const Descriptor descs[] = {
+        kDefaultDesc,
+        kReplaceDesc,
+        kComplementReplaceDesc,
+        kStructuralDesc,
+        kStructuralComplementReplaceDesc,
+        Descriptor{true, false, false},
+        Descriptor{true, false, true},
+    };
+    for (const bool u_sorted : {true, false}) {
+        for (const bool m_sorted : {true, false}) {
+            auto u = zero_mixed_mask(48, 0.4, param.seed + 1, u_sorted);
+            // The input vector should have non-zero values; reuse the
+            // generator's structure but lift values by one.
+            apply(u, u, [](uint64_t x) { return x + 1; });
+            const auto mask =
+                zero_mixed_mask(48, 0.5, param.seed + 2, m_sorted);
+            for (const Descriptor& desc : descs) {
+                expect_push_pull_equal<PlusTimes<uint64_t>>(A, At, u,
+                                                            &mask, desc);
+                expect_push_pull_equal<MinFirst<uint64_t>>(A, At, u,
+                                                           &mask, desc);
+                expect_push_pull_equal<MinSecond<uint64_t>>(A, At, u,
+                                                            &mask, desc);
+            }
+        }
+    }
+}
+
+TEST_P(GrbDispatchTest, MaskSemanticsEquivalenceDenseMask)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(40, 40, 0.2, param.seed + 3);
+    const auto At = A.transpose();
+    const auto u = random_vector(40, 0.4, param.seed + 4, false);
+    auto mask = zero_mixed_mask(40, 0.5, param.seed + 5, true);
+    mask.densify();
+    for (const Descriptor& desc :
+         {kDefaultDesc, kComplementReplaceDesc, kStructuralDesc,
+          kStructuralComplementReplaceDesc}) {
+        expect_push_pull_equal<PlusTimes<uint64_t>>(A, At, u, &mask,
+                                                    desc);
+        expect_push_pull_equal<MinFirst<uint64_t>>(A, At, u, &mask, desc);
+    }
+}
+
+TEST_P(GrbDispatchTest, MaskSemanticsEquivalenceUnmasked)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(40, 40, 0.2, param.seed + 6);
+    const auto At = A.transpose();
+    for (const bool dense : {false, true}) {
+        const auto u = random_vector(40, 0.4, param.seed + 7, dense);
+        expect_push_pull_equal<PlusTimes<uint64_t>>(
+            A, At, u, nullptr, kDefaultDesc);
+        expect_push_pull_equal<MinFirst<uint64_t>>(A, At, u, nullptr,
+                                                   kDefaultDesc);
+    }
+}
+
+TEST_P(GrbDispatchTest, StructuralMaskIgnoresValues)
+{
+    // A structural mask admits present-but-zero entries that a value
+    // mask rejects; verify both kernels make that exact distinction.
+    const auto A = random_matrix(32, 32, 0.3, GetParam().seed + 8);
+    const auto u = random_vector(32, 0.8, GetParam().seed + 9, false);
+    Vector<uint64_t> mask(32);
+    mask.set_element(3, 0); // present, value zero
+    mask.set_element(7, 1);
+
+    Vector<uint64_t> value_masked;
+    vxm<PlusTimes<uint64_t>>(value_masked, &mask, kDefaultDesc, u, A);
+    Vector<uint64_t> struct_masked;
+    vxm<PlusTimes<uint64_t>>(struct_masked, &mask, kStructuralDesc, u, A);
+    const Model vm = to_model(value_masked);
+    const Model sm = to_model(struct_masked);
+    EXPECT_EQ(vm.count(3), 0u);
+    // Structural admits row 3 whenever the product reaches it.
+    Vector<uint64_t> unmasked;
+    vxm<PlusTimes<uint64_t>>(
+        unmasked, static_cast<const Vector<uint64_t>*>(nullptr),
+        kDefaultDesc, u, A);
+    const Model um = to_model(unmasked);
+    EXPECT_EQ(sm.count(3), um.count(3));
+    EXPECT_EQ(vm.count(7), um.count(7));
+}
+
+TEST_P(GrbDispatchTest, EarlyExitShortCircuitsAndMatchesOracle)
+{
+    // LorLand has an absorbing add element, so the pull kernels may
+    // stop each row at the first hit. On a dense matrix with a dense
+    // input, nearly every row short-circuits; the result must still be
+    // exactly the OR-reachability oracle.
+    const Index n = 24;
+    std::vector<std::tuple<Index, Index, uint8_t>> tuples;
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < n; ++j) {
+            if (i != j) {
+                tuples.emplace_back(i, j, 1);
+            }
+        }
+    }
+    const auto A =
+        Matrix<uint8_t>::from_tuples(n, n, std::move(tuples));
+    Vector<uint8_t> u(n);
+    for (Index i = 0; i < n; i += 2) {
+        u.set_element(i, 1);
+    }
+    u.densify();
+
+    const metrics::Interval interval;
+    Vector<uint8_t> w;
+    mxv<LorLand>(w, static_cast<const Vector<uint8_t>*>(nullptr),
+                 kDefaultDesc, A, u);
+    const auto delta = interval.delta();
+    EXPECT_GT(delta[metrics::kEdgesShortCircuited], 0u);
+
+    // Every row sees at least one active in-neighbor, so the result is
+    // all ones.
+    EXPECT_EQ(w.nvals(), n);
+    w.for_entries([](Index, uint8_t x) { EXPECT_EQ(x, 1); });
+}
+
+TEST_P(GrbDispatchTest, MxvSparseCountsSkippedRows)
+{
+    const auto A = random_matrix(50, 50, 0.2, GetParam().seed + 10);
+    const auto u = random_vector(50, 0.9, GetParam().seed + 11, true);
+    Vector<uint64_t> mask(50);
+    mask.set_element(4, 1);
+    mask.set_element(9, 1);
+    mask.set_element(17, 1);
+
+    const metrics::Interval interval;
+    Vector<uint64_t> w;
+    mxv_sparse<PlusTimes<uint64_t>>(w, mask, kStructuralDesc, A, u);
+    const auto delta = interval.delta();
+    // 47 of the 50 rows were never candidates.
+    EXPECT_EQ(delta[metrics::kMaskSkippedRows], 47u);
+    for (const auto& [i, x] : to_model(w)) {
+        EXPECT_TRUE(i == 4 || i == 9 || i == 17);
+        (void)x;
+    }
+}
+
+TEST_P(GrbDispatchTest, DispatcherForcedDirectionsAgree)
+{
+    const auto& param = GetParam();
+    const auto A = random_matrix(45, 45, 0.15, param.seed + 12);
+    const auto At = A.transpose();
+    SpmvDispatcher<uint64_t> spmv(A, At);
+    const auto u = random_vector(45, 0.3, param.seed + 13, false);
+    const auto mask = zero_mixed_mask(45, 0.5, param.seed + 14, true);
+
+    for (const Descriptor& base :
+         {kDefaultDesc, kComplementReplaceDesc,
+          kStructuralComplementReplaceDesc}) {
+        Descriptor push_desc = base;
+        push_desc.direction = Direction::kPush;
+        Descriptor pull_desc = base;
+        pull_desc.direction = Direction::kPull;
+        Descriptor auto_desc = base;
+        auto_desc.direction = Direction::kAuto;
+
+        Vector<uint64_t> w_push;
+        EXPECT_EQ(spmv.dispatch_spmv<MinFirst<uint64_t>>(
+                      w_push, &mask, push_desc, u),
+                  Direction::kPush);
+        Vector<uint64_t> w_pull;
+        EXPECT_EQ(spmv.dispatch_spmv<MinFirst<uint64_t>>(
+                      w_pull, &mask, pull_desc, u),
+                  Direction::kPull);
+        Vector<uint64_t> w_auto;
+        spmv.dispatch_spmv<MinFirst<uint64_t>>(w_auto, &mask, auto_desc,
+                                               u);
+        EXPECT_EQ(to_model(w_push), to_model(w_pull));
+        EXPECT_EQ(to_model(w_push), to_model(w_auto));
+    }
+}
+
+TEST_P(GrbDispatchTest, DispatcherDecisionsAndCounters)
+{
+    const auto A = random_matrix(60, 60, 0.1, GetParam().seed + 15);
+    const auto At = A.transpose();
+
+    // Push-only dispatcher: kAuto must resolve to push even for a
+    // dense input.
+    {
+        SpmvDispatcher<uint64_t> push_only(A);
+        const auto u = random_vector(60, 0.9, GetParam().seed + 16, true);
+        const metrics::Interval interval;
+        Vector<uint64_t> w;
+        EXPECT_EQ(push_only.dispatch_spmv<PlusTimes<uint64_t>>(
+                      w, kDefaultDesc, u),
+                  Direction::kPush);
+        EXPECT_EQ(interval.delta()[metrics::kSpmvPushRounds], 1u);
+    }
+
+    // Full dispatcher: dense input means pull, a one-entry frontier on
+    // a sparse matrix means push.
+    {
+        SpmvDispatcher<uint64_t> spmv(A, At);
+        const auto dense_u =
+            random_vector(60, 0.9, GetParam().seed + 17, true);
+        const metrics::Interval interval;
+        Vector<uint64_t> w;
+        EXPECT_EQ(spmv.dispatch_spmv<PlusTimes<uint64_t>>(w, kDefaultDesc,
+                                                          dense_u),
+                  Direction::kPull);
+        EXPECT_EQ(spmv.last_direction(), Direction::kPull);
+        EXPECT_EQ(interval.delta()[metrics::kSpmvPullRounds], 1u);
+
+        SpmvDispatcher<uint64_t> fresh(A, At);
+        Vector<uint64_t> tiny(60);
+        tiny.set_element(5, 3);
+        Vector<uint64_t> w2;
+        EXPECT_EQ(spmv.last_direction(), Direction::kPull);
+        EXPECT_EQ(fresh.dispatch_spmv<PlusTimes<uint64_t>>(w2,
+                                                           kDefaultDesc,
+                                                           tiny),
+                  Direction::kPush);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GrbDispatchTest,
+    ::testing::Values(DispatchCase{Backend::kReference, 5000},
+                      DispatchCase{Backend::kParallel, 6000}),
+    [](const auto& info) {
+        return info.param.backend == Backend::kReference ? "Reference"
+                                                         : "Parallel";
+    });
+
+} // namespace
+} // namespace gas::grb

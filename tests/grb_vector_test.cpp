@@ -45,6 +45,71 @@ TEST(GrbVector, SetOutOfOrderMarksUnsorted)
     EXPECT_EQ(v.get_element(7), 1);
 }
 
+TEST(GrbVector, SortedTailAppendStaysSorted)
+{
+    // Monotone inserts take the O(1) tail-append fast path and must
+    // keep the vector sorted so lookups use the binary search.
+    Vector<int> v(1000);
+    for (Index i = 0; i < 1000; i += 3) {
+        v.set_element(i, static_cast<int>(i) + 1);
+    }
+    EXPECT_TRUE(v.sorted());
+    EXPECT_EQ(v.nvals(), 334u);
+    for (Index i = 0; i < 1000; ++i) {
+        if (i % 3 == 0) {
+            EXPECT_EQ(v.get_element(i), static_cast<int>(i) + 1);
+        } else {
+            EXPECT_FALSE(v.get_element(i).has_value());
+        }
+    }
+}
+
+TEST(GrbVector, SortedOverwriteUsesBinarySearch)
+{
+    // Overwriting an existing index in a sorted vector must hit the
+    // binary-search branch: nvals unchanged, order preserved.
+    Vector<int> v(100);
+    for (Index i = 10; i < 100; i += 10) {
+        v.set_element(i, 0);
+    }
+    ASSERT_TRUE(v.sorted());
+    v.set_element(50, 5);
+    v.set_element(10, 1);
+    v.set_element(90, 9);
+    EXPECT_TRUE(v.sorted());
+    EXPECT_EQ(v.nvals(), 9u);
+    EXPECT_EQ(v.get_element(10), 1);
+    EXPECT_EQ(v.get_element(50), 5);
+    EXPECT_EQ(v.get_element(90), 9);
+    EXPECT_EQ(v.get_element(20), 0);
+}
+
+TEST(GrbVector, UnsortedInsertThenSortRestoresLookups)
+{
+    // A new (not overwriting) out-of-order index appends and drops the
+    // sorted flag; lookups fall back to the linear scan and keep
+    // working, and sort_entries restores the invariant.
+    Vector<int> v(100);
+    v.set_element(40, 4);
+    v.set_element(80, 8);
+    ASSERT_TRUE(v.sorted());
+    v.set_element(20, 2);
+    EXPECT_FALSE(v.sorted());
+    EXPECT_EQ(v.nvals(), 3u);
+    EXPECT_EQ(v.get_element(20), 2);
+    EXPECT_EQ(v.get_element(40), 4);
+    // Overwrites while unsorted still find the entry.
+    v.set_element(80, 88);
+    EXPECT_EQ(v.nvals(), 3u);
+    v.sort_entries();
+    EXPECT_TRUE(v.sorted());
+    EXPECT_EQ(v.get_element(80), 88);
+    const auto tuples = v.extract_tuples();
+    ASSERT_EQ(tuples.size(), 3u);
+    EXPECT_EQ(tuples[0], (std::pair<Index, int>{20, 2}));
+    EXPECT_EQ(tuples[2], (std::pair<Index, int>{80, 88}));
+}
+
 TEST(GrbVector, Fill)
 {
     Vector<int> v(5);

@@ -125,6 +125,50 @@ TEST_P(LagraphTest, PushPullBfsMatchesOracle)
     }
 }
 
+TEST_P(LagraphTest, AutoBfsMatchesOracleInEveryDirectionMode)
+{
+    const auto A = grb::Matrix<uint8_t>::from_graph(graph_, false);
+    const auto At = A.transpose();
+    const Node source = graph::highest_degree_node(graph_);
+    const auto expected = verify::bfs_levels(graph_, source);
+    for (const auto force :
+         {grb::Direction::kAuto, grb::Direction::kPush,
+          grb::Direction::kPull}) {
+        const auto dist = la::bfs_auto(A, At, source, force);
+        ASSERT_EQ(la::bfs_levels_from(dist), expected)
+            << "forced direction " << static_cast<int>(force);
+    }
+}
+
+TEST_P(LagraphTest, AutoBfsFromEveryTenthSource)
+{
+    const auto A = grb::Matrix<uint8_t>::from_graph(graph_, false);
+    const auto At = A.transpose();
+    for (Node source = 0; source < graph_.num_nodes(); source += 10) {
+        const auto levels =
+            la::bfs_levels_from(la::bfs_auto(A, At, source));
+        ASSERT_EQ(levels, verify::bfs_levels(graph_, source))
+            << "source " << source;
+    }
+}
+
+TEST_P(LagraphTest, ForcedPullBfsRecordsPullSavings)
+{
+    // Forcing every round to pull must run the masked pull kernel and
+    // record what the complemented structural mask saved.
+    const auto A = grb::Matrix<uint8_t>::from_graph(graph_, false);
+    const auto At = A.transpose();
+    const Node source = graph::highest_degree_node(graph_);
+    metrics::Interval interval;
+    const auto dist = la::bfs_auto(A, At, source, grb::Direction::kPull);
+    const auto delta = interval.delta();
+    EXPECT_EQ(delta[metrics::kSpmvPushRounds], 0u);
+    EXPECT_GT(delta[metrics::kSpmvPullRounds], 0u);
+    EXPECT_GT(delta[metrics::kMaskSkippedRows], 0u);
+    EXPECT_EQ(la::bfs_levels_from(dist),
+              verify::bfs_levels(graph_, source));
+}
+
 TEST_P(LagraphTest, FusedBfsMatchesOracle)
 {
     const auto A = grb::Matrix<uint8_t>::from_graph(graph_, false);

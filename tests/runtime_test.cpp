@@ -11,7 +11,9 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 
+#include "metrics/counters.h"
 #include "runtime/chase_lev.h"
 #include "runtime/for_each.h"
 #include "runtime/insert_bag.h"
@@ -230,6 +232,101 @@ TEST(ChaseLevDequeTest, StealBatchTakesAtMostHalf)
     EXPECT_EQ(deque.steal_batch(loot.data(), 3), 3u);
     EXPECT_EQ(loot[0], 10);
     EXPECT_EQ(deque.size_hint(), 7u);
+}
+
+TEST(ChaseLevDequeTest, StealBatchReportsNoContentionWhenUncontended)
+{
+    ChaseLevDeque<int> deque;
+    for (int i = 0; i < 8; ++i) {
+        deque.push(i);
+    }
+    std::array<int, ChaseLevDeque<int>::kMaxBatch> loot;
+    bool contended = true;
+    // Single-threaded: the batch ends by hitting the half cap, never by
+    // a lost CAS, so the contention flag must come back false.
+    EXPECT_EQ(deque.steal_batch(loot.data(), loot.size(), &contended), 4u);
+    EXPECT_FALSE(contended);
+    // Draining an empty deque is emptiness, not contention.
+    ChaseLevDeque<int> empty;
+    contended = true;
+    EXPECT_EQ(empty.steal_batch(loot.data(), loot.size(), &contended), 0u);
+    EXPECT_FALSE(contended);
+}
+
+TEST(StealThrottleTest, AdaptsDuringSkewedForEach)
+{
+    // One seed item fans out into a pile of work on a single deque, so
+    // every other worker must batch-steal from it. Whatever the timing,
+    // a thief either completes full uncontended batches (cap grows) or
+    // loses a CAS race (cap shrinks) — the adjustment counters must
+    // show the throttle reacting. Retry a few times to be robust
+    // against a scheduler that lets the owner drain everything alone.
+    set_num_threads(4);
+    bool adapted = false;
+    for (int attempt = 0; attempt < 10 && !adapted; ++attempt) {
+        std::atomic<std::size_t> processed{0};
+        const metrics::Interval interval;
+        for_each<int>(std::vector<int>{-1},
+                      [&](const int& item, UserContext<int>& ctx) {
+                          if (item < 0) {
+                              for (int i = 0; i < 4000; ++i) {
+                                  ctx.push(i);
+                              }
+                              return;
+                          }
+                          // Yield between items so the thief threads
+                          // get scheduled while the spawner's deque is
+                          // still full (this box may have one core).
+                          std::this_thread::yield();
+                          processed.fetch_add(1);
+                      });
+        EXPECT_EQ(processed.load(), 4000u);
+        const auto delta = interval.delta();
+        adapted = delta[metrics::kStealGrows] +
+                delta[metrics::kStealShrinks] >
+            0;
+    }
+    set_num_threads(4);
+    EXPECT_TRUE(adapted)
+        << "steal throttle never adjusted its cap across 10 runs";
+}
+
+TEST(StealThrottleTest, GrowsOnStreakShrinksOnContention)
+{
+    StealThrottle throttle(/*max_cap=*/32, /*initial_cap=*/8);
+    EXPECT_EQ(throttle.cap(), 8u);
+
+    // Two consecutive full uncontended batches double the cap.
+    EXPECT_EQ(throttle.record(8, false), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.record(8, false), StealThrottle::Adjust::kGrew);
+    EXPECT_EQ(throttle.cap(), 16u);
+
+    // A partial batch (victim drained) resets the streak but keeps the
+    // cap.
+    EXPECT_EQ(throttle.record(5, false), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.record(16, false), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.record(16, false), StealThrottle::Adjust::kGrew);
+    EXPECT_EQ(throttle.cap(), 32u);
+
+    // At the ceiling, full batches no longer grow.
+    EXPECT_EQ(throttle.record(32, false), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.record(32, false), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.cap(), 32u);
+
+    // Contention halves immediately, repeatedly, down to the floor.
+    EXPECT_EQ(throttle.record(3, true), StealThrottle::Adjust::kShrank);
+    EXPECT_EQ(throttle.cap(), 16u);
+    EXPECT_EQ(throttle.record(0, true), StealThrottle::Adjust::kShrank);
+    EXPECT_EQ(throttle.record(0, true), StealThrottle::Adjust::kShrank);
+    EXPECT_EQ(throttle.record(0, true), StealThrottle::Adjust::kShrank);
+    EXPECT_EQ(throttle.cap(), StealThrottle::kMinCap);
+    EXPECT_EQ(throttle.record(0, true), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.cap(), StealThrottle::kMinCap);
+
+    // Recovery: the streak machinery still works after shrinking.
+    EXPECT_EQ(throttle.record(2, false), StealThrottle::Adjust::kNone);
+    EXPECT_EQ(throttle.record(2, false), StealThrottle::Adjust::kGrew);
+    EXPECT_EQ(throttle.cap(), 4u);
 }
 
 TEST(ChaseLevDequeTest, InterleavedPushPopKeepsCount)
