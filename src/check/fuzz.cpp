@@ -1,0 +1,136 @@
+#include "check/fuzz.h"
+
+#if defined(GAS_CHECK_ENABLED)
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "metrics/counters.h"
+#include "runtime/thread_pool.h"
+
+namespace gas::check::fuzz {
+
+namespace {
+
+/// Seed plus a generation stamp so set_seed() reseeds every thread's
+/// stream at its next decision point.
+std::atomic<uint64_t> g_seed{0};
+std::atomic<uint64_t> g_generation{0};
+
+/// Read GAS_CHECK_SEED once at startup so whole-program runs (the six
+/// workload binaries under the checked build) fuzz without code
+/// changes.
+[[maybe_unused]] const bool g_env_seed_applied = [] {
+    if (const char* env = std::getenv("GAS_CHECK_SEED")) {
+        set_seed(std::strtoull(env, nullptr, 10));
+    }
+    return true;
+}();
+
+uint64_t
+splitmix64(uint64_t& state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/// Per-thread decision stream, reseeded lazily when the global seed
+/// generation changes. Seeding folds in the pool thread id, so the
+/// stream is a pure function of (seed, tid) — the replay guarantee.
+struct ThreadStream
+{
+    uint64_t state{0};
+    uint64_t generation{~uint64_t{0}};
+};
+
+thread_local ThreadStream t_stream;
+
+uint64_t
+next_random()
+{
+    const uint64_t generation =
+        g_generation.load(std::memory_order_relaxed);
+    if (t_stream.generation != generation) {
+        t_stream.generation = generation;
+        t_stream.state = g_seed.load(std::memory_order_relaxed) ^
+            (0xD1B54A32D192ED03ull * (rt::thread_id() + 1));
+    }
+    return splitmix64(t_stream.state);
+}
+
+} // namespace
+
+void
+set_seed(uint64_t seed)
+{
+    g_seed.store(seed, std::memory_order_relaxed);
+    g_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+seed()
+{
+    return g_seed.load(std::memory_order_relaxed);
+}
+
+bool
+active()
+{
+    return seed() != 0;
+}
+
+void
+maybe_yield(Site site)
+{
+    if (!active()) {
+        return;
+    }
+    // Fold the site in so the same stream makes different choices at
+    // different decision points.
+    uint64_t draw = next_random() ^
+        (static_cast<uint64_t>(site) * 0x9E3779B97F4A7C15ull);
+    draw ^= draw >> 29;
+    const unsigned choice = static_cast<unsigned>(draw & 15u);
+    if (choice == 0) {
+        metrics::bump(metrics::kFuzzPerturbations);
+        std::this_thread::yield();
+    } else if (choice == 1) {
+        metrics::bump(metrics::kFuzzPerturbations);
+        // Bounded busy wait: long enough to widen overlap windows,
+        // short enough to keep checked runs fast.
+        const unsigned spins = static_cast<unsigned>((draw >> 8) & 255u);
+        for (volatile unsigned i = 0; i < spins; ++i) {
+        }
+    }
+}
+
+unsigned
+victim_offset(unsigned total, unsigned step)
+{
+    if (!active() || total < 2) {
+        return step;
+    }
+    metrics::bump(metrics::kFuzzPerturbations);
+    return 1 + static_cast<unsigned>(next_random() % (total - 1));
+}
+
+bool
+force_steal_fail()
+{
+    if (!active()) {
+        return false;
+    }
+    if ((next_random() & 7u) == 0) {
+        metrics::bump(metrics::kFuzzPerturbations);
+        return true;
+    }
+    return false;
+}
+
+} // namespace gas::check::fuzz
+
+#endif // GAS_CHECK_ENABLED

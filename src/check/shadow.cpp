@@ -1,0 +1,139 @@
+#include "check/shadow.h"
+
+#include <sstream>
+
+#include "check/fuzz.h"
+#include "metrics/counters.h"
+
+namespace gas::check {
+
+const char*
+access_name(Access access)
+{
+    switch (access) {
+      case Access::kRead: return "read";
+      case Access::kWrite: return "write";
+      case Access::kAtomicRead: return "atomic-read";
+      case Access::kAtomicWrite: return "atomic-write";
+      case Access::kAtomicRmw: return "atomic-rmw";
+      default: return "unknown";
+    }
+}
+
+#if defined(GAS_CHECK_ENABLED)
+
+namespace {
+
+/// Global parallel-region epoch. Starts at 1 so a zero shadow word
+/// unambiguously means "never accessed".
+std::atomic<uint32_t> g_epoch{1};
+
+/// Label naming the loop currently executing (best-effort: set before a
+/// region starts, read only on the cold race-report path).
+std::atomic<const char*> g_region_label{nullptr};
+
+/// Ring buffer of the most recent flagged races. Slots are written
+/// under a spin-free claim on g_race_count; concurrent writers to the
+/// same slot (only possible after kReportCapacity wraps) may interleave
+/// fields — acceptable for a diagnostic record.
+RaceRecord g_ring[kReportCapacity];
+std::atomic<std::size_t> g_race_count{0};
+
+} // namespace
+
+uint32_t
+current_epoch()
+{
+    return g_epoch.load(std::memory_order_relaxed);
+}
+
+void
+region_begin()
+{
+    g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t
+race_count()
+{
+    return g_race_count.load(std::memory_order_relaxed);
+}
+
+std::vector<RaceRecord>
+races()
+{
+    const std::size_t total = race_count();
+    const std::size_t kept = std::min(total, kReportCapacity);
+    std::vector<RaceRecord> out;
+    out.reserve(kept);
+    // Oldest surviving record first.
+    const std::size_t start = total - kept;
+    for (std::size_t i = start; i < total; ++i) {
+        out.push_back(g_ring[i % kReportCapacity]);
+    }
+    return out;
+}
+
+void
+clear()
+{
+    g_race_count.store(0, std::memory_order_relaxed);
+}
+
+std::string
+report()
+{
+    const std::size_t total = race_count();
+    if (total == 0) {
+        return {};
+    }
+    std::ostringstream os;
+    os << "GAS_CHECK: " << total << " conflicting operator access"
+       << (total == 1 ? "" : "es") << " (fuzz seed " << fuzz::seed()
+       << "; set GAS_CHECK_SEED=" << fuzz::seed() << " to replay)\n";
+    for (const RaceRecord& record : races()) {
+        os << "  [" << record.array_name << "][" << record.index << "] "
+           << access_name(record.prior) << " by t" << record.prior_tid
+           << " vs " << access_name(record.current) << " by t"
+           << record.current_tid << " in epoch " << record.epoch
+           << " (loop: "
+           << (record.label != nullptr ? record.label : "<unlabeled>")
+           << ")\n";
+    }
+    return os.str();
+}
+
+const char*
+set_region_label(const char* label)
+{
+    return g_region_label.exchange(label, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+report_race(const char* array_name, uint64_t index, uint32_t epoch,
+            uint32_t prior_tid, Access prior, uint32_t current_tid,
+            Access current)
+{
+    RaceRecord record;
+    record.array_name = array_name;
+    record.label = g_region_label.load(std::memory_order_relaxed);
+    record.index = index;
+    record.epoch = epoch;
+    record.prior_tid = static_cast<uint16_t>(prior_tid);
+    record.current_tid = static_cast<uint16_t>(current_tid);
+    record.prior = prior;
+    record.current = current;
+
+    const std::size_t slot =
+        g_race_count.fetch_add(1, std::memory_order_relaxed);
+    g_ring[slot % kReportCapacity] = record;
+    metrics::bump(metrics::kRacesDetected);
+}
+
+} // namespace detail
+
+#endif // GAS_CHECK_ENABLED
+
+} // namespace gas::check

@@ -1,0 +1,349 @@
+#pragma once
+
+/**
+ * @file
+ * GAS_CHECK: a compile-time-gated shadow-memory race detector for
+ * operator code.
+ *
+ * The asynchronous executors (for_each, OBIM) run fine-grained vertex
+ * operators concurrently with no round boundaries; an unsynchronized
+ * neighbor write is a latent bug that only a rare interleaving exposes.
+ * This module makes such bugs visible deterministically: every read or
+ * write a checked accessor (graph/node_data.h) performs inside an
+ * operator is recorded in a per-element *shadow word*, and two accesses
+ * that could race — different threads, same parallel region, at least
+ * one write, not both atomic — are flagged immediately, whether or not
+ * the racy interleaving actually occurred on this run.
+ *
+ * ## Shadow-word protocol (FastTrack-style, one 64-bit word per element)
+ *
+ * The detector borrows FastTrack's key insight (Flanagan & Freund,
+ * PLDI'09): for the common access patterns, a full vector clock per
+ * location is unnecessary — the last write and a small read summary
+ * suffice. Here the happens-before relation is additionally collapsed
+ * by *epoch fencing*: the thread-pool barrier that opens and closes
+ * every parallel region increments a global epoch, so two accesses can
+ * only race if they carry the same epoch. Within one epoch there is no
+ * inter-thread synchronization the checker trusts except atomicity of
+ * the access itself (worklist hand-off is deliberately ignored: an
+ * operator that publishes plain writes through a worklist push is
+ * exactly the fragile pattern the tool exists to flag).
+ *
+ * Word layout:
+ *
+ *     bits 63..44  write epoch  (20 bits)   last write to the element
+ *     bits 43..35  write tid    (9 bits)
+ *     bit  34      write-atomic
+ *     bits 33..14  read epoch   (20 bits)   read summary for that epoch
+ *     bits 13..5   read tid     (9 bits)    first reader
+ *     bit  4       read-shared             (>= 2 distinct reader tids)
+ *     bit  3       read-any-plain          (some read was non-atomic)
+ *
+ * A zero word means "never accessed" (epochs start at 1). The
+ * same-epoch fast path — the calling thread already owns the matching
+ * state — is a relaxed load plus a compare; the slow path decodes the
+ * word, checks the two conflict rules, and stores the updated word with
+ * a plain (racy) atomic store. Shadow updates may therefore lose one
+ * access under concurrent recording; detection is best-effort per
+ * access but every *pair* of conflicting accesses gets two chances to
+ * observe each other, and the schedule fuzzer (check/fuzz.h) varies the
+ * interleaving across seeds. Epochs wrap after 2^20 regions; a stale
+ * word whose epoch aliases the current one could then produce a false
+ * positive, which a gas::check::clear() between long phases avoids.
+ *
+ * Conflict rules for a new access by thread T in epoch E:
+ *
+ *   write: write state (E, T' != T) and not both atomic  -> write/write
+ *          read  state (E, shared or T' != T) and not
+ *          (new write atomic and all reads atomic)       -> read/write
+ *   read:  write state (E, T' != T) and not both atomic  -> write/read
+ *
+ * Flagged races are pushed into a fixed ring buffer (the most recent
+ * kReportCapacity survive), counted in metrics::kRacesDetected, and
+ * dumped by gas::check::report().
+ *
+ * Everything in this header compiles to nothing when GAS_CHECK_ENABLED
+ * is not defined: ShadowArray is an empty type whose inline methods
+ * have empty bodies, so release builds carry zero instrumentation — no
+ * shadow allocations, no extra branches in the accessor hot paths.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(GAS_CHECK_ENABLED)
+#include <atomic>
+#include <memory>
+
+#include "runtime/thread_pool.h"
+#endif
+
+namespace gas::check {
+
+/// Kind of a checked element access.
+enum class Access : uint8_t {
+    kRead,        ///< plain (unsynchronized) load
+    kWrite,       ///< plain (unsynchronized) store
+    kAtomicRead,  ///< atomic load
+    kAtomicWrite, ///< atomic store
+    kAtomicRmw,   ///< atomic read-modify-write (CAS, fetch-op)
+};
+
+/// Printable name of an access kind.
+const char* access_name(Access access);
+
+/// One flagged conflict between two operator accesses.
+struct RaceRecord
+{
+    const char* array_name; ///< name of the checked array
+    const char* label;      ///< active region label at detection time
+    uint64_t index;         ///< element index within the array
+    uint32_t epoch;         ///< parallel-region epoch of both accesses
+    uint16_t prior_tid;     ///< thread of the recorded earlier access
+    uint16_t current_tid;   ///< thread performing the flagging access
+    Access prior;           ///< kind of the earlier access
+    Access current;         ///< kind of the flagging access
+};
+
+/// Most recent race records kept for report().
+inline constexpr std::size_t kReportCapacity = 64;
+
+#if defined(GAS_CHECK_ENABLED)
+
+/// True when the build carries the checker.
+constexpr bool enabled() { return true; }
+
+/// Current parallel-region epoch (monotonically increasing, starts 1).
+uint32_t current_epoch();
+
+/**
+ * Advance the region epoch. Called by ThreadPool::run at region entry
+ * and exit (both are true barriers), so accesses separated by a region
+ * boundary can never be flagged against each other.
+ */
+void region_begin();
+
+/// Total conflicting access pairs flagged since the last clear().
+std::size_t race_count();
+
+/// Copy of the surviving race records (call only while quiescent).
+std::vector<RaceRecord> races();
+
+/// Drop all recorded races and reset the counter (quiescent only).
+void clear();
+
+/// Multi-line human-readable dump of the recorded races plus the
+/// fuzzer seed needed to replay the schedule (empty string if clean).
+std::string report();
+
+namespace detail {
+
+inline constexpr uint32_t kEpochBits = 20;
+inline constexpr uint32_t kEpochMask = (1u << kEpochBits) - 1;
+inline constexpr uint32_t kTidBits = 9;
+inline constexpr uint32_t kTidMask = (1u << kTidBits) - 1;
+
+inline constexpr unsigned kWriteEpochShift = 44;
+inline constexpr unsigned kWriteTidShift = 35;
+inline constexpr uint64_t kWriteAtomicBit = uint64_t{1} << 34;
+inline constexpr unsigned kReadEpochShift = 14;
+inline constexpr unsigned kReadTidShift = 5;
+inline constexpr uint64_t kReadSharedBit = uint64_t{1} << 4;
+inline constexpr uint64_t kReadPlainBit = uint64_t{1} << 3;
+
+/// Cold path: record one conflict (ring buffer + counter).
+void report_race(const char* array_name, uint64_t index, uint32_t epoch,
+                 uint32_t prior_tid, Access prior, uint32_t current_tid,
+                 Access current);
+
+} // namespace detail
+
+/**
+ * Shadow words for one checked array. Owned by graph::NodeData; one
+ * 64-bit word per element, zero-initialized ("never accessed").
+ */
+class ShadowArray
+{
+  public:
+    ShadowArray() = default;
+
+    ShadowArray(std::size_t size, const char* name)
+        : name_(name),
+          words_(size == 0
+                     ? nullptr
+                     : std::make_unique<std::atomic<uint64_t>[]>(size))
+    {
+    }
+
+    ShadowArray(ShadowArray&&) = default;
+    ShadowArray& operator=(ShadowArray&&) = default;
+
+    /// Record one element access by the calling thread; flags and
+    /// reports conflicts per the shadow-word protocol above.
+    void
+    record(std::size_t index, Access access) const
+    {
+        namespace d = detail;
+        if (words_ == nullptr) {
+            return;
+        }
+        const uint32_t epoch = current_epoch() & d::kEpochMask;
+        uint32_t tid = rt::thread_id();
+        if (tid > d::kTidMask) {
+            tid = d::kTidMask; // clamp: ids above 511 share a slot
+        }
+        const bool is_write = access == Access::kWrite ||
+            access == Access::kAtomicWrite || access == Access::kAtomicRmw;
+        const bool is_atomic = access != Access::kRead &&
+            access != Access::kWrite;
+
+        std::atomic<uint64_t>& cell = words_[index];
+        const uint64_t word = cell.load(std::memory_order_relaxed);
+        const uint32_t write_epoch =
+            static_cast<uint32_t>(word >> d::kWriteEpochShift) &
+            d::kEpochMask;
+        const uint32_t write_tid =
+            static_cast<uint32_t>(word >> d::kWriteTidShift) & d::kTidMask;
+        const bool write_atomic = (word & d::kWriteAtomicBit) != 0;
+        const uint32_t read_epoch =
+            static_cast<uint32_t>(word >> d::kReadEpochShift) &
+            d::kEpochMask;
+        const uint32_t read_tid =
+            static_cast<uint32_t>(word >> d::kReadTidShift) & d::kTidMask;
+        const bool read_shared = (word & d::kReadSharedBit) != 0;
+        const bool read_any_plain = (word & d::kReadPlainBit) != 0;
+
+        if (is_write) {
+            // Same-epoch fast path: this thread already owns the write
+            // state, so every conflict with it has been (or will be)
+            // flagged from the other access's side.
+            if (write_epoch == epoch && write_tid == tid &&
+                write_atomic == is_atomic) {
+                return;
+            }
+            if (write_epoch == epoch && write_tid != tid &&
+                !(write_atomic && is_atomic)) {
+                d::report_race(name_, index, epoch, write_tid,
+                               write_atomic ? Access::kAtomicWrite
+                                            : Access::kWrite,
+                               tid, access);
+            }
+            if (read_epoch == epoch && (read_shared || read_tid != tid) &&
+                !(is_atomic && !read_any_plain)) {
+                d::report_race(name_, index, epoch, read_tid,
+                               read_any_plain ? Access::kRead
+                                              : Access::kAtomicRead,
+                               tid, access);
+            }
+            // Install the new write state, keeping the read summary.
+            uint64_t next = word &
+                ~((uint64_t{d::kEpochMask} << d::kWriteEpochShift) |
+                  (uint64_t{d::kTidMask} << d::kWriteTidShift) |
+                  d::kWriteAtomicBit);
+            next |= uint64_t{epoch} << d::kWriteEpochShift;
+            next |= uint64_t{tid} << d::kWriteTidShift;
+            if (is_atomic) {
+                next |= d::kWriteAtomicBit;
+            }
+            cell.store(next, std::memory_order_relaxed);
+            return;
+        }
+
+        // Read fast path: already the sole recorded reader this epoch
+        // with an equal-or-stronger plain bit.
+        if (read_epoch == epoch && read_tid == tid && !read_shared &&
+            (read_any_plain || is_atomic)) {
+            return;
+        }
+        if (write_epoch == epoch && write_tid != tid &&
+            !(write_atomic && is_atomic)) {
+            d::report_race(name_, index, epoch, write_tid,
+                           write_atomic ? Access::kAtomicWrite
+                                        : Access::kWrite,
+                           tid, access);
+        }
+        uint64_t next = word &
+            ~((uint64_t{d::kEpochMask} << d::kReadEpochShift) |
+              (uint64_t{d::kTidMask} << d::kReadTidShift) |
+              d::kReadSharedBit | d::kReadPlainBit);
+        if (read_epoch != epoch) {
+            // First read of this epoch: become the sole reader.
+            next |= uint64_t{epoch} << d::kReadEpochShift;
+            next |= uint64_t{tid} << d::kReadTidShift;
+            if (!is_atomic) {
+                next |= d::kReadPlainBit;
+            }
+        } else {
+            // Additional reader: keep the first reader's id, mark the
+            // summary shared, and accumulate the plain bit.
+            next |= uint64_t{epoch} << d::kReadEpochShift;
+            next |= uint64_t{read_tid} << d::kReadTidShift;
+            if (read_shared || read_tid != tid) {
+                next |= d::kReadSharedBit;
+            }
+            if (read_any_plain || !is_atomic) {
+                next |= d::kReadPlainBit;
+            }
+        }
+        cell.store(next, std::memory_order_relaxed);
+    }
+
+  private:
+    const char* name_{"unnamed"};
+    std::unique_ptr<std::atomic<uint64_t>[]> words_;
+};
+
+/// Set the active region label (returned in race records). Prefer the
+/// RegionLabel RAII wrapper.
+const char* set_region_label(const char* label);
+
+#else // !GAS_CHECK_ENABLED ------------------------------------------------
+
+constexpr bool enabled() { return false; }
+
+inline uint32_t current_epoch() { return 0; }
+inline void region_begin() {}
+inline std::size_t race_count() { return 0; }
+inline std::vector<RaceRecord> races() { return {}; }
+inline void clear() {}
+inline std::string report() { return {}; }
+
+/// Stateless stand-in: every method is an inline no-op, so checked
+/// accessors compile down to the bare data access.
+class ShadowArray
+{
+  public:
+    ShadowArray() = default;
+    ShadowArray(std::size_t, const char*) {}
+
+    void record(std::size_t, Access) const {}
+};
+
+inline const char* set_region_label(const char*) { return nullptr; }
+
+#endif // GAS_CHECK_ENABLED
+
+/**
+ * Scoped region label: names the parallel loop in race reports
+ * ("bfs:expand", "sssp:relax"). A no-op in unchecked builds.
+ */
+class RegionLabel
+{
+  public:
+    explicit RegionLabel(const char* label)
+        : previous_(set_region_label(label))
+    {
+    }
+
+    ~RegionLabel() { set_region_label(previous_); }
+
+    RegionLabel(const RegionLabel&) = delete;
+    RegionLabel& operator=(const RegionLabel&) = delete;
+
+  private:
+    const char* previous_;
+};
+
+} // namespace gas::check

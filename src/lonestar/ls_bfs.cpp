@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "check/shadow.h"
+#include "graph/node_data.h"
 #include "metrics/counters.h"
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
@@ -16,17 +18,20 @@ std::vector<uint32_t>
 bfs(const Graph& graph, Node source)
 {
     const Node n = graph.num_nodes();
-    std::vector<uint32_t> dist(n);
+    graph::NodeData<uint32_t> dist(n, "bfs:dist");
 
     // Initialize all vertices in parallel (paper Algorithm 1, lines
-    // 3-6).
-    rt::do_all(n, [&](std::size_t v) {
-        dist[v] = kUnreachedLevel;
-        metrics::bump(metrics::kLabelWrites);
-    });
+    // 3-6). Owner-computes: plain writes, disjoint per index.
+    {
+        check::RegionLabel label("bfs:init");
+        rt::do_all(n, [&](std::size_t v) {
+            dist.set(v, kUnreachedLevel);
+            metrics::bump(metrics::kLabelWrites);
+        });
+    }
     metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint32_t));
 
-    dist[source] = 0;
+    dist.set(source, 0);
     rt::InsertBag<Node> bag_a;
     rt::InsertBag<Node> bag_b;
     rt::InsertBag<Node>* curr = &bag_a;
@@ -34,6 +39,7 @@ bfs(const Graph& graph, Node source)
     next->push(source);
 
     uint32_t level = 0;
+    check::RegionLabel label("bfs:expand");
     while (!next->empty()) {
         std::swap(curr, next);
         next->clear();
@@ -43,6 +49,8 @@ bfs(const Graph& graph, Node source)
         // One fused loop per round: expand the frontier, update
         // distances, and build the next worklist in a single pass —
         // the composite operator a matrix API needs three calls for.
+        // Neighbor labels are shared between concurrent operators, so
+        // every access goes through the atomic accessors.
         curr->parallel_apply([&](Node u) {
             metrics::bump(metrics::kWorkItems);
             const EdgeIdx begin = graph.edge_begin(u);
@@ -51,19 +59,16 @@ bfs(const Graph& graph, Node source)
             for (EdgeIdx e = begin; e < end; ++e) {
                 const Node v = graph.edge_dst(e);
                 metrics::bump(metrics::kLabelReads);
-                std::atomic_ref<uint32_t> dst(dist[v]);
                 uint32_t expected = kUnreachedLevel;
-                if (dst.load(std::memory_order_relaxed) ==
-                        kUnreachedLevel &&
-                    dst.compare_exchange_strong(
-                        expected, level, std::memory_order_relaxed)) {
+                if (dist.load(v) == kUnreachedLevel &&
+                    dist.compare_exchange(v, expected, level)) {
                     metrics::bump(metrics::kLabelWrites);
                     next->push(v);
                 }
             }
         });
     }
-    return dist;
+    return dist.take();
 }
 
 } // namespace gas::ls

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <unordered_map>
 
+#include "check/shadow.h"
+#include "graph/node_data.h"
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
@@ -17,18 +19,20 @@ using graph::Node;
 
 namespace {
 
+using Components = graph::NodeData<Node>;
+
 /// Lock-free union by ID with on-the-fly compression (Afforest's link,
 /// after GAP). Hooks the larger root under the smaller so final labels
 /// are component minima.
 /// Relaxed atomic load of a concurrently updated component label.
 Node
-load_label(std::vector<Node>& comp, Node v)
+load_label(Components& comp, Node v)
 {
-    return std::atomic_ref<Node>(comp[v]).load(std::memory_order_relaxed);
+    return comp.load(v);
 }
 
 void
-link(Node u, Node v, std::vector<Node>& comp)
+link(Node u, Node v, Components& comp)
 {
     Node p1 = load_label(comp, u);
     Node p2 = load_label(comp, v);
@@ -36,13 +40,11 @@ link(Node u, Node v, std::vector<Node>& comp)
         metrics::bump(metrics::kWorkItems);
         const Node high = std::max(p1, p2);
         const Node low = std::min(p1, p2);
-        std::atomic_ref<Node> slot(comp[high]);
         Node expected = high;
         metrics::bump(metrics::kLabelReads, 2);
-        if (slot.load(std::memory_order_relaxed) == low ||
-            (slot.load(std::memory_order_relaxed) == high &&
-             slot.compare_exchange_strong(expected, low,
-                                          std::memory_order_relaxed))) {
+        if (comp.load(high) == low ||
+            (comp.load(high) == high &&
+             comp.compare_exchange(high, expected, low))) {
             metrics::bump(metrics::kLabelWrites);
             break;
         }
@@ -53,39 +55,40 @@ link(Node u, Node v, std::vector<Node>& comp)
 
 /// Full path compression for every vertex.
 void
-compress(std::vector<Node>& comp)
+compress(Components& comp)
 {
+    check::RegionLabel label("cc:compress");
     rt::do_all(comp.size(), [&](std::size_t v) {
         metrics::bump(metrics::kWorkItems);
         // Concurrent compression of overlapping chains is fine: labels
         // only ever decrease toward the root, so relaxed atomics keep
         // every interleaving convergent (and the algorithm race-free).
-        std::atomic_ref<Node> cv(comp[v]);
         while (true) {
-            const Node parent = cv.load(std::memory_order_relaxed);
+            const Node parent = comp.load(v);
             const Node root = load_label(comp, parent);
             if (parent == root) {
                 break;
             }
-            cv.store(root, std::memory_order_relaxed);
+            comp.store(v, root);
             metrics::bump(metrics::kLabelReads, 2);
             metrics::bump(metrics::kLabelWrites);
         }
     });
 }
 
-/// Most frequent component id in a small random sample.
+/// Most frequent component id in a small random sample (sequential,
+/// runs between parallel regions).
 Node
-sample_frequent_component(const std::vector<Node>& comp, uint64_t seed)
+sample_frequent_component(const Components& comp, uint64_t seed)
 {
     constexpr std::size_t kSamples = 1024;
     Rng rng(seed);
     std::unordered_map<Node, std::size_t> counts;
     for (std::size_t i = 0; i < kSamples; ++i) {
         const Node v = static_cast<Node>(rng.next_bounded(comp.size()));
-        ++counts[comp[v]];
+        ++counts[comp.get(v)];
     }
-    Node best = comp[0];
+    Node best = comp.get(0);
     std::size_t best_count = 0;
     for (const auto& [label, count] : counts) {
         if (count > best_count) {
@@ -96,12 +99,13 @@ sample_frequent_component(const std::vector<Node>& comp, uint64_t seed)
     return best;
 }
 
-std::vector<Node>
+Components
 init_components(Node n)
 {
-    std::vector<Node> comp(n);
+    Components comp(n, "cc:labels");
+    check::RegionLabel label("cc:init");
     rt::do_all(n, [&](std::size_t v) {
-        comp[v] = static_cast<Node>(v);
+        comp.set(v, static_cast<Node>(v));
         metrics::bump(metrics::kLabelWrites);
     });
     metrics::bump(metrics::kBytesMaterialized, n * sizeof(Node));
@@ -114,12 +118,13 @@ std::vector<Node>
 cc_afforest(const Graph& graph, uint32_t sampling_rounds)
 {
     const Node n = graph.num_nodes();
-    std::vector<Node> comp = init_components(n);
+    Components comp = init_components(n);
 
     // Phase 1: union only the first few edges of every vertex — a
     // fine-grained sampled operation no bulk matrix API can express.
     for (uint32_t round = 0; round < sampling_rounds; ++round) {
         metrics::bump(metrics::kRounds);
+        check::RegionLabel label("cc:sample-link");
         rt::do_all(n, [&](std::size_t u) {
             const EdgeIdx begin = graph.edge_begin(static_cast<Node>(u));
             const EdgeIdx end = graph.edge_end(static_cast<Node>(u));
@@ -136,27 +141,30 @@ cc_afforest(const Graph& graph, uint32_t sampling_rounds)
     // remaining vertices only.
     const Node giant = sample_frequent_component(comp, 0xAFFu);
     metrics::bump(metrics::kRounds);
-    rt::do_all(n, [&](std::size_t ui) {
-        const Node u = static_cast<Node>(ui);
-        if (load_label(comp, u) == giant) {
-            return; // skip vertices already absorbed
-        }
-        const EdgeIdx begin = graph.edge_begin(u) + sampling_rounds;
-        const EdgeIdx end = graph.edge_end(u);
-        for (EdgeIdx e = std::min(begin, end); e < end; ++e) {
-            metrics::bump(metrics::kEdgeVisits);
-            link(u, graph.edge_dst(e), comp);
-        }
-    });
+    {
+        check::RegionLabel label("cc:finish");
+        rt::do_all(n, [&](std::size_t ui) {
+            const Node u = static_cast<Node>(ui);
+            if (load_label(comp, u) == giant) {
+                return; // skip vertices already absorbed
+            }
+            const EdgeIdx begin = graph.edge_begin(u) + sampling_rounds;
+            const EdgeIdx end = graph.edge_end(u);
+            for (EdgeIdx e = std::min(begin, end); e < end; ++e) {
+                metrics::bump(metrics::kEdgeVisits);
+                link(u, graph.edge_dst(e), comp);
+            }
+        });
+    }
     compress(comp);
-    return verify::canonicalize_components(comp);
+    return verify::canonicalize_components(comp.take());
 }
 
 std::vector<Node>
 cc_sv(const Graph& graph)
 {
     const Node n = graph.num_nodes();
-    std::vector<Node> comp = init_components(n);
+    Components comp = init_components(n);
 
     while (true) {
         metrics::bump(metrics::kRounds);
@@ -164,57 +172,59 @@ cc_sv(const Graph& graph)
 
         // Hooking: updates are written in place and immediately visible
         // to other threads (Gauss-Seidel within the round).
-        rt::do_all(n, [&](std::size_t ui) {
-            const Node u = static_cast<Node>(ui);
-            metrics::bump(metrics::kWorkItems);
-            const EdgeIdx begin = graph.edge_begin(u);
-            const EdgeIdx end = graph.edge_end(u);
-            metrics::bump(metrics::kEdgeVisits, end - begin);
-            for (EdgeIdx e = begin; e < end; ++e) {
-                const Node v = graph.edge_dst(e);
-                metrics::bump(metrics::kLabelReads, 2);
-                const Node cv = std::atomic_ref<Node>(comp[v]).load(
-                    std::memory_order_relaxed);
-                std::atomic_ref<Node> cu(comp[u]);
-                Node current = cu.load(std::memory_order_relaxed);
-                while (cv < current &&
-                       !cu.compare_exchange_weak(
-                           current, cv, std::memory_order_relaxed)) {
+        {
+            check::RegionLabel label("cc:hook");
+            rt::do_all(n, [&](std::size_t ui) {
+                const Node u = static_cast<Node>(ui);
+                metrics::bump(metrics::kWorkItems);
+                const EdgeIdx begin = graph.edge_begin(u);
+                const EdgeIdx end = graph.edge_end(u);
+                metrics::bump(metrics::kEdgeVisits, end - begin);
+                for (EdgeIdx e = begin; e < end; ++e) {
+                    const Node v = graph.edge_dst(e);
+                    metrics::bump(metrics::kLabelReads, 2);
+                    const Node cv = comp.load(v);
+                    Node current = comp.load(u);
+                    while (cv < current &&
+                           !comp.compare_exchange_weak(u, current, cv)) {
+                    }
+                    if (cv < current) {
+                        metrics::bump(metrics::kLabelWrites);
+                        changed.update(true);
+                    }
                 }
-                if (cv < current) {
-                    metrics::bump(metrics::kLabelWrites);
-                    changed.update(true);
-                }
-            }
-        });
+            });
+        }
 
         // Unbounded pointer jumping: each vertex short-circuits all the
         // way to its current root — the asynchronous shortcut a bulk
         // API cannot express.
-        rt::do_all(n, [&](std::size_t v) {
-            metrics::bump(metrics::kWorkItems);
-            // Other threads may be jumping the same chain concurrently;
-            // all accesses go through relaxed atomics (monotonically
-            // decreasing labels make any interleaving converge).
-            std::atomic_ref<Node> cv(comp[v]);
-            while (true) {
-                const Node parent = cv.load(std::memory_order_relaxed);
-                const Node root = std::atomic_ref<Node>(comp[parent])
-                                      .load(std::memory_order_relaxed);
-                if (parent == root) {
-                    break;
+        {
+            check::RegionLabel label("cc:jump");
+            rt::do_all(n, [&](std::size_t v) {
+                metrics::bump(metrics::kWorkItems);
+                // Other threads may be jumping the same chain
+                // concurrently; all accesses go through relaxed atomics
+                // (monotonically decreasing labels make any
+                // interleaving converge).
+                while (true) {
+                    const Node parent = comp.load(v);
+                    const Node root = comp.load(parent);
+                    if (parent == root) {
+                        break;
+                    }
+                    comp.store(v, root);
+                    metrics::bump(metrics::kLabelReads, 2);
+                    metrics::bump(metrics::kLabelWrites);
                 }
-                cv.store(root, std::memory_order_relaxed);
-                metrics::bump(metrics::kLabelReads, 2);
-                metrics::bump(metrics::kLabelWrites);
-            }
-        });
+            });
+        }
 
         if (!changed.reduce()) {
             break;
         }
     }
-    return verify::canonicalize_components(comp);
+    return verify::canonicalize_components(comp.take());
 }
 
 } // namespace gas::ls

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "check/shadow.h"
+#include "graph/node_data.h"
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
@@ -44,22 +46,29 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
     const EdgeIdx m = graph.num_edges();
 
     // Peer index: position of the reverse edge, so a removal can kill
-    // both directions at once (preprocessing).
-    std::vector<EdgeIdx> peer(m);
-    rt::do_all(n, [&](std::size_t ui) {
-        const Node u = static_cast<Node>(ui);
-        for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u); ++e) {
-            peer[e] = find_edge(graph, graph.edge_dst(e), u);
-            GAS_CHECK(peer[e] != kNoEdge, "graph is not symmetric");
-        }
-    });
+    // both directions at once (preprocessing). Plain writes, disjoint
+    // per thread: edge e belongs to exactly one source vertex u.
+    graph::EdgeData<EdgeIdx> peer(m, "ktruss:peer");
+    {
+        check::RegionLabel label("ktruss:peer-index");
+        rt::do_all(n, [&](std::size_t ui) {
+            const Node u = static_cast<Node>(ui);
+            for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u);
+                 ++e) {
+                peer.set(e, find_edge(graph, graph.edge_dst(e), u));
+                GAS_CHECK(peer.get(e) != kNoEdge,
+                          "graph is not symmetric");
+            }
+        });
+    }
 
-    std::vector<uint8_t> alive(m, 1);
+    graph::EdgeData<uint8_t> alive(m, uint8_t{1}, "ktruss:alive");
     metrics::bump(metrics::kBytesMaterialized,
                   m * (sizeof(EdgeIdx) + sizeof(uint8_t)));
 
     uint32_t rounds = 0;
     bool changed = true;
+    check::RegionLabel label("ktruss:peel");
     while (changed) {
         ++rounds;
         metrics::bump(metrics::kRounds);
@@ -70,6 +79,8 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
         // A failing edge is killed *immediately* (both directions), so
         // later support computations in the same round already see the
         // removal — Gauss-Seidel iteration, unavailable to a bulk API.
+        // Alive flags are shared between concurrent operators, so all
+        // accesses are atomic; the peer index is read-only here.
         rt::do_all(n, [&](std::size_t ui) {
             const Node u = static_cast<Node>(ui);
             for (EdgeIdx e = graph.edge_begin(u); e < graph.edge_end(u);
@@ -78,8 +89,7 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
                 if (u >= v) {
                     continue; // handle each undirected edge once
                 }
-                std::atomic_ref<uint8_t> alive_e(alive[e]);
-                if (alive_e.load(std::memory_order_relaxed) == 0) {
+                if (alive.load(e) == 0) {
                     continue;
                 }
                 metrics::bump(metrics::kWorkItems);
@@ -105,10 +115,7 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
                         wing_reads += 2;
                         // Wing edges may be killed concurrently by
                         // other threads (Gauss-Seidel within a round).
-                        if (std::atomic_ref<uint8_t>(alive[a]).load(
-                                std::memory_order_relaxed) != 0 &&
-                            std::atomic_ref<uint8_t>(alive[b]).load(
-                                std::memory_order_relaxed) != 0) {
+                        if (alive.load(a) != 0 && alive.load(b) != 0) {
                             ++support;
                         }
                         ++a;
@@ -119,9 +126,8 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
                 metrics::bump(metrics::kLabelReads, wing_reads);
 
                 if (support < required) {
-                    std::atomic_ref<uint8_t> alive_peer(alive[peer[e]]);
-                    alive_e.store(0, std::memory_order_relaxed);
-                    alive_peer.store(0, std::memory_order_relaxed);
+                    alive.store(e, 0);
+                    alive.store(peer.get(e), 0);
                     metrics::bump(metrics::kLabelWrites, 2);
                     any_removed.update(true);
                 }
@@ -131,11 +137,16 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
     }
 
     rt::Accumulator<uint64_t> survivors;
-    rt::do_all(m, [&](std::size_t e) {
-        if (alive[e] != 0) {
-            survivors += 1;
-        }
-    });
+    {
+        check::RegionLabel count_label("ktruss:count");
+        rt::do_all(m, [&](std::size_t e) {
+            // Plain read: the peeling loop has terminated, and
+            // concurrent readers of an un-written array cannot race.
+            if (alive.get(e) != 0) {
+                survivors += 1;
+            }
+        });
+    }
     if (rounds_out != nullptr) {
         *rounds_out = rounds;
     }

@@ -1,5 +1,7 @@
 #include "lonestar/lonestar.h"
 
+#include "check/shadow.h"
+#include "graph/node_data.h"
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "support/check.h"
@@ -24,6 +26,11 @@ using graph::Node;
  * The recurrence matches synchronous power iteration exactly:
  *   rank_1     = base + damping * pull(rank_0 / deg)
  *   rank_{t+1} = rank_t + damping * pull(delta_t / deg)
+ *
+ * All label traffic is plain (non-atomic): the pull pass reads fields
+ * the fold pass of the *previous* region wrote, and regions are
+ * separated by the pool barrier, so the checker's epoch fence keeps
+ * this clean. Within a region every write targets the owner's index.
  */
 
 std::vector<double>
@@ -35,31 +42,37 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
     const Node n = graph.num_nodes();
     const double base = (1.0 - damping) / n;
 
-    struct NodeData
+    struct PrNode
     {
         double coeff;      ///< damping / out-degree (0 for sinks)
         double delta;      ///< previous round's rank change
         double next_delta; ///< this round's pulled mass
         double rank;
     };
-    std::vector<NodeData> data(n);
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(NodeData));
+    graph::NodeData<PrNode> data(n, "pr:nodes");
+    metrics::bump(metrics::kBytesMaterialized, n * sizeof(PrNode));
 
-    rt::do_all(n, [&](std::size_t v) {
-        const EdgeIdx degree = graph.out_degree(static_cast<Node>(v));
-        data[v].coeff =
-            degree == 0 ? 0.0 : damping / static_cast<double>(degree);
-        data[v].delta = 1.0 / n;
-        data[v].next_delta = 0.0;
-        data[v].rank = 1.0 / n;
-        metrics::bump(metrics::kLabelWrites);
-    });
+    {
+        check::RegionLabel label("pr:init");
+        rt::do_all(n, [&](std::size_t v) {
+            const EdgeIdx degree =
+                graph.out_degree(static_cast<Node>(v));
+            PrNode& node = data.mut(v);
+            node.coeff =
+                degree == 0 ? 0.0 : damping / static_cast<double>(degree);
+            node.delta = 1.0 / n;
+            node.next_delta = 0.0;
+            node.rank = 1.0 / n;
+            metrics::bump(metrics::kLabelWrites);
+        });
+    }
 
     for (unsigned iter = 0; iter < iterations; ++iter) {
         metrics::bump(metrics::kRounds);
 
         // Fused pull pass: one loop over in-edges, reading the
         // neighbor's (coeff, delta) pair.
+        check::RegionLabel pull_label("pr:pull");
         rt::do_all(n, [&](std::size_t vi) {
             const Node v = static_cast<Node>(vi);
             metrics::bump(metrics::kWorkItems);
@@ -69,19 +82,20 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
             metrics::bump(metrics::kEdgeVisits, end - begin);
             metrics::bump(metrics::kLabelReads, end - begin);
             for (EdgeIdx e = begin; e < end; ++e) {
-                const NodeData& u = data[transpose.edge_dst(e)];
+                const PrNode& u = data.at(transpose.edge_dst(e));
                 pulled += u.coeff * u.delta;
             }
-            data[v].next_delta = pulled;
+            data.mut(v).next_delta = pulled;
             metrics::bump(metrics::kLabelWrites);
         });
 
         // Fold pass: fold the pulled mass into ranks and roll the
         // residual window.
         const bool first = iter == 0;
+        check::RegionLabel fold_label("pr:fold");
         rt::do_all(n, [&](std::size_t v) {
             metrics::bump(metrics::kWorkItems);
-            NodeData& node = data[v];
+            PrNode& node = data.mut(v);
             if (first) {
                 node.rank = base + node.next_delta;
                 node.delta = node.rank - 1.0 / n;
@@ -95,7 +109,8 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
     }
 
     std::vector<double> ranks(n);
-    rt::do_all(n, [&](std::size_t v) { ranks[v] = data[v].rank; });
+    check::RegionLabel out_label("pr:extract");
+    rt::do_all(n, [&](std::size_t v) { ranks[v] = data.at(v).rank; });
     return ranks;
 }
 
@@ -110,25 +125,31 @@ pagerank_soa(const Graph& graph, const Graph& transpose, double damping,
 
     // Structure-of-arrays: identical algorithm, fields split across
     // independent arrays.
-    std::vector<double> coeff(n);
-    std::vector<double> delta(n);
-    std::vector<double> next_delta(n);
-    std::vector<double> rank(n);
+    graph::NodeData<double> coeff(n, "pr:coeff");
+    graph::NodeData<double> delta(n, "pr:delta");
+    graph::NodeData<double> next_delta(n, "pr:next_delta");
+    graph::NodeData<double> rank(n, "pr:rank");
     metrics::bump(metrics::kBytesMaterialized, n * sizeof(double) * 4);
 
-    rt::do_all(n, [&](std::size_t v) {
-        const EdgeIdx degree = graph.out_degree(static_cast<Node>(v));
-        coeff[v] =
-            degree == 0 ? 0.0 : damping / static_cast<double>(degree);
-        delta[v] = 1.0 / n;
-        next_delta[v] = 0.0;
-        rank[v] = 1.0 / n;
-        metrics::bump(metrics::kLabelWrites, 4);
-    });
+    {
+        check::RegionLabel label("pr:init");
+        rt::do_all(n, [&](std::size_t v) {
+            const EdgeIdx degree =
+                graph.out_degree(static_cast<Node>(v));
+            coeff.set(
+                v,
+                degree == 0 ? 0.0 : damping / static_cast<double>(degree));
+            delta.set(v, 1.0 / n);
+            next_delta.set(v, 0.0);
+            rank.set(v, 1.0 / n);
+            metrics::bump(metrics::kLabelWrites, 4);
+        });
+    }
 
     for (unsigned iter = 0; iter < iterations; ++iter) {
         metrics::bump(metrics::kRounds);
 
+        check::RegionLabel pull_label("pr:pull");
         rt::do_all(n, [&](std::size_t vi) {
             const Node v = static_cast<Node>(vi);
             metrics::bump(metrics::kWorkItems);
@@ -139,27 +160,28 @@ pagerank_soa(const Graph& graph, const Graph& transpose, double damping,
             metrics::bump(metrics::kLabelReads, 2 * (end - begin));
             for (EdgeIdx e = begin; e < end; ++e) {
                 const Node u = transpose.edge_dst(e);
-                pulled += coeff[u] * delta[u];
+                pulled += coeff.at(u) * delta.at(u);
             }
-            next_delta[v] = pulled;
+            next_delta.set(v, pulled);
             metrics::bump(metrics::kLabelWrites);
         });
 
         const bool first = iter == 0;
+        check::RegionLabel fold_label("pr:fold");
         rt::do_all(n, [&](std::size_t v) {
             metrics::bump(metrics::kWorkItems);
             if (first) {
-                rank[v] = base + next_delta[v];
-                delta[v] = rank[v] - 1.0 / n;
+                rank.set(v, base + next_delta.at(v));
+                delta.set(v, rank.at(v) - 1.0 / n);
             } else {
-                rank[v] += next_delta[v];
-                delta[v] = next_delta[v];
+                rank.mut(v) += next_delta.at(v);
+                delta.set(v, next_delta.at(v));
             }
-            next_delta[v] = 0.0;
+            next_delta.set(v, 0.0);
             metrics::bump(metrics::kLabelWrites, 2);
         });
     }
-    return rank;
+    return rank.take();
 }
 
 } // namespace gas::ls

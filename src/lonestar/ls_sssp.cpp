@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "check/shadow.h"
+#include "graph/node_data.h"
 #include "metrics/counters.h"
 #include "runtime/obim.h"
 #include "runtime/parallel.h"
@@ -33,13 +35,16 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
     GAS_CHECK(options.delta > 0, "delta must be positive");
     const Node n = graph.num_nodes();
 
-    std::vector<uint64_t> dist(n);
-    rt::do_all(n, [&](std::size_t v) {
-        dist[v] = kInfDistance;
-        metrics::bump(metrics::kLabelWrites);
-    });
+    graph::NodeData<uint64_t> dist(n, "sssp:dist");
+    {
+        check::RegionLabel label("sssp:init");
+        rt::do_all(n, [&](std::size_t v) {
+            dist.set(v, kInfDistance);
+            metrics::bump(metrics::kLabelWrites);
+        });
+    }
     metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint64_t));
-    dist[source] = 0;
+    dist.set(source, 0);
 
     const uint64_t delta = options.delta;
     const uint32_t tile = options.edge_tile_size;
@@ -47,6 +52,7 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
     rt::ObimWorklist<WorkItem> worklist;
     worklist.push({source, 0}, 0);
 
+    check::RegionLabel label("sssp:relax");
     rt::ThreadPool::get().run([&](unsigned, unsigned) {
         std::vector<WorkItem> batch;
         batch.reserve(16);
@@ -54,8 +60,7 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
             for (const WorkItem& item : batch) {
                 const Node u = item.node;
                 metrics::bump(metrics::kWorkItems);
-                std::atomic_ref<uint64_t> du_ref(dist[u]);
-                const uint64_t du = du_ref.load(std::memory_order_relaxed);
+                const uint64_t du = dist.load(u);
                 metrics::bump(metrics::kLabelReads);
 
                 EdgeIdx begin = graph.edge_begin(u) + item.edge_offset;
@@ -74,15 +79,12 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
                 for (EdgeIdx e = begin; e < end; ++e) {
                     const Node v = graph.edge_dst(e);
                     const uint64_t candidate = du + graph.edge_weight(e);
-                    std::atomic_ref<uint64_t> dv(dist[v]);
-                    uint64_t current =
-                        dv.load(std::memory_order_relaxed);
+                    uint64_t current = dist.load(v);
                     metrics::bump(metrics::kLabelReads);
                     bool improved = false;
                     while (candidate < current) {
-                        if (dv.compare_exchange_weak(
-                                current, candidate,
-                                std::memory_order_relaxed)) {
+                        if (dist.compare_exchange_weak(v, current,
+                                                       candidate)) {
                             improved = true;
                             break;
                         }
@@ -102,7 +104,7 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
         }
     });
 
-    return dist;
+    return dist.take();
 }
 
 } // namespace gas::ls

@@ -1,5 +1,6 @@
 #include "lonestar/lonestar.h"
 
+#include "check/shadow.h"
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
@@ -27,6 +28,10 @@ tc(const ForwardGraph& input)
 {
     const Graph& fwd = input.forward;
     rt::Accumulator<uint64_t> triangles;
+
+    // tc has no mutable label arrays — the only shared state is the
+    // reducer, which the checker treats as private per-thread slots.
+    check::RegionLabel label("tc:intersect");
 
     // Fused edge iterator: for every forward edge (u, v), intersect
     // the forward lists of u and v, bumping a global reducer. Nothing

@@ -80,7 +80,7 @@ class MaskView
         if (mask_ == nullptr) {
             return true;
         }
-        bool present_true;
+        bool present_true = false;
         if (mask_->format() == VectorFormat::kDense) {
             present_true = mask_->dense_presence()[i] != 0 &&
                 (structural_ || mask_->dense_values()[i] != MT{0});

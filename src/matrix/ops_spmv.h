@@ -467,13 +467,10 @@ vxm_fused_assign(Vector<T>& w, Vector<MT>& assign_target, MT assign_value,
     auto& ovals = result.sparse_values();
     oidx.reserve(output.size());
     ovals.reserve(output.size());
-    Nnz newly_present = 0;
     output.for_each([&](const std::pair<Index, T>& entry) {
         oidx.push_back(entry.first);
         ovals.push_back(entry.second);
-        ++newly_present;
     });
-    (void)newly_present;
     result.set_format(VectorFormat::kSparse);
     result.set_sorted(false);
     if (backend_sorts_outputs()) {

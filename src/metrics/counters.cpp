@@ -87,6 +87,8 @@ counter_name(CounterId id)
       case kSpmvPullRounds: return "spmv_pull_rounds";
       case kMaskSkippedRows: return "mask_skipped_rows";
       case kEdgesShortCircuited: return "edges_short_circuited";
+      case kRacesDetected: return "races_detected";
+      case kFuzzPerturbations: return "fuzz_perturbations";
       default: return "unknown";
     }
 }

@@ -51,6 +51,14 @@
  *                        accumulator reached the monoid's absorbing
  *                        element (the "any"-style early exit)
  *
+ * Race-checker counters (the GAS_CHECK shadow-memory detector in
+ * src/check/; both stay zero in unchecked builds):
+ *
+ *  - kRacesDetected      conflicting operator accesses flagged by the
+ *                        shadow-word protocol
+ *  - kFuzzPerturbations  schedule-fuzzer perturbations injected (yields,
+ *                        spins, shuffled victims, forced steal failures)
+ *
  * Counters are per-thread (plain non-atomic increments) and aggregated
  * on demand, so instrumentation stays cheap enough to leave enabled in
  * the hot loops of every kernel.
@@ -81,6 +89,8 @@ enum CounterId : unsigned {
     kSpmvPullRounds,
     kMaskSkippedRows,
     kEdgesShortCircuited,
+    kRacesDetected,
+    kFuzzPerturbations,
     kNumCounters,
 };
 

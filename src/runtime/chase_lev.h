@@ -22,6 +22,26 @@
  * precisely by ThreadSanitizer, so the exact production protocol is
  * what gets race-checked.
  *
+ * Ordering audit (each access is annotated in place; summary here):
+ *
+ *  - Four operations must carry seq_cst because the no-lost-no-dup
+ *    argument needs them totally ordered with each other: the owner's
+ *    bottom_ store + top_ load in pop() (a store-load pair that must
+ *    not reorder) and the thief's top_ load + bottom_ load in
+ *    steal()/steal_batch() (whose positions in the seq_cst order S,
+ *    combined with per-variable coherence, rule out the owner and a
+ *    thief claiming the same index — see pop()).
+ *  - The CASes on top_ arbitrate purely through top_'s modification
+ *    order (an RMW always reads the latest value regardless of its
+ *    ordering), so their previous seq_cst was over-strong. They are
+ *    acq_rel, not relaxed, because the *release* half is load-bearing
+ *    in one place: it pairs with push()'s acquire load of top_ to keep
+ *    a cell overwrite after wraparound from racing the claiming
+ *    thief's earlier read of that cell (see steal()).
+ *  - bottom_'s store in push() is release (publishes the cell write to
+ *    thieves' bottom_ loads); everything else on the owner's fast path
+ *    is relaxed because only the owner writes it.
+ *
  * The circular buffer grows geometrically on overflow. Retired buffers
  * are kept alive until the deque is destroyed: a thief racing a grow
  * may still read a cell of the old buffer, observe a stale item, and
@@ -73,13 +93,24 @@ class ChaseLevDeque
     void
     push(const T& item)
     {
+        // relaxed: bottom_ is written only by the owner (us).
         const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        // acquire: pairs with the release half of the thieves' claiming
+        // CAS. Seeing top_ >= t proves every index below t was claimed,
+        // and the acquire edge orders those thieves' cell *reads*
+        // before our cell *write* below — without it, put(b) could
+        // overwrite cell (b - capacity) while the thief that claimed
+        // index b - capacity is still allowed to read the new value.
         const std::int64_t t = top_.load(std::memory_order_acquire);
+        // relaxed: ring_ is replaced only by the owner (us), in grow().
         Ring* ring = ring_.load(std::memory_order_relaxed);
         if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
             ring = grow(ring, t, b);
         }
         ring->put(b, item);
+        // release: publishes the cell write — a thief whose bottom_
+        // load (seq_cst, hence also acquire) observes b + 1 is
+        // guaranteed to see the item in the cell.
         bottom_.store(b + 1, std::memory_order_release);
     }
 
@@ -91,17 +122,41 @@ class ChaseLevDeque
     bool
     pop(T& out)
     {
+        // relaxed: owner-only variable (see push).
         const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
         Ring* ring = ring_.load(std::memory_order_relaxed);
+        // seq_cst store + seq_cst load: the classic store-load pair the
+        // whole algorithm hinges on. The reservation of index b must be
+        // globally visible *before* we sample top_; with any weaker
+        // pair the two could reorder and both the owner (here, interior
+        // path) and a thief could take index b. The full argument needs
+        // the thief's two loads in S as well: suppose a thief claims
+        // index b after reading top_ == b and bottom_ > b. Its stale
+        // bottom_ load must then precede our bottom_ store in S, so its
+        // top_ load (== b) precedes our top_ load in S too — and
+        // per-variable coherence of seq_cst loads on the monotonic top_
+        // then forces our load to return >= b, sending us down the CAS
+        // path where the claim is arbitrated, not assumed.
         bottom_.store(b, std::memory_order_seq_cst);
         std::int64_t t = top_.load(std::memory_order_seq_cst);
         if (t <= b) {
             out = ring->get(b);
             if (t == b) {
                 // Last item: race thieves for it with a CAS on top.
+                // acq_rel (downgraded from seq_cst): the CAS arbitrates
+                // through top_'s modification order alone — an RMW
+                // always reads top_'s latest value, so exactly one of
+                // {owner, thief} transitions t -> t + 1 regardless of
+                // ordering strength. No data is published through this
+                // CAS either (the owner wrote the cell itself); the
+                // release half only keeps the wraparound invariant
+                // uniform with the thieves' CAS (see push's top_ load).
+                // Failure is relaxed: we just report the deque empty.
                 const bool won = top_.compare_exchange_strong(
-                    t, t + 1, std::memory_order_seq_cst,
+                    t, t + 1, std::memory_order_acq_rel,
                     std::memory_order_relaxed);
+                // relaxed: owner-only restore; becomes visible to
+                // thieves at the latest via the next push's release.
                 bottom_.store(b + 1, std::memory_order_relaxed);
                 return won;
             }
@@ -119,15 +174,29 @@ class ChaseLevDeque
     bool
     steal(T& out)
     {
+        // seq_cst pair: both loads need positions in the total order S
+        // for the owner/thief arbitration argument spelled out in
+        // pop(). The bottom_ load doubles as an acquire of push()'s
+        // release store, so a nonempty observation also publishes the
+        // cell contents up to index b - 1.
         std::int64_t t = top_.load(std::memory_order_seq_cst);
         const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
         if (t >= b) {
             return false;
         }
+        // acquire: pairs with grow()'s release store so the new ring's
+        // header and cells are constructed before we index into them.
         Ring* ring = ring_.load(std::memory_order_acquire);
         const T item = ring->get(t); // must read before the CAS
+        // acq_rel (downgraded from seq_cst): arbitration among thieves
+        // and against the owner's last-item pop happens through top_'s
+        // modification order, which no memory-order weakening can
+        // break. The *release* half is load-bearing: it pairs with
+        // push()'s acquire load of top_, ordering our cell read above
+        // before any owner overwrite of the same slot after wraparound.
+        // Failure is relaxed: the read item is discarded.
         if (!top_.compare_exchange_strong(t, t + 1,
-                                          std::memory_order_seq_cst,
+                                          std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
             return false;
         }
@@ -156,6 +225,11 @@ class ChaseLevDeque
             *contended = false;
         }
         while (got < limit) {
+            // Same ordering discipline as steal(), per claimed item:
+            // seq_cst load pair for the arbitration argument, acquire
+            // ring load for the grown buffer, acq_rel CAS whose release
+            // half protects the pre-CAS cell read from wraparound
+            // overwrite (see steal()).
             std::int64_t t = top_.load(std::memory_order_seq_cst);
             const std::int64_t b =
                 bottom_.load(std::memory_order_seq_cst);
@@ -170,7 +244,7 @@ class ChaseLevDeque
             Ring* ring = ring_.load(std::memory_order_acquire);
             const T item = ring->get(t);
             if (!top_.compare_exchange_strong(
-                    t, t + 1, std::memory_order_seq_cst,
+                    t, t + 1, std::memory_order_acq_rel,
                     std::memory_order_relaxed)) {
                 if (contended != nullptr) {
                     *contended = true;
@@ -186,6 +260,10 @@ class ChaseLevDeque
     std::size_t
     size_hint() const
     {
+        // relaxed pair: a stale estimate only misroutes one steal
+        // attempt (skip a loaded victim / visit a drained one); the
+        // seq_cst loads inside steal_batch re-validate before any
+        // claim, so no correctness rests on this snapshot.
         const std::int64_t b = bottom_.load(std::memory_order_relaxed);
         const std::int64_t t = top_.load(std::memory_order_relaxed);
         return b > t ? static_cast<std::size_t>(b - t) : 0;
@@ -236,8 +314,11 @@ class ChaseLevDeque
             bigger->put(i, old->get(i));
         }
         Ring* raw = bigger.get();
-        // Publish before any use; in-flight thieves may keep reading the
-        // retired ring, so it stays allocated until destruction.
+        // release: pairs with the thieves' acquire load of ring_, so
+        // the copied cells and the Ring header are visible before any
+        // thief indexes the new buffer. In-flight thieves may keep
+        // reading the retired ring, so it stays allocated until
+        // destruction.
         ring_.store(raw, std::memory_order_release);
         retired_.push_back(std::move(live_));
         live_ = std::move(bigger);

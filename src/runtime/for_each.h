@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/fuzz.h"
 #include "metrics/counters.h"
 #include "runtime/backoff.h"
 #include "runtime/chase_lev.h"
@@ -61,6 +62,9 @@ class UserContext
     void
     push(const T& item)
     {
+        // Fuzz point: widen the window between the operator's data
+        // writes and the item becoming visible to thieves.
+        check::fuzz::maybe_yield(check::fuzz::Site::kDequePush);
         pending_.fetch_add(1, std::memory_order_relaxed);
         deque_.push(item);
         metrics::bump(metrics::kPushes);
@@ -114,11 +118,20 @@ for_each(const Container& initial, Fn&& fn)
             bool found = mine.pop(item);
             if (!found) {
                 // Steal sweep: batch-steal from the first victim with
-                // visible work, keep one item and bank the rest.
+                // visible work, keep one item and bank the rest. Under
+                // the schedule fuzzer the ring order becomes a seeded
+                // random order and individual attempts may be forced to
+                // fail, so work migrates along adversarial thread pairs.
+                check::fuzz::maybe_yield(check::fuzz::Site::kStealSweep);
                 for (unsigned step = 1; step < total && !found; ++step) {
-                    ChaseLevDeque<T>& victim =
-                        deques[(tid + step) % total];
-                    if (victim.looks_empty()) {
+                    ChaseLevDeque<T>& victim = deques
+                        [(tid + check::fuzz::victim_offset(total, step)) %
+                         total];
+                    if (&victim == &mine || victim.looks_empty()) {
+                        continue;
+                    }
+                    if (check::fuzz::force_steal_fail()) {
+                        metrics::bump(metrics::kStealFails);
                         continue;
                     }
                     bool contended = false;
@@ -148,6 +161,10 @@ for_each(const Container& initial, Fn&& fn)
             }
             if (found) {
                 backoff.reset();
+                // Fuzz point: delay between claiming an item and
+                // running its operator, so another thread's operator on
+                // a neighboring item can overlap differently.
+                check::fuzz::maybe_yield(check::fuzz::Site::kDequePop);
                 fn(item, ctx);
                 pending.fetch_sub(1, std::memory_order_acq_rel);
                 continue;

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 
+#include "check/fuzz.h"
 #include "runtime/parallel.h"
 #include "runtime/per_thread.h"
 #include "support/tracked_vector.h"
@@ -30,6 +31,10 @@ class InsertBag
     void
     push(const T& item)
     {
+        // Fuzz point: bag pushes mark "frontier discovered" moments in
+        // round-based operators; delaying here reorders discovery
+        // relative to neighboring operators' label updates.
+        check::fuzz::maybe_yield(check::fuzz::Site::kBagPush);
         segments_.local().push_back(item);
     }
 
@@ -37,6 +42,7 @@ class InsertBag
     void
     emplace(Args&&... args)
     {
+        check::fuzz::maybe_yield(check::fuzz::Site::kBagPush);
         segments_.local().emplace_back(std::forward<Args>(args)...);
     }
 

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "check/fuzz.h"
 #include "metrics/counters.h"
 #include "runtime/backoff.h"
 #include "runtime/thread_pool.h"
@@ -87,6 +88,11 @@ class PriorityBin
     bool
     looks_empty() const
     {
+        // relaxed: purely an optimization to skip the bin mutex. A
+        // stale zero makes the scan miss this bin once (pending_ keeps
+        // the executor alive to rescan); a stale nonzero costs one
+        // mutex acquisition. The hint is always written under lock_,
+        // so it can never stay stale past the next push/pop.
         return size_hint_.load(std::memory_order_relaxed) == 0;
     }
 
@@ -143,6 +149,13 @@ class ObimWorklist
         if (priority >= kMaxPriorities) {
             priority = kMaxPriorities - 1;
         }
+        // Fuzz point: delay between the operator's data writes and the
+        // item becoming visible in its priority bin.
+        check::fuzz::maybe_yield(check::fuzz::Site::kObimPush);
+        // relaxed: the count only gates termination, which re-checks it
+        // with an acquire load after an empty scan; the increment must
+        // simply be visible before the matching finish_item decrement,
+        // which fetch_add's atomicity guarantees on its own.
         pending_.fetch_add(1, std::memory_order_relaxed);
         bin(priority).push(item);
         metrics::bump(metrics::kPushes);
@@ -168,13 +181,27 @@ class ObimWorklist
     {
         Backoff backoff;
         while (true) {
+            // Fuzz point: perturb which bin a scan reaches first.
+            check::fuzz::maybe_yield(check::fuzz::Site::kObimPop);
+            // relaxed: both watermarks are scan hints. A too-high
+            // cursor or too-low top can only make this scan miss a bin;
+            // the empty-scan path re-checks pending_ (acquire) and
+            // retries, so no item is ever lost to a stale hint.
             const std::size_t start =
                 cursor_.load(std::memory_order_relaxed);
             const std::size_t limit = top_.load(std::memory_order_relaxed);
             for (std::size_t p = start; p < limit; ++p) {
+                // acquire: pairs with the release in bin()'s CAS so the
+                // bin's members are fully constructed before first use.
                 detail::PriorityBin<T>* bin_ptr =
                     slots_[p].load(std::memory_order_acquire);
                 if (bin_ptr == nullptr || bin_ptr->looks_empty()) {
+                    continue;
+                }
+                if (check::fuzz::force_steal_fail()) {
+                    // Fuzzed scan miss: pretend the bin was empty and
+                    // move on, exercising the retry/termination path.
+                    metrics::bump(metrics::kStealFails);
                     continue;
                 }
                 const std::size_t got = bin_ptr->pop_batch(out, max);
@@ -195,6 +222,12 @@ class ObimWorklist
             // shared pending counter again (same policy as for_each).
             metrics::bump(metrics::kBackoffs);
             backoff.wait();
+            // acquire: pairs with finish_item's release half, so a
+            // thread observing pending == 0 also observes every side
+            // effect of the operators whose completion drove it to 0 —
+            // the invariant callers rely on after pop_batch returns
+            // false ("the worklist is quiescent and results are
+            // visible").
             if (pending_.load(std::memory_order_acquire) == 0) {
                 return false;
             }
@@ -205,6 +238,11 @@ class ObimWorklist
     void
     finish_item()
     {
+        // acq_rel: the release half publishes the finished operator's
+        // side effects to whichever thread reads pending == 0 and
+        // terminates; the acquire half orders this decrement after the
+        // operator body so it cannot be hoisted above a still-pending
+        // push (which would briefly show pending == 0 mid-operator).
         pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
 
@@ -218,6 +256,9 @@ class ObimWorklist
     detail::PriorityBin<T>&
     bin(std::size_t priority)
     {
+        // acquire: pairs with the release half of the publishing CAS
+        // below — a thread that sees a non-null pointer also sees the
+        // bin's constructed members (mutex, vector header).
         detail::PriorityBin<T>* existing =
             slots_[priority].load(std::memory_order_acquire);
         if (existing != nullptr) {
@@ -225,6 +266,9 @@ class ObimWorklist
         }
         auto created = std::make_unique<detail::PriorityBin<T>>();
         detail::PriorityBin<T>* expected = nullptr;
+        // acq_rel: release publishes the freshly constructed bin;
+        // acquire covers the failure path, where `expected` becomes the
+        // winner's pointer and is dereferenced by the caller.
         if (slots_[priority].compare_exchange_strong(
                 expected, created.get(), std::memory_order_acq_rel)) {
             return *created.release();

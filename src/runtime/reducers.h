@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/fuzz.h"
 #include "runtime/per_thread.h"
 
 namespace gas::rt {
@@ -31,6 +32,7 @@ class Reducer
     void
     update(const T& value)
     {
+        check::fuzz::maybe_yield(check::fuzz::Site::kReduce);
         T& mine = slots_.local();
         mine = merge_(mine, value);
     }

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include "check/shadow.h"
 #include "support/check.h"
 
 namespace gas::rt {
@@ -114,6 +115,10 @@ ThreadPool::run(const Task& task)
         task(0, 1);
         return;
     }
+    // GAS_CHECK epoch fencing: entering a region is a barrier for every
+    // participating thread, so accesses before it can never race with
+    // accesses inside it. (No-op in unchecked builds.)
+    check::region_begin();
     {
         std::lock_guard guard(lock_);
         active_task_ = &task;
@@ -134,6 +139,10 @@ ThreadPool::run(const Task& task)
         active_task_ = nullptr;
         in_parallel_region_ = false;
     }
+    // Leaving the region is the matching barrier: sequential code after
+    // run() gets a fresh epoch and cannot be flagged against in-region
+    // accesses.
+    check::region_begin();
 }
 
 unsigned

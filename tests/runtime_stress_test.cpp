@@ -12,6 +12,7 @@
 #include <numeric>
 #include <thread>
 
+#include "runtime/chase_lev.h"
 #include "runtime/for_each.h"
 #include "runtime/insert_bag.h"
 #include "runtime/obim.h"
@@ -248,6 +249,109 @@ TEST(RuntimeStress, NestedDoAllInsideForEach)
         do_all(100, [&](std::size_t) { total += 1; });
     });
     EXPECT_EQ(total.reduce(), 3200u);
+}
+
+TEST(RuntimeStress, ChaseLevLastItemPopStealDuel)
+{
+    // Pins the seq_cst store-load pair in pop() and the acq_rel CAS
+    // downgrade: the owner repeatedly pushes one item and pops it while
+    // three thieves hammer steal(). Exactly one side may win each item.
+    // Run under the tsan preset this exercises the orderings the
+    // chase_lev.h audit argues are minimal.
+    constexpr int kItems = 20000;
+    ChaseLevDeque<int> deque(2); // tiny: forces early grow() too
+    std::atomic<uint64_t> owner_got{0};
+    std::atomic<uint64_t> stolen{0};
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(3);
+    for (int t = 0; t < 3; ++t) {
+        thieves.emplace_back([&] {
+            int item = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                if (deque.steal(item)) {
+                    stolen.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            while (deque.steal(item)) {
+                stolen.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    for (int i = 0; i < kItems; ++i) {
+        deque.push(i);
+        int item = 0;
+        if (deque.pop(item)) {
+            owner_got.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& thief : thieves) {
+        thief.join();
+    }
+    EXPECT_EQ(owner_got.load() + stolen.load(),
+              static_cast<uint64_t>(kItems));
+}
+
+TEST(RuntimeStress, ChaseLevGrowDuringConcurrentSteals)
+{
+    // Pins the release half of the thief CAS against push()'s acquire
+    // top_ load: a deque seeded with minimal capacity grows repeatedly
+    // while thieves read cells about to be overwritten on wraparound.
+    // Every pushed value must be consumed exactly once, unmangled.
+    constexpr int kRounds = 500;
+    constexpr int kPerRound = 64;
+    ChaseLevDeque<int> deque(2);
+    std::vector<std::atomic<uint32_t>> hits(kRounds * kPerRound);
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> thieves;
+    thieves.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        thieves.emplace_back([&] {
+            int item = 0;
+            int batch[ChaseLevDeque<int>::kMaxBatch];
+            while (!done.load(std::memory_order_acquire)) {
+                const std::size_t got = deque.steal_batch(batch, 8);
+                for (std::size_t k = 0; k < got; ++k) {
+                    hits[batch[k]].fetch_add(1);
+                }
+                if (got == 0 && deque.steal(item)) {
+                    hits[item].fetch_add(1);
+                }
+            }
+            while (deque.steal(item)) {
+                hits[item].fetch_add(1);
+            }
+        });
+    }
+
+    int next = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kPerRound; ++i) {
+            deque.push(next++);
+        }
+        // Pop roughly half from the bottom so both ends stay active.
+        int item = 0;
+        for (int i = 0; i < kPerRound / 2; ++i) {
+            if (deque.pop(item)) {
+                hits[item].fetch_add(1);
+            }
+        }
+    }
+    int item = 0;
+    while (deque.pop(item)) {
+        hits[item].fetch_add(1);
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& thief : thieves) {
+        thief.join();
+    }
+    for (int i = 0; i < kRounds * kPerRound; ++i) {
+        ASSERT_EQ(hits[i].load(), 1u) << "item " << i;
+    }
 }
 
 TEST(RuntimeStress, ReducersAcrossManyRegions)
