@@ -11,17 +11,24 @@
  *   GAS_REPS     timed repetitions per cell (default 3)
  *   GAS_TIMEOUT  per-repetition timeout in seconds (default 120)
  *   GAS_CSV_DIR  when set, each table is also written as CSV there
+ *   GAS_TRACE    when set, a Chrome-trace JSON of the whole run is
+ *                written to the named path at exit (see trace/trace.h)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/runner.h"
 #include "core/suite.h"
 #include "core/table.h"
 #include "support/format.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 
 namespace gas::bench {
 
@@ -48,6 +55,7 @@ configure(const char* binary_name)
         config.timeout_seconds = std::atof(timeout);
     }
     config.csv_dir = std::getenv("GAS_CSV_DIR");
+    trace::configure_from_env();
     std::printf("[%s] scale=%.2f threads=%u reps=%u timeout=%.0fs\n",
                 binary_name, config.scale, config.threads, config.reps,
                 config.timeout_seconds);
@@ -98,6 +106,48 @@ maybe_write_csv(const core::Table& table, const Config& config,
     if (config.csv_dir != nullptr) {
         table.write_csv(std::string(config.csv_dir) + "/" + name + ".csv");
     }
+}
+
+/**
+ * One machine-trackable record in a results/BENCH_*.json file. Every
+ * table bench emits these so the perf trajectory across PRs is
+ * diffable. `extra` holds additional fields as (key, pre-rendered JSON
+ * value) pairs — numbers as plain text, strings already quoted.
+ */
+struct JsonRecord
+{
+    std::string app;
+    std::string graph;
+    std::string api;
+    unsigned threads{0};
+    double median_ms{0.0};
+    std::vector<std::pair<std::string, std::string>> extra;
+};
+
+inline void
+write_json_records(const std::vector<JsonRecord>& records,
+                   const char* path)
+{
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path);
+        return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const JsonRecord& r = records[i];
+        out << "  {\"app\": \"" << r.app << "\", \"graph\": \"" << r.graph
+            << "\", \"api\": \"" << r.api << "\", \"threads\": "
+            << r.threads << ", \"median_ms\": " << r.median_ms;
+        for (const auto& [key, value] : r.extra) {
+            out << ", \"" << key << "\": " << value;
+        }
+        out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::printf("\nwrote %zu records to %s\n", records.size(), path);
 }
 
 } // namespace gas::bench

@@ -17,46 +17,9 @@
  */
 
 #include <cmath>
-#include <filesystem>
-#include <fstream>
 #include <vector>
 
 #include "bench_common.h"
-
-namespace {
-
-struct JsonRecord
-{
-    std::string app;
-    std::string graph;
-    std::string api;
-    unsigned threads;
-    double median_ms;
-};
-
-void
-write_json(const std::vector<JsonRecord>& records, const char* path)
-{
-    std::filesystem::create_directories(
-        std::filesystem::path(path).parent_path());
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path);
-        return;
-    }
-    out << "[\n";
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        const JsonRecord& r = records[i];
-        out << "  {\"app\": \"" << r.app << "\", \"graph\": \"" << r.graph
-            << "\", \"api\": \"" << r.api << "\", \"threads\": "
-            << r.threads << ", \"median_ms\": " << r.median_ms << "}"
-            << (i + 1 < records.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
-    std::printf("\nwrote %zu cell records to %s\n", records.size(), path);
-}
-
-} // namespace
 
 int
 main()
@@ -91,7 +54,7 @@ main()
     unsigned n_ls_gb = 0;
     unsigned n_gb_ss = 0;
 
-    std::vector<JsonRecord> records;
+    std::vector<bench::JsonRecord> records;
 
     for (const core::App app : apps) {
         double seconds[3][9];
@@ -113,7 +76,8 @@ main()
                                        suite[g].name,
                                        core::system_name(systems[s]),
                                        config.threads,
-                                       result.median_seconds * 1e3});
+                                       result.median_seconds * 1e3,
+                                       {}});
                 }
             }
             table.add_row(std::move(row));
@@ -136,7 +100,7 @@ main()
 
     table.print();
     bench::maybe_write_csv(table, config, "table2");
-    write_json(records, "results/BENCH_table2.json");
+    bench::write_json_records(records, "results/BENCH_table2.json");
 
     std::printf("\nGeometric-mean speedups over completed cells "
                 "(paper: LS/SS ~5x, LS/GB ~3.5x, GB/SS ~1.4x):\n");

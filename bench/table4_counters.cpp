@@ -9,6 +9,12 @@
  * instructions and touches memory more often than the graph API for
  * the same problem. Each app is measured on the graph the paper's
  * Section V-B narrative discusses.
+ *
+ * The trailing LS columns include the OBIM scheduler's bin-occupancy
+ * gauges (peak live bins and lazy compactions) — zero for apps that
+ * never touch the ordered worklist. Every run also writes
+ * results/BENCH_table4.json with the raw per-system counter values so
+ * the counter trajectory across PRs is machine-trackable.
  */
 
 #include "bench_common.h"
@@ -53,7 +59,10 @@ main()
                       "edge visits", "bytes materialized", "passes",
                       "rounds", "gb push/pull", "gb rows skip",
                       "gb edges sc", "ls pushes", "ls steals",
-                      "ls backoffs", "ls grow/shrink"});
+                      "ls backoffs", "ls grow/shrink", "ls obim bins",
+                      "ls obim compact"});
+
+    std::vector<bench::JsonRecord> records;
 
     for (const auto& [app, graph_name] : cells) {
         const auto input =
@@ -87,10 +96,40 @@ main()
              std::to_string(l[metrics::kSteals]),
              std::to_string(l[metrics::kBackoffs]),
              std::to_string(l[metrics::kStealGrows]) + "/" +
-                 std::to_string(l[metrics::kStealShrinks])});
+                 std::to_string(l[metrics::kStealShrinks]),
+             std::to_string(ls.gauges[metrics::kObimBinsLiveMax]),
+             std::to_string(l[metrics::kObimCompactions])});
+
+        for (const auto* side : {&gb, &ls}) {
+            const bool is_gb = side == &gb;
+            const auto& c = side->counters;
+            bench::JsonRecord record{core::app_name(app), graph_name,
+                                     is_gb ? "GB" : "LS", config.threads,
+                                     side->median_seconds * 1e3, {}};
+            record.extra = {
+                {"work_items", std::to_string(c[metrics::kWorkItems])},
+                {"label_accesses", std::to_string(c.memory_accesses())},
+                {"edge_visits", std::to_string(c[metrics::kEdgeVisits])},
+                {"bytes_materialized",
+                 std::to_string(c[metrics::kBytesMaterialized])},
+                {"passes", std::to_string(c[metrics::kPasses])},
+                {"rounds", std::to_string(c[metrics::kRounds])},
+            };
+            if (!is_gb) {
+                record.extra.emplace_back(
+                    "obim_bins_live_max",
+                    std::to_string(
+                        side->gauges[metrics::kObimBinsLiveMax]));
+                record.extra.emplace_back(
+                    "obim_compactions",
+                    std::to_string(c[metrics::kObimCompactions]));
+            }
+            records.push_back(std::move(record));
+        }
     }
 
     table.print();
     bench::maybe_write_csv(table, config, "table4");
+    bench::write_json_records(records, "results/BENCH_table4.json");
     return 0;
 }

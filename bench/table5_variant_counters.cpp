@@ -13,6 +13,10 @@
  * Expected shape: every memory-proxy ratio > 1; for tc the paper notes
  * gb-ll may execute *fewer* instructions (preprocessing removed the
  * symmetry check) while still making more memory accesses.
+ *
+ * Every run also writes results/BENCH_table5.json — one record per
+ * variant (api = the pair's side label) with its wall time and raw
+ * counter values — so the trajectory across PRs is machine-trackable.
  */
 
 #include "bench_common.h"
@@ -53,16 +57,48 @@ main()
                       "bytes materialized", "rounds", "gb push/pull",
                       "gb rows skip", "gb edges sc"});
 
+    std::vector<bench::JsonRecord> records;
+
+    // The pair label is "gbside/lsside"; records carry each side's own
+    // label as the api field.
+    auto record_side = [&](const char* app, const std::string& graph_name,
+                           std::string api, double seconds,
+                           const metrics::Snapshot& c) {
+        bench::JsonRecord record{app, graph_name, std::move(api),
+                                 config.threads, seconds * 1e3, {}};
+        record.extra = {
+            {"work_items", std::to_string(c[metrics::kWorkItems])},
+            {"label_accesses", std::to_string(c.memory_accesses())},
+            {"edge_visits", std::to_string(c[metrics::kEdgeVisits])},
+            {"bytes_materialized",
+             std::to_string(c[metrics::kBytesMaterialized])},
+            {"rounds", std::to_string(c[metrics::kRounds])},
+        };
+        records.push_back(std::move(record));
+    };
+
     auto add_pair = [&](const char* app, const char* pair,
                         const std::string& graph_name, auto&& gb_fn,
                         auto&& ls_fn) {
         metrics::reset();
+        Timer gb_timer;
+        gb_timer.start();
         const metrics::Interval gb_interval;
         gb_fn();
         const auto g = gb_interval.delta();
+        gb_timer.stop();
+        Timer ls_timer;
+        ls_timer.start();
         const metrics::Interval ls_interval;
         ls_fn();
         const auto l = ls_interval.delta();
+        ls_timer.stop();
+        const std::string pair_str(pair);
+        const auto slash = pair_str.find('/');
+        record_side(app, graph_name, pair_str.substr(0, slash),
+                    gb_timer.seconds(), g);
+        record_side(app, graph_name, pair_str.substr(slash + 1),
+                    ls_timer.seconds(), l);
         table.add_row(
             {app, pair, graph_name,
              ratio_str(g[metrics::kWorkItems], l[metrics::kWorkItems]),
@@ -138,5 +174,6 @@ main()
 
     table.print();
     bench::maybe_write_csv(table, config, "table5");
+    bench::write_json_records(records, "results/BENCH_table5.json");
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "support/format.h"
 #include "support/memory_tracker.h"
 #include "support/timer.h"
+#include "trace/trace.h"
 #include "verify/reference.h"
 
 namespace gas::core {
@@ -111,6 +112,22 @@ signature_u64(const std::vector<uint64_t>& values)
         }
     }
     return signature;
+}
+
+/// Static "app@system" label for the cell's trace span (span names are
+/// stored by pointer, so they must outlive the tracer).
+const char*
+cell_label(App app, System system)
+{
+    static constexpr const char* kLabels[6][3] = {
+        {"bfs@SS", "bfs@GB", "bfs@LS"},
+        {"cc@SS", "cc@GB", "cc@LS"},
+        {"ktruss@SS", "ktruss@GB", "ktruss@LS"},
+        {"pr@SS", "pr@GB", "pr@LS"},
+        {"sssp@SS", "sssp@GB", "sssp@LS"},
+        {"tc@SS", "tc@GB", "tc@LS"},
+    };
+    return kLabels[static_cast<int>(app)][static_cast<int>(system)];
 }
 
 grb::Backend
@@ -236,16 +253,25 @@ run_cell(App app, System system, const SuiteGraph& input,
 
     double total_seconds = 0.0;
     std::vector<double> rep_seconds;
+    metrics::gauges_reset();
     for (unsigned rep = 0; rep < std::max(1u, config.repetitions); ++rep) {
         const metrics::Interval interval;
         Timer timer;
         timer.start();
-        run_once();
+        {
+            trace::Span cell(trace::Category::kCell,
+                             cell_label(app, system), rep);
+            run_once();
+        }
         timer.stop();
         total_seconds += timer.seconds();
         rep_seconds.push_back(timer.seconds());
         if (rep == 0) {
             result.counters = interval.delta();
+            for (unsigned g = 0; g < metrics::kNumGauges; ++g) {
+                result.gauges[g] =
+                    metrics::gauge_read(static_cast<metrics::GaugeId>(g));
+            }
             if (timer.seconds() > config.timeout_seconds) {
                 result.timed_out = true;
                 break;

@@ -9,6 +9,7 @@
  * memory captured.
  */
 
+#include <array>
 #include <optional>
 #include <string>
 
@@ -56,6 +57,9 @@ struct CellResult
     bool verified{false};       ///< whether the oracle comparison ran
     bool timed_out{false};      ///< first rep exceeded the timeout
     metrics::Snapshot counters; ///< events during one repetition
+    /// Gauge levels after the first repetition (gauges are reset before
+    /// the reps, so the *Max entries are per-cell high-water marks).
+    std::array<uint64_t, metrics::kNumGauges> gauges{};
     std::size_t peak_bytes{0};  ///< peak tracked memory incl. structures
     uint64_t result_signature{0}; ///< app-specific scalar (e.g. count)
 };

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -22,6 +23,7 @@ std::vector<double>
 betweenness(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
             const std::vector<Index>& sources)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_bc", sources.size());
     const Index n = A.nrows();
     std::vector<double> centrality(n, 0.0);
 
@@ -40,6 +42,8 @@ betweenness(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
         std::vector<Vector<double>> levels;
         levels.push_back(frontier);
         while (true) {
+            trace::Span round(trace::Category::kRound, "forward_round",
+                              levels.size());
             metrics::bump(metrics::kRounds);
             // frontier<!paths, replace> = frontier * A over PLUS_TIMES:
             // path counts reaching each newly discovered vertex.
@@ -58,6 +62,7 @@ betweenness(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
         Vector<double> delta(n);
         delta.fill(0.0);
         for (std::size_t d = levels.size(); d-- > 1;) {
+            trace::Span round(trace::Category::kRound, "backward_round", d);
             metrics::bump(metrics::kRounds);
 
             // t(w) = (1 + delta(w)) / paths(w) over level-d vertices.

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -19,6 +20,7 @@ using grb::Vector;
 Vector<uint32_t>
 bfs_fused(const grb::Matrix<uint8_t>& A, Index source)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_bfs_fused");
     const Index n = A.nrows();
 
     Vector<uint32_t> dist(n);
@@ -31,6 +33,7 @@ bfs_fused(const grb::Matrix<uint8_t>& A, Index source)
 
     uint32_t level = 1;
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;
 

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -41,6 +42,7 @@ Vector<uint32_t>
 bfs_pushpull(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
              Index source, double pull_threshold)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_bfs_pushpull");
     const Index n = A.nrows();
 
     Vector<uint32_t> dist(n);
@@ -55,6 +57,7 @@ bfs_pushpull(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
 
     uint32_t level = 1;
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;
 
@@ -94,6 +97,7 @@ Vector<uint32_t>
 bfs_auto(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
          Index source, Direction force)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_bfs_auto");
     const Index n = A.nrows();
 
     Vector<uint32_t> dist(n);
@@ -119,6 +123,7 @@ bfs_auto(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
 
     uint32_t level = 1;
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;
 

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 #include "verify/reference.h"
 
 namespace gas::la {
@@ -31,7 +32,9 @@ iota_vector(Index n)
 void
 bulk_flatten(Vector<uint32_t>& parent)
 {
+    uint64_t iter = 0;
     while (true) {
+        trace::Span round(trace::Category::kRound, "flatten_round", iter++);
         metrics::bump(metrics::kRounds);
         Vector<uint32_t> grandparent;
         grb::gather(grandparent, parent, parent);
@@ -56,6 +59,7 @@ to_labels(const Vector<uint32_t>& parent)
 std::vector<uint32_t>
 cc_fastsv(const grb::Matrix<uint32_t>& A)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_cc");
     const Index n = A.nrows();
     Vector<uint32_t> f = iota_vector(n);       // parent
     Vector<uint32_t> gp = f;                   // grandparent
@@ -68,7 +72,9 @@ cc_fastsv(const grb::Matrix<uint32_t>& A)
     // scatter_min/gather steps below.
     grb::SpmvDispatcher<uint32_t> spmv(A, A);
 
+    uint64_t iter = 0;
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", iter++);
         metrics::bump(metrics::kRounds);
 
         // Stochastic hooking: mngp(u) = min over neighbors v of gp(v).
@@ -103,12 +109,15 @@ cc_fastsv(const grb::Matrix<uint32_t>& A)
 std::vector<uint32_t>
 cc_sv(const grb::Matrix<uint32_t>& A)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_cc_sv");
     const Index n = A.nrows();
     Vector<uint32_t> f = iota_vector(n);
 
     grb::SpmvDispatcher<uint32_t> spmv(A, A);
 
+    uint64_t iter = 0;
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", iter++);
         metrics::bump(metrics::kRounds);
 
         // Hooking: f(u) = min(f(u), min over neighbors v of f(v)).

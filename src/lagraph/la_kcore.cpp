@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -28,6 +29,7 @@ constexpr uint32_t kDead = ~uint32_t{0};
 std::vector<uint32_t>
 core_numbers(const grb::Matrix<uint32_t>& A)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_kcore");
     const Index n = A.nrows();
     std::vector<uint32_t> core(n, 0);
 
@@ -36,6 +38,7 @@ core_numbers(const grb::Matrix<uint32_t>& A)
     uint32_t k = 0;
 
     while (degree.nvals() != 0) {
+        trace::Span round(trace::Category::kRound, "round", k);
         metrics::bump(metrics::kRounds);
 
         // Vertices peeling at this level.

@@ -2,6 +2,7 @@
 
 #include "metrics/counters.h"
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -12,6 +13,7 @@ uint64_t
 ktruss(const Matrix<uint64_t>& A, uint32_t k, uint32_t* rounds_out)
 {
     GAS_CHECK(k >= 3, "k-truss requires k >= 3");
+    trace::Span algo(trace::Category::kAlgo, "la_ktruss", k);
     const uint64_t required = k - 2;
 
     // Working pattern matrix (values 1). Each round materializes both a
@@ -22,6 +24,7 @@ ktruss(const Matrix<uint64_t>& A, uint32_t k, uint32_t* rounds_out)
     uint32_t rounds = 0;
 
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", rounds);
         ++rounds;
         metrics::bump(metrics::kRounds);
 

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -34,6 +35,7 @@ std::vector<double>
 pagerank(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
          double damping, unsigned iterations)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_pr");
     const Index n = A.nrows();
     const double base = (1.0 - damping) / n;
     const Vector<double> inv_deg = inverse_out_degrees(A);
@@ -42,6 +44,7 @@ pagerank(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
     rank.fill(1.0 / n);
 
     for (unsigned iter = 0; iter < iterations; ++iter) {
+        trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
         // t = rank ./ out_degree  (one full pass).
@@ -71,6 +74,7 @@ pagerank_residual(const grb::Matrix<double>& A,
                   const grb::Matrix<double>& At, double damping,
                   unsigned iterations)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_pr_residual");
     const Index n = A.nrows();
     const double base = (1.0 - damping) / n;
     const Vector<double> inv_deg = inverse_out_degrees(A);
@@ -83,6 +87,7 @@ pagerank_residual(const grb::Matrix<double>& A,
     Vector<double> delta = rank;
 
     for (unsigned iter = 0; iter < iterations; ++iter) {
+        trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
         // contrib = delta ./ out_degree.

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -28,6 +29,7 @@ bucket_of(const Vector<uint64_t>& dist, uint64_t lo, uint64_t hi)
 std::vector<uint64_t>
 sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_sssp");
     const Index n = A.nrows();
 
     // Preprocessing inside the algorithm, as LAGraph's variant does:
@@ -63,6 +65,8 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
         // Phase 1: relax light edges within the bucket to fixpoint.
         Vector<uint64_t> frontier = bucket_of(dist, lo, hi);
         while (frontier.nvals() != 0) {
+            trace::Span round(trace::Category::kRound, "light_round",
+                              bucket_index);
             metrics::bump(metrics::kRounds);
 
             // Candidate distances through light edges.
@@ -97,6 +101,8 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
         }
 
         // Phase 2: one heavy relaxation from the settled bucket.
+        trace::Span round(trace::Category::kRound, "heavy_round",
+                          bucket_index);
         metrics::bump(metrics::kRounds);
         Vector<uint64_t> settled = bucket_of(dist, lo, hi);
         if (settled.nvals() != 0) {

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "trace/trace.h"
 
 namespace gas::la {
 
@@ -9,6 +10,7 @@ using grb::Matrix;
 uint64_t
 tc_sandia(const Matrix<uint64_t>& A)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_tc");
     metrics::bump(metrics::kRounds);
     // L = tril(A): each undirected edge appears exactly once, oriented
     // from the higher id to the lower. A materialized intermediate.
@@ -27,6 +29,7 @@ tc_sandia(const Matrix<uint64_t>& A)
 uint64_t
 tc_listing(const Matrix<uint64_t>& A_sorted)
 {
+    trace::Span algo(trace::Category::kAlgo, "la_tc_listing");
     metrics::bump(metrics::kRounds);
     // With vertices relabeled by ascending degree, the strict upper
     // triangle holds the "forward" edges (low-degree vertex to

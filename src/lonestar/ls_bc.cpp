@@ -5,6 +5,7 @@
 #include "metrics/counters.h"
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -37,6 +38,7 @@ atomic_add(double& slot, double value)
 std::vector<double>
 betweenness(const Graph& graph, const std::vector<Node>& sources)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_bc", sources.size());
     const Node n = graph.num_nodes();
     std::vector<double> centrality(n, 0.0);
     std::vector<double> sigma(n);
@@ -59,6 +61,8 @@ betweenness(const Graph& graph, const std::vector<Node>& sources)
         std::vector<std::vector<Node>> levels;
         levels.push_back({source});
         while (true) {
+            trace::Span round(trace::Category::kRound, "forward_round",
+                              levels.size());
             metrics::bump(metrics::kRounds);
             const auto& frontier = levels.back();
             const int32_t level =
@@ -98,6 +102,7 @@ betweenness(const Graph& graph, const std::vector<Node>& sources)
         // vertex writes only its own delta, so the fused loop needs no
         // atomics.
         for (std::size_t d = levels.size(); d-- > 1;) {
+            trace::Span round(trace::Category::kRound, "backward_round", d);
             metrics::bump(metrics::kRounds);
             rt::do_all_items(levels[d - 1], [&](Node w) {
                 metrics::bump(metrics::kWorkItems);

@@ -7,6 +7,7 @@
 #include "metrics/counters.h"
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -17,6 +18,7 @@ using graph::Node;
 std::vector<uint32_t>
 bfs(const Graph& graph, Node source)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_bfs");
     const Node n = graph.num_nodes();
     graph::NodeData<uint32_t> dist(n, "bfs:dist");
 
@@ -41,6 +43,7 @@ bfs(const Graph& graph, Node source)
     uint32_t level = 0;
     check::RegionLabel label("bfs:expand");
     while (!next->empty()) {
+        trace::Span round(trace::Category::kRound, "round", level);
         std::swap(curr, next);
         next->clear();
         ++level;

@@ -6,6 +6,7 @@
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -27,6 +28,7 @@ std::vector<uint32_t>
 bfs_dirop(const Graph& graph, const Graph& transpose, Node source,
           unsigned alpha, unsigned beta)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_bfs_dirop");
     const Node n = graph.num_nodes();
     std::vector<uint32_t> dist(n);
     rt::do_all(n, [&](std::size_t v) {
@@ -49,6 +51,7 @@ bfs_dirop(const Graph& graph, const Graph& transpose, Node source,
     std::size_t frontier_size = 1;
 
     while (frontier_size != 0) {
+        trace::Span round(trace::Category::kRound, "round", level);
         std::swap(curr, next);
         next->clear();
         ++level;

@@ -9,6 +9,7 @@
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
 #include "support/random.h"
+#include "trace/trace.h"
 #include "verify/reference.h"
 
 namespace gas::ls {
@@ -117,12 +118,15 @@ init_components(Node n)
 std::vector<Node>
 cc_afforest(const Graph& graph, uint32_t sampling_rounds)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_cc");
     const Node n = graph.num_nodes();
     Components comp = init_components(n);
 
     // Phase 1: union only the first few edges of every vertex — a
     // fine-grained sampled operation no bulk matrix API can express.
     for (uint32_t round = 0; round < sampling_rounds; ++round) {
+        trace::Span round_span(trace::Category::kRound, "sample_round",
+                               round);
         metrics::bump(metrics::kRounds);
         check::RegionLabel label("cc:sample-link");
         rt::do_all(n, [&](std::size_t u) {
@@ -140,6 +144,8 @@ cc_afforest(const Graph& graph, uint32_t sampling_rounds)
     // Most vertices now share the giant component's label; finish the
     // remaining vertices only.
     const Node giant = sample_frequent_component(comp, 0xAFFu);
+    trace::Span finish_span(trace::Category::kRound, "finish_round",
+                            sampling_rounds);
     metrics::bump(metrics::kRounds);
     {
         check::RegionLabel label("cc:finish");
@@ -163,10 +169,13 @@ cc_afforest(const Graph& graph, uint32_t sampling_rounds)
 std::vector<Node>
 cc_sv(const Graph& graph)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_cc_sv");
     const Node n = graph.num_nodes();
     Components comp = init_components(n);
 
+    uint64_t iter = 0;
     while (true) {
+        trace::Span round(trace::Category::kRound, "round", iter++);
         metrics::bump(metrics::kRounds);
         rt::ReduceOr changed;
 

@@ -6,6 +6,7 @@
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -31,6 +32,7 @@ constexpr uint32_t kPeeled = ~uint32_t{0};
 std::vector<uint32_t>
 core_numbers(const Graph& graph)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_kcore");
     const Node n = graph.num_nodes();
     std::vector<uint32_t> degree(n);
     std::vector<uint32_t> core(n, 0);
@@ -47,6 +49,7 @@ core_numbers(const Graph& graph)
     const uint32_t top = max_degree.reduce();
 
     for (uint32_t k = 0; k <= top && remaining.load() > 0; ++k) {
+        trace::Span round(trace::Category::kRound, "round", k);
         metrics::bump(metrics::kRounds);
 
         // Seed frontier: still-unpeeled vertices at exactly degree <= k.

@@ -8,6 +8,7 @@
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -41,6 +42,7 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
     GAS_CHECK(k >= 3, "k-truss requires k >= 3");
     GAS_CHECK(graph.adjacencies_sorted(),
               "ktruss requires sorted adjacencies");
+    trace::Span algo(trace::Category::kAlgo, "ls_ktruss", k);
     const uint64_t required = k - 2;
     const Node n = graph.num_nodes();
     const EdgeIdx m = graph.num_edges();
@@ -70,6 +72,7 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
     bool changed = true;
     check::RegionLabel label("ktruss:peel");
     while (changed) {
+        trace::Span round(trace::Category::kRound, "round", rounds);
         ++rounds;
         metrics::bump(metrics::kRounds);
         rt::ReduceOr any_removed;

@@ -5,6 +5,7 @@
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -39,6 +40,7 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
 {
     GAS_CHECK(graph.num_nodes() == transpose.num_nodes(),
               "graph/transpose mismatch");
+    trace::Span algo(trace::Category::kAlgo, "ls_pr");
     const Node n = graph.num_nodes();
     const double base = (1.0 - damping) / n;
 
@@ -68,6 +70,7 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
     }
 
     for (unsigned iter = 0; iter < iterations; ++iter) {
+        trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
         // Fused pull pass: one loop over in-edges, reading the
@@ -120,6 +123,7 @@ pagerank_soa(const Graph& graph, const Graph& transpose, double damping,
 {
     GAS_CHECK(graph.num_nodes() == transpose.num_nodes(),
               "graph/transpose mismatch");
+    trace::Span algo(trace::Category::kAlgo, "ls_pr_soa");
     const Node n = graph.num_nodes();
     const double base = (1.0 - damping) / n;
 
@@ -147,6 +151,7 @@ pagerank_soa(const Graph& graph, const Graph& transpose, double damping,
     }
 
     for (unsigned iter = 0; iter < iterations; ++iter) {
+        trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
         check::RegionLabel pull_label("pr:pull");

@@ -8,6 +8,7 @@
 #include "runtime/obim.h"
 #include "runtime/parallel.h"
 #include "support/check.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -33,6 +34,7 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
     GAS_CHECK(graph.has_weights() || graph.num_edges() == 0,
               "sssp requires edge weights");
     GAS_CHECK(options.delta > 0, "delta must be positive");
+    trace::Span algo(trace::Category::kAlgo, "ls_sssp");
     const Node n = graph.num_nodes();
 
     graph::NodeData<uint64_t> dist(n, "sssp:dist");
@@ -53,7 +55,9 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
     worklist.push({source, 0}, 0);
 
     check::RegionLabel label("sssp:relax");
-    rt::ThreadPool::get().run([&](unsigned, unsigned) {
+    trace::Span region(trace::Category::kRuntime, "obim_relax");
+    rt::ThreadPool::get().run([&](unsigned tid, unsigned) {
+        trace::Span worker(trace::Category::kWorker, "obim_relax", tid);
         std::vector<WorkItem> batch;
         batch.reserve(16);
         while (worklist.pop_batch(batch, 16)) {

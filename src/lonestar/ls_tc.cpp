@@ -4,6 +4,7 @@
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "trace/trace.h"
 
 namespace gas::ls {
 
@@ -26,6 +27,7 @@ build_forward_graph(const Graph& graph)
 uint64_t
 tc(const ForwardGraph& input)
 {
+    trace::Span algo(trace::Category::kAlgo, "ls_tc");
     const Graph& fwd = input.forward;
     rt::Accumulator<uint64_t> triangles;
 

@@ -23,6 +23,7 @@
 #include "matrix/ops_common.h"
 #include "matrix/vector.h"
 #include "runtime/reducers.h"
+#include "trace/trace.h"
 
 namespace gas::grb {
 
@@ -51,6 +52,7 @@ mxm_masked_dot(Matrix<T>& C, const Matrix<MT>& M, const Matrix<T>& A,
     GAS_CHECK(M.nrows() == A.nrows() && M.ncols() == Bt.nrows(),
               "mxm_masked_dot dimension mismatch");
     GAS_CHECK(A.ncols() == Bt.ncols(), "mxm_masked_dot inner mismatch");
+    trace::Span span(trace::Category::kGrb, "mxm_masked_dot", M.nvals());
     metrics::bump(metrics::kPasses);
 
     Matrix<T> result(M.nrows(), M.ncols());
@@ -188,6 +190,7 @@ mxm_saxpy(Matrix<T>& C, const Matrix<T>& A, const Matrix<T>& B,
           MxmMethod method = MxmMethod::kAuto)
 {
     GAS_CHECK(A.ncols() == B.nrows(), "mxm_saxpy dimension mismatch");
+    trace::Span span(trace::Category::kGrb, "mxm_saxpy", A.nvals());
     metrics::bump(metrics::kPasses);
     const Index nrows = A.nrows();
     const Index ncols = B.ncols();
@@ -344,6 +347,7 @@ void
 mxm_dot(Matrix<T>& C, const Matrix<T>& A, const Matrix<T>& Bt)
 {
     GAS_CHECK(A.ncols() == Bt.ncols(), "mxm_dot inner mismatch");
+    trace::Span span(trace::Category::kGrb, "mxm_dot", A.nvals());
     metrics::bump(metrics::kPasses, 2); // symbolic + numeric
     const Index nrows = A.nrows();
     const Index ncols = Bt.nrows();
@@ -447,6 +451,7 @@ template <typename T, typename Pred>
 void
 select_matrix(Matrix<T>& C, const Matrix<T>& A, Pred&& pred)
 {
+    trace::Span span(trace::Category::kGrb, "select_matrix", A.nvals());
     metrics::bump(metrics::kPasses);
     const Index nrows = A.nrows();
     Matrix<T> result(nrows, A.ncols());
@@ -578,6 +583,7 @@ template <typename Monoid, typename T>
 T
 reduce_matrix(const Matrix<T>& A)
 {
+    trace::Span span(trace::Category::kGrb, "reduce_matrix", A.nvals());
     metrics::bump(metrics::kPasses);
     auto merge = [](T a, T b) { return Monoid::add(a, b); };
     rt::Reducer<T, decltype(merge)> reducer(Monoid::identity(), merge);
@@ -630,6 +636,7 @@ template <typename T, typename Fn>
 void
 apply_matrix(Matrix<T>& C, const Matrix<T>& A, Fn&& fn)
 {
+    trace::Span span(trace::Category::kGrb, "apply_matrix", A.nvals());
     metrics::bump(metrics::kPasses);
     Matrix<T> result = A;
     auto& vals = result.raw_vals();

@@ -27,6 +27,7 @@
 #include "matrix/matrix.h"
 #include "matrix/ops_common.h"
 #include "matrix/semiring.h"
+#include "trace/trace.h"
 
 namespace gas::grb {
 
@@ -43,6 +44,7 @@ vxm(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     const Vector<T>& u, const Matrix<T>& A)
 {
     GAS_CHECK(u.size() == A.nrows(), "vxm dimension mismatch");
+    trace::Span span(trace::Category::kGrb, "vxm", u.nvals());
     metrics::bump(metrics::kPasses);
 
     auto& spa = SpaWorkspace<T, Semiring>::get(A.ncols());
@@ -138,6 +140,7 @@ mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     const Matrix<T>& A, const Vector<T>& u)
 {
     GAS_CHECK(u.size() == A.ncols(), "mxv dimension mismatch");
+    trace::Span span(trace::Category::kGrb, "mxv", u.nvals());
     metrics::bump(metrics::kPasses);
 
     const Vector<T>* uview = &u;
@@ -239,6 +242,7 @@ mxv_sparse(Vector<T>& w, const Vector<MT>& mask, const Descriptor& desc,
     GAS_CHECK(u.size() == A.ncols(), "mxv_sparse dimension mismatch");
     GAS_CHECK(mask.format() == VectorFormat::kSparse,
               "mxv_sparse requires a sparse mask");
+    trace::Span span(trace::Category::kGrb, "mxv_sparse", mask.nvals());
     metrics::bump(metrics::kPasses);
 
     const Vector<T>* uview = &u;
@@ -384,6 +388,7 @@ vxm_fused_assign(Vector<T>& w, Vector<MT>& assign_target, MT assign_value,
     GAS_CHECK(u.size() == A.nrows(), "vxm_fused_assign dim mismatch");
     GAS_CHECK(assign_target.format() == VectorFormat::kDense,
               "vxm_fused_assign needs a dense assign target");
+    trace::Span span(trace::Category::kGrb, "vxm_fused_assign", u.nvals());
     metrics::bump(metrics::kPasses);
 
     auto& spa = SpaWorkspace<T, Semiring>::get(A.ncols());

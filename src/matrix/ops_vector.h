@@ -13,6 +13,7 @@
 
 #include "matrix/ops_common.h"
 #include "runtime/reducers.h"
+#include "trace/trace.h"
 
 namespace gas::grb {
 
@@ -26,6 +27,7 @@ void
 assign_scalar(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
               T value)
 {
+    trace::Span span(trace::Category::kGrb, "assign_scalar", w.size());
     metrics::bump(metrics::kPasses);
     if (mask == nullptr) {
         w.fill(value);
@@ -96,6 +98,7 @@ template <typename T, typename Fn>
 void
 apply(Vector<T>& w, const Vector<T>& u, Fn&& fn)
 {
+    trace::Span span(trace::Category::kGrb, "apply", u.nvals());
     metrics::bump(metrics::kPasses);
     w = u;
     if (w.format() == VectorFormat::kDense) {
@@ -140,6 +143,7 @@ void
 ewise_add(Vector<T>& w, const Vector<T>& u, const Vector<T>& v, Fn&& fn)
 {
     GAS_CHECK(u.size() == v.size(), "ewise_add dimension mismatch");
+    trace::Span span(trace::Category::kGrb, "ewise_add", u.nvals());
     metrics::bump(metrics::kPasses);
 
     if (u.format() == VectorFormat::kSparse &&
@@ -240,6 +244,7 @@ void
 ewise_mult(Vector<T>& w, const Vector<T>& u, const Vector<T>& v, Fn&& fn)
 {
     GAS_CHECK(u.size() == v.size(), "ewise_mult dimension mismatch");
+    trace::Span span(trace::Category::kGrb, "ewise_mult", u.nvals());
     metrics::bump(metrics::kPasses);
 
     if (u.format() == VectorFormat::kDense &&
@@ -336,6 +341,7 @@ template <typename Monoid, typename T>
 T
 reduce(const Vector<T>& u)
 {
+    trace::Span span(trace::Category::kGrb, "reduce", u.nvals());
     metrics::bump(metrics::kPasses);
     auto merge = [](T a, T b) { return Monoid::add(a, b); };
     rt::Reducer<T, decltype(merge)> reducer(Monoid::identity(), merge);
@@ -385,6 +391,7 @@ gather(Vector<T>& w, const Vector<T>& u, const Vector<IT>& idx)
     GAS_CHECK(u.format() == VectorFormat::kDense &&
                   idx.format() == VectorFormat::kDense,
               "gather requires dense operands");
+    trace::Span span(trace::Category::kGrb, "gather", idx.size());
     metrics::bump(metrics::kPasses);
     Vector<T> result(idx.size());
     result.densify();
@@ -423,6 +430,7 @@ scatter_min(Vector<T>& w, const Vector<IT>& idx, const Vector<T>& u)
                   u.format() == VectorFormat::kDense &&
                   idx.format() == VectorFormat::kDense,
               "scatter_min requires dense operands");
+    trace::Span span(trace::Category::kGrb, "scatter_min", idx.size());
     metrics::bump(metrics::kPasses);
     auto& wvals = w.dense_values();
     const auto& uvals = u.dense_values();
@@ -451,6 +459,7 @@ template <typename T, typename Pred>
 void
 select_entries(Vector<T>& w, const Vector<T>& u, Pred&& pred)
 {
+    trace::Span span(trace::Category::kGrb, "select", u.nvals());
     metrics::bump(metrics::kPasses);
     rt::InsertBag<std::pair<Index, T>> kept;
     if (u.format() == VectorFormat::kDense) {

@@ -1,5 +1,6 @@
 #include "metrics/counters.h"
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -89,6 +90,17 @@ counter_name(CounterId id)
       case kEdgesShortCircuited: return "edges_short_circuited";
       case kRacesDetected: return "races_detected";
       case kFuzzPerturbations: return "fuzz_perturbations";
+      case kObimCompactions: return "obim_compactions";
+      default: return "unknown";
+    }
+}
+
+const char*
+gauge_name(GaugeId id)
+{
+    switch (id) {
+      case kObimBinsLive: return "obim_bins_live";
+      case kObimBinsLiveMax: return "obim_bins_live_max";
       default: return "unknown";
     }
 }
@@ -128,6 +140,72 @@ void
 bump(CounterId id, uint64_t amount)
 {
     local_block().values[id] += amount;
+}
+
+const std::array<uint64_t, kNumCounters>&
+local_values()
+{
+    return local_block().values;
+}
+
+namespace {
+
+/// Gauges are global (not per-thread): they model a shared population
+/// level (e.g. live OBIM bins), updated on rare state transitions, so
+/// contended atomics are acceptable.
+std::array<std::atomic<uint64_t>, kNumGauges>&
+gauge_slots()
+{
+    static std::array<std::atomic<uint64_t>, kNumGauges> slots{};
+    return slots;
+}
+
+void
+fold_gauge_max(GaugeId max_id, uint64_t value)
+{
+    std::atomic<uint64_t>& slot = gauge_slots()[max_id];
+    uint64_t seen = slot.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !slot.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+gauge_set(GaugeId id, uint64_t value)
+{
+    gauge_slots()[id].store(value, std::memory_order_relaxed);
+    if (id == kObimBinsLive) {
+        fold_gauge_max(kObimBinsLiveMax, value);
+    }
+}
+
+void
+gauge_add(GaugeId id, int64_t delta)
+{
+    const uint64_t now = gauge_slots()[id].fetch_add(
+                             static_cast<uint64_t>(delta),
+                             std::memory_order_relaxed) +
+        static_cast<uint64_t>(delta);
+    if (id == kObimBinsLive) {
+        fold_gauge_max(kObimBinsLiveMax, now);
+    }
+}
+
+uint64_t
+gauge_read(GaugeId id)
+{
+    return gauge_slots()[id].load(std::memory_order_relaxed);
+}
+
+void
+gauges_reset()
+{
+    for (auto& slot : gauge_slots()) {
+        slot.store(0, std::memory_order_relaxed);
+    }
 }
 
 Snapshot

@@ -91,8 +91,39 @@ enum CounterId : unsigned {
     kEdgesShortCircuited,
     kRacesDetected,
     kFuzzPerturbations,
+    kObimCompactions,
     kNumCounters,
 };
+
+/**
+ * Identifiers for tracked gauges: point-in-time levels rather than
+ * monotone event counts. The OBIM executor reports its bin occupancy
+ * here (kObimBinsLive tracks bins that currently hold work; the *Max
+ * variant records the high-water mark since the last gauges_reset), so
+ * table4 and the ROADMAP's per-package bin-affinity work can see how
+ * wide the priority structure actually gets.
+ */
+enum GaugeId : unsigned {
+    kObimBinsLive = 0,
+    kObimBinsLiveMax,
+    kNumGauges,
+};
+
+/// Human-readable name of a gauge.
+const char* gauge_name(GaugeId id);
+
+/// Set a gauge's current level; the paired *Max gauge (id + 1 for
+/// kObimBinsLive) is maintained by the module.
+void gauge_set(GaugeId id, uint64_t value);
+
+/// Adjust a gauge by a signed delta (for gauges tracking a population).
+void gauge_add(GaugeId id, int64_t delta);
+
+/// Current value of a gauge.
+uint64_t gauge_read(GaugeId id);
+
+/// Zero every gauge, including the high-water marks.
+void gauges_reset();
 
 /// Human-readable name of a counter.
 const char* counter_name(CounterId id);
@@ -116,6 +147,11 @@ struct Snapshot
 
 /// Bump a counter on the calling thread by @p amount.
 void bump(CounterId id, uint64_t amount = 1);
+
+/// The calling thread's own counter block. Reading it is race-free by
+/// construction (only the owner writes it); the span tracer snapshots
+/// it at span boundaries to attribute counter deltas to phases.
+const std::array<uint64_t, kNumCounters>& local_values();
 
 /// Aggregate all threads' counters (including exited threads).
 Snapshot read();

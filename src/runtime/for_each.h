@@ -43,6 +43,8 @@
 #include "runtime/chase_lev.h"
 #include "runtime/thread_pool.h"
 #include "support/check.h"
+#include "support/timer.h"
+#include "trace/trace.h"
 
 namespace gas::rt {
 
@@ -88,6 +90,8 @@ for_each(const Container& initial, Fn&& fn)
     ThreadPool& pool = ThreadPool::get();
     const unsigned threads = pool.num_threads();
 
+    trace::Span region(trace::Category::kRuntime, "for_each");
+
     std::vector<ChaseLevDeque<T>> deques(threads);
     std::atomic<std::size_t> pending{0};
 
@@ -107,12 +111,16 @@ for_each(const Container& initial, Fn&& fn)
     }
 
     pool.run([&](unsigned tid, unsigned total) {
+        trace::Span worker(trace::Category::kWorker, "for_each", tid);
         ChaseLevDeque<T>& mine = deques[tid];
         UserContext<T> ctx(mine, pending);
         std::array<T, ChaseLevDeque<T>::kMaxBatch> loot;
         StealThrottle throttle(ChaseLevDeque<T>::kMaxBatch,
                                ChaseLevDeque<T>::kMaxBatch / 4);
         Backoff backoff;
+        // Start timestamp of the current idle episode (0 = not idle).
+        // Feeds the tracer's per-span scheduler-stall attribution.
+        uint64_t idle_since_ns = 0;
         while (true) {
             T item;
             bool found = mine.pop(item);
@@ -160,6 +168,10 @@ for_each(const Container& initial, Fn&& fn)
                 }
             }
             if (found) {
+                if (idle_since_ns != 0) {
+                    trace::stall(idle_since_ns);
+                    idle_since_ns = 0;
+                }
                 backoff.reset();
                 // Fuzz point: delay between claiming an item and
                 // running its operator, so another thread's operator on
@@ -172,9 +184,15 @@ for_each(const Container& initial, Fn&& fn)
             // Nothing anywhere: back off, then check termination. The
             // first backoff is a handful of pause instructions, so the
             // exit path stays cheap.
+            if (idle_since_ns == 0 && trace::enabled()) {
+                idle_since_ns = now_ns();
+            }
             metrics::bump(metrics::kBackoffs);
             backoff.wait();
             if (pending.load(std::memory_order_acquire) == 0) {
+                if (idle_since_ns != 0) {
+                    trace::stall(idle_since_ns);
+                }
                 return;
             }
         }

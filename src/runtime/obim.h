@@ -30,6 +30,8 @@
 #include "runtime/backoff.h"
 #include "runtime/thread_pool.h"
 #include "support/check.h"
+#include "support/timer.h"
+#include "trace/trace.h"
 
 namespace gas::rt {
 
@@ -45,18 +47,24 @@ class PriorityBin
     /// Drained prefix length above which pop_batch compacts the vector.
     static constexpr std::size_t kCompactMin = 64;
 
-    void
+    /// Returns true when the bin went empty -> non-empty (the caller
+    /// maintains the kObimBinsLive gauge from these edge reports, which
+    /// are exact because both transitions happen under the bin mutex).
+    bool
     push(const T& item)
     {
         std::lock_guard guard(lock_);
+        const bool was_empty = head_ == items_.size();
         items_.push_back(item);
         size_hint_.store(items_.size() - head_,
                          std::memory_order_relaxed);
+        return was_empty;
     }
 
-    /// Pop up to @p max items into @p out. Returns the number popped.
+    /// Pop up to @p max items into @p out. Returns the number popped;
+    /// sets @p became_empty when this call drained the bin's last item.
     std::size_t
-    pop_batch(std::vector<T>& out, std::size_t max)
+    pop_batch(std::vector<T>& out, std::size_t max, bool& became_empty)
     {
         std::lock_guard guard(lock_);
         std::size_t taken = 0;
@@ -65,6 +73,7 @@ class PriorityBin
             ++head_;
             ++taken;
         }
+        became_empty = taken != 0 && head_ == items_.size();
         if (head_ == items_.size()) {
             items_.clear();
             head_ = 0;
@@ -74,6 +83,7 @@ class PriorityBin
             // otherwise grow without bound. Erasing once the prefix is
             // at least as long as the live suffix keeps storage within
             // 2x the live item count at amortized O(1) per item.
+            metrics::bump(metrics::kObimCompactions);
             items_.erase(items_.begin(),
                          items_.begin() +
                              static_cast<std::ptrdiff_t>(head_));
@@ -157,7 +167,9 @@ class ObimWorklist
         // simply be visible before the matching finish_item decrement,
         // which fetch_add's atomicity guarantees on its own.
         pending_.fetch_add(1, std::memory_order_relaxed);
-        bin(priority).push(item);
+        if (bin(priority).push(item)) {
+            metrics::gauge_add(metrics::kObimBinsLive, 1);
+        }
         metrics::bump(metrics::kPushes);
 
         // Watermark maintenance: lower the scan cursor, raise the upper
@@ -180,6 +192,10 @@ class ObimWorklist
     pop_batch(std::vector<T>& out, std::size_t max)
     {
         Backoff backoff;
+        // Start timestamp of the current idle episode (0 = not idle);
+        // feeds the tracer's scheduler-stall attribution, mirroring the
+        // idle-episode tracking in for_each.
+        uint64_t idle_since_ns = 0;
         while (true) {
             // Fuzz point: perturb which bin a scan reaches first.
             check::fuzz::maybe_yield(check::fuzz::Site::kObimPop);
@@ -204,8 +220,16 @@ class ObimWorklist
                     metrics::bump(metrics::kStealFails);
                     continue;
                 }
-                const std::size_t got = bin_ptr->pop_batch(out, max);
+                bool became_empty = false;
+                const std::size_t got =
+                    bin_ptr->pop_batch(out, max, became_empty);
                 if (got != 0) {
+                    if (became_empty) {
+                        metrics::gauge_add(metrics::kObimBinsLive, -1);
+                    }
+                    if (idle_since_ns != 0) {
+                        trace::stall(idle_since_ns);
+                    }
                     metrics::bump(metrics::kSteals, got);
                     // Advance the cursor hint past drained bins.
                     std::size_t cursor =
@@ -220,6 +244,9 @@ class ObimWorklist
             }
             // Empty scan: back off exponentially before touching the
             // shared pending counter again (same policy as for_each).
+            if (idle_since_ns == 0 && trace::enabled()) {
+                idle_since_ns = now_ns();
+            }
             metrics::bump(metrics::kBackoffs);
             backoff.wait();
             // acquire: pairs with finish_item's release half, so a
@@ -229,6 +256,9 @@ class ObimWorklist
             // false ("the worklist is quiescent and results are
             // visible").
             if (pending_.load(std::memory_order_acquire) == 0) {
+                if (idle_since_ns != 0) {
+                    trace::stall(idle_since_ns);
+                }
                 return false;
             }
         }
@@ -317,6 +347,8 @@ void
 for_each_ordered(const Container& initial, PriFn&& pri, Fn&& fn,
                  std::size_t batch_size = 16)
 {
+    trace::Span region(trace::Category::kRuntime, "for_each_ordered");
+
     ObimWorklist<T> worklist;
     for (const T& item : initial) {
         worklist.push(item, pri(item));
@@ -325,7 +357,9 @@ for_each_ordered(const Container& initial, PriFn&& pri, Fn&& fn,
         return;
     }
 
-    ThreadPool::get().run([&](unsigned, unsigned) {
+    ThreadPool::get().run([&](unsigned tid, unsigned) {
+        trace::Span worker(trace::Category::kWorker, "for_each_ordered",
+                           tid);
         OrderedContext<T> ctx(worklist);
         std::vector<T> batch;
         batch.reserve(batch_size);

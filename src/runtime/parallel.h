@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "runtime/thread_pool.h"
+#include "trace/trace.h"
 
 namespace gas::rt {
 
@@ -67,13 +68,20 @@ default_chunk(std::size_t total, unsigned threads)
 
 /**
  * Run @p fn once per thread: fn(tid, num_threads).
+ *
+ * Emits one region span on the orchestrating thread and one worker
+ * span per participating thread, so every counter a worker bumps is
+ * attributed to this region (see trace/trace.h).
  */
 template <typename Fn>
 void
 on_each(Fn&& fn)
 {
-    ThreadPool::get().run(
-        [&](unsigned tid, unsigned total) { fn(tid, total); });
+    trace::Span region(trace::Category::kRuntime, "on_each");
+    ThreadPool::get().run([&](unsigned tid, unsigned total) {
+        trace::Span worker(trace::Category::kWorker, "on_each", tid);
+        fn(tid, total);
+    });
 }
 
 /**
@@ -91,13 +99,17 @@ do_all_blocked(std::size_t n, Fn&& fn, LoopOptions options = {})
     ThreadPool& pool = ThreadPool::get();
     const unsigned threads = pool.num_threads();
 
+    trace::Span region(trace::Category::kRuntime, "do_all", n);
+
     if (threads == 1) {
+        trace::Span worker(trace::Category::kWorker, "do_all", 0);
         fn(Range{0, n});
         return;
     }
 
     if (options.schedule == Schedule::kStatic) {
         pool.run([&](unsigned tid, unsigned total) {
+            trace::Span worker(trace::Category::kWorker, "do_all", tid);
             const std::size_t per = (n + total - 1) / total;
             const std::size_t begin = std::min(n, per * tid);
             const std::size_t end = std::min(n, begin + per);
@@ -112,7 +124,8 @@ do_all_blocked(std::size_t n, Fn&& fn, LoopOptions options = {})
         ? options.chunk_size
         : detail::default_chunk(n, threads);
     std::atomic<std::size_t> cursor{0};
-    pool.run([&](unsigned, unsigned) {
+    pool.run([&](unsigned tid, unsigned) {
+        trace::Span worker(trace::Category::kWorker, "do_all", tid);
         while (true) {
             const std::size_t begin =
                 cursor.fetch_add(chunk, std::memory_order_relaxed);

@@ -2,7 +2,14 @@
 
 /**
  * @file
- * Wall-clock timing utilities used by the experiment harness.
+ * Monotonic timing utilities shared by the experiment harness and the
+ * span tracer (trace/trace.h).
+ *
+ * Everything that measures elapsed time in this codebase goes through
+ * now_ns() so benches, the runner, and trace spans agree on one clock:
+ * std::chrono::steady_clock. A wall clock (system_clock, gettimeofday)
+ * would jump under NTP adjustment mid-measurement; steady_clock is
+ * monotonic by contract.
  */
 
 #include <chrono>
@@ -10,8 +17,20 @@
 
 namespace gas {
 
+/// Monotonic timestamp in nanoseconds (steady_clock). The single clock
+/// source for the Timer, the benches, and trace span boundaries, so
+/// their timestamps are directly comparable.
+inline uint64_t
+now_ns()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 /**
- * A restartable wall-clock stopwatch.
+ * A restartable monotonic stopwatch.
  *
  * The timer accumulates elapsed time across start()/stop() pairs, which
  * lets the harness exclude graph loading and other preprocessing the way
@@ -24,7 +43,7 @@ class Timer
     void
     start()
     {
-        start_ = Clock::now();
+        start_ns_ = now_ns();
         running_ = true;
     }
 
@@ -33,7 +52,7 @@ class Timer
     stop()
     {
         if (running_) {
-            accumulated_ += Clock::now() - start_;
+            accumulated_ns_ += now_ns() - start_ns_;
             running_ = false;
         }
     }
@@ -42,7 +61,7 @@ class Timer
     void
     reset()
     {
-        accumulated_ = Duration::zero();
+        accumulated_ns_ = 0;
         running_ = false;
     }
 
@@ -50,22 +69,19 @@ class Timer
     double
     seconds() const
     {
-        Duration total = accumulated_;
+        uint64_t total = accumulated_ns_;
         if (running_) {
-            total += Clock::now() - start_;
+            total += now_ns() - start_ns_;
         }
-        return std::chrono::duration<double>(total).count();
+        return static_cast<double>(total) * 1e-9;
     }
 
     /// Total accumulated time in milliseconds.
     double milliseconds() const { return seconds() * 1e3; }
 
   private:
-    using Clock = std::chrono::steady_clock;
-    using Duration = Clock::duration;
-
-    Clock::time_point start_{};
-    Duration accumulated_{Duration::zero()};
+    uint64_t start_ns_{0};
+    uint64_t accumulated_ns_{0};
     bool running_{false};
 };
 

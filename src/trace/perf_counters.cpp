@@ -1,0 +1,164 @@
+#include "trace/perf_counters.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace gas::trace {
+
+#if defined(__linux__)
+
+namespace {
+
+/// (type, config) pairs in hw_counter_name order.
+struct EventSpec
+{
+    uint32_t type;
+    uint64_t config;
+};
+
+constexpr EventSpec kEvents[kNumHwCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+};
+
+int
+open_event(const EventSpec& spec, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = group_fd == -1 ? 1 : 0; // leader starts the group
+    attr.exclude_kernel = 1; // unprivileged-friendly
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    // pid=0, cpu=-1: this thread, any CPU.
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+} // namespace
+
+bool
+hw_counters_supported()
+{
+    // 0 = unprobed, 1 = yes, 2 = no.
+    static std::atomic<int> verdict{0};
+    int seen = verdict.load(std::memory_order_relaxed);
+    if (seen != 0) {
+        return seen == 1;
+    }
+    // Probe with a full group: a machine can support the leader but
+    // reject a cache event, and a partial group would skew ratios.
+    HwCounterGroup probe;
+    const bool ok = probe.open();
+    probe.close();
+    verdict.store(ok ? 1 : 2, std::memory_order_relaxed);
+    return ok;
+}
+
+bool
+HwCounterGroup::open()
+{
+    if (active()) {
+        return true;
+    }
+    leader_fd_ = open_event(kEvents[0], -1);
+    if (leader_fd_ < 0) {
+        leader_fd_ = -1;
+        return false;
+    }
+    fds_[0] = leader_fd_;
+    for (unsigned i = 1; i < kNumHwCounters; ++i) {
+        fds_[i] = open_event(kEvents[i], leader_fd_);
+        if (fds_[i] < 0) {
+            close();
+            return false;
+        }
+    }
+    if (ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) !=
+            0 ||
+        ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) !=
+            0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+HwCounterGroup::read(std::array<uint64_t, kNumHwCounters>& out)
+{
+    out.fill(0);
+    if (!active()) {
+        return false;
+    }
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+    uint64_t buffer[1 + kNumHwCounters];
+    const ssize_t got = ::read(leader_fd_, buffer, sizeof(buffer));
+    if (got != static_cast<ssize_t>(sizeof(buffer)) ||
+        buffer[0] != kNumHwCounters) {
+        return false;
+    }
+    for (unsigned i = 0; i < kNumHwCounters; ++i) {
+        out[i] = buffer[1 + i];
+    }
+    return true;
+}
+
+void
+HwCounterGroup::close()
+{
+    for (int& fd : fds_) {
+        if (fd >= 0 && fd != leader_fd_) {
+            ::close(fd);
+        }
+        fd = -1;
+    }
+    if (leader_fd_ >= 0) {
+        ::close(leader_fd_);
+        leader_fd_ = -1;
+    }
+}
+
+#else // !__linux__ ---------------------------------------------------------
+
+bool
+hw_counters_supported()
+{
+    return false;
+}
+
+bool
+HwCounterGroup::open()
+{
+    return false;
+}
+
+bool
+HwCounterGroup::read(std::array<uint64_t, kNumHwCounters>& out)
+{
+    out.fill(0);
+    return false;
+}
+
+void
+HwCounterGroup::close()
+{
+}
+
+#endif // __linux__
+
+} // namespace gas::trace

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Optional per-thread hardware-counter groups for the span tracer.
+ *
+ * The paper measures instruction counts and cache-level accesses with
+ * Intel CapeScripts (Tables IV/V). On Linux the same events are
+ * reachable through perf_event_open: this module opens one event group
+ * per tracing thread — instructions (leader), cycles, L1D read misses,
+ * LLC misses — and reads all four with a single read() at span
+ * boundaries (PERF_FORMAT_GROUP).
+ *
+ * The fallback ladder, probed at runtime:
+ *
+ *  1. perf_event_open available and permitted  -> real hw deltas in
+ *     every span (SpanRecord::kFlagHw set).
+ *  2. syscall exists but is denied (perf_event_paranoid, seccomp,
+ *     container policy) or some event is unsupported -> the probe
+ *     fails once, quietly; spans carry zero hw fields and consumers
+ *     use the software proxies (work_items for instructions,
+ *     label reads+writes for L1 traffic, bytes_materialized for DRAM).
+ *  3. Non-Linux build -> compiled out entirely; same proxy fallback.
+ *
+ * GAS_TRACE_HW=0 skips the probe even where perf would work (the
+ * two read() syscalls per span are the tracer's dominant cost when
+ * enabled).
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace gas::trace {
+
+/// Process-wide probe: can this process open the counter group at all?
+/// First call performs the probe (cheap, one open/close); later calls
+/// return the cached verdict.
+bool hw_counters_supported();
+
+/**
+ * One thread's counter group. Not thread-safe: each tracing thread
+ * owns exactly one (the tracer keeps it in thread-local state).
+ */
+class HwCounterGroup
+{
+  public:
+    HwCounterGroup() = default;
+    ~HwCounterGroup() { close(); }
+
+    HwCounterGroup(const HwCounterGroup&) = delete;
+    HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+    /// Open the group for the calling thread. Returns false (leaving
+    /// the group inert) on any failure.
+    bool open();
+
+    /// True when open() succeeded and read() returns real values.
+    bool active() const { return leader_fd_ >= 0; }
+
+    /// Read the group's current cumulative values. Returns false (and
+    /// zero-fills) when inactive or the read fails.
+    bool read(std::array<uint64_t, kNumHwCounters>& out);
+
+    /// Release the file descriptors (safe to call repeatedly).
+    void close();
+
+  private:
+    int leader_fd_{-1};
+    std::array<int, kNumHwCounters> fds_{{-1, -1, -1, -1}};
+};
+
+} // namespace gas::trace

@@ -1,0 +1,531 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+#include "support/timer.h"
+#include "trace/perf_counters.h"
+
+namespace gas::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+} // namespace detail
+
+namespace {
+
+/// Open spans deeper than this are counted, not recorded. Deep enough
+/// for cell > algo > round > grb > dispatch > kernel > runtime >
+/// worker with generous slack.
+constexpr unsigned kMaxDepth = 48;
+
+/// Stall episodes shorter than this get no instant event (they still
+/// accumulate into the enclosing span's stall_ns). Keeps spin-length
+/// episodes from flooding the ring.
+constexpr uint64_t kStallInstantNs = 10'000;
+
+/// Want hardware counters when tracing? (GAS_TRACE_HW=0 clears it.)
+std::atomic<bool> g_hw_wanted{true};
+
+std::atomic<std::size_t> g_ring_capacity{16384};
+
+/// One open span on a thread's stack.
+struct Frame
+{
+    uint64_t begin_ns;
+    const char* name;
+    uint64_t arg;
+    uint64_t own_stall_ns;
+    Category category;
+    std::array<uint64_t, metrics::kNumCounters> begin_counters;
+    /// Raw counter deltas already claimed by finished children.
+    std::array<uint64_t, metrics::kNumCounters> child_counters;
+    std::array<uint64_t, kNumHwCounters> begin_hw;
+    std::array<uint64_t, kNumHwCounters> child_hw;
+    bool hw_valid;
+};
+
+/// Per-thread tracer state: the span stack and the finished-span ring.
+/// Only the owning thread writes; snapshot() reads at quiescence.
+struct ThreadState
+{
+    std::vector<SpanRecord> ring;
+    std::size_t head{0};     ///< next ring slot to write
+    uint64_t written{0};     ///< total records ever pushed
+    uint64_t depth_overflow{0};
+    Frame stack[kMaxDepth];
+    unsigned depth{0};
+    unsigned overflow_open{0}; ///< opens past kMaxDepth awaiting close
+    HwCounterGroup hw_group;
+    bool hw_attempted{false};
+
+    ThreadState() { ring.resize(g_ring_capacity.load()); }
+
+    void
+    push_record(const SpanRecord& record)
+    {
+        if (ring.empty()) {
+            return;
+        }
+        ring[head] = record;
+        head = (head + 1) % ring.size();
+        ++written;
+    }
+};
+
+/// Registry of live and retired thread states. Intentionally leaked
+/// for the same reason as the metrics registry: worker TLS destructors
+/// can run after main-thread static destruction has begun.
+struct Registry
+{
+    std::mutex lock;
+    std::vector<ThreadState*> live;
+    std::vector<std::unique_ptr<ThreadState>> retired;
+
+    static Registry&
+    instance()
+    {
+        static Registry* registry = new Registry;
+        return *registry;
+    }
+};
+
+/// Keep at most this many exited threads' rings (oldest evicted).
+constexpr std::size_t kMaxRetired = 64;
+
+struct ThreadHandle
+{
+    std::unique_ptr<ThreadState> state{std::make_unique<ThreadState>()};
+
+    ThreadHandle()
+    {
+        Registry& registry = Registry::instance();
+        std::lock_guard guard(registry.lock);
+        registry.live.push_back(state.get());
+    }
+
+    ~ThreadHandle()
+    {
+        Registry& registry = Registry::instance();
+        std::lock_guard guard(registry.lock);
+        std::erase(registry.live, state.get());
+        if (registry.retired.size() >= kMaxRetired) {
+            registry.retired.erase(registry.retired.begin());
+        }
+        registry.retired.push_back(std::move(state));
+    }
+};
+
+ThreadState&
+local_state()
+{
+    thread_local ThreadHandle handle;
+    return *handle.state;
+}
+
+/// Element-wise a - b, saturating at zero (metrics::reset mid-span
+/// must not wrap around).
+template <std::size_t N>
+std::array<uint64_t, N>
+saturating_sub(const std::array<uint64_t, N>& a,
+               const std::array<uint64_t, N>& b)
+{
+    std::array<uint64_t, N> out;
+    for (std::size_t i = 0; i < N; ++i) {
+        out[i] = a[i] >= b[i] ? a[i] - b[i] : 0;
+    }
+    return out;
+}
+
+template <std::size_t N>
+void
+accumulate(std::array<uint64_t, N>& into, const std::array<uint64_t, N>& v)
+{
+    for (std::size_t i = 0; i < N; ++i) {
+        into[i] += v[i];
+    }
+}
+
+} // namespace
+
+const char*
+category_name(Category category)
+{
+    switch (category) {
+      case Category::kCell: return "cell";
+      case Category::kAlgo: return "algo";
+      case Category::kRound: return "round";
+      case Category::kGrb: return "grb";
+      case Category::kRuntime: return "runtime";
+      case Category::kWorker: return "worker";
+      case Category::kStall: return "stall";
+    }
+    return "unknown";
+}
+
+const char*
+hw_counter_name(unsigned index)
+{
+    switch (index) {
+      case 0: return "hw_instructions";
+      case 1: return "hw_cycles";
+      case 2: return "hw_l1d_miss";
+      case 3: return "hw_llc_miss";
+      default: return "hw_unknown";
+    }
+}
+
+namespace detail {
+
+void
+span_begin(Category category, const char* name, uint64_t arg)
+{
+    ThreadState& state = local_state();
+    if (state.depth >= kMaxDepth) {
+        ++state.depth_overflow;
+        ++state.overflow_open;
+        return;
+    }
+    Frame& frame = state.stack[state.depth++];
+    frame.name = name;
+    frame.arg = arg;
+    frame.category = category;
+    frame.own_stall_ns = 0;
+    frame.child_counters.fill(0);
+    frame.child_hw.fill(0);
+    frame.begin_counters = metrics::local_values();
+    frame.hw_valid = false;
+    if (g_hw_wanted.load(std::memory_order_relaxed)) {
+        if (!state.hw_attempted) {
+            state.hw_attempted = true;
+            if (hw_counters_supported()) {
+                state.hw_group.open();
+            }
+        }
+        if (state.hw_group.active()) {
+            frame.hw_valid = state.hw_group.read(frame.begin_hw);
+        }
+    }
+    // Timestamp last so the span excludes its own setup cost.
+    frame.begin_ns = now_ns();
+}
+
+void
+span_end()
+{
+    ThreadState& state = local_state();
+    if (state.overflow_open > 0) {
+        --state.overflow_open;
+        return;
+    }
+    if (state.depth == 0) {
+        return; // tracing was toggled mid-span; drop silently
+    }
+    const uint64_t end_ns = now_ns();
+    Frame& frame = state.stack[--state.depth];
+
+    SpanRecord record;
+    record.begin_ns = frame.begin_ns;
+    record.end_ns = end_ns;
+    record.name = frame.name;
+    record.arg = frame.arg;
+    record.stall_ns = frame.own_stall_ns;
+    record.tid = rt::thread_id();
+    record.depth = static_cast<uint16_t>(state.depth);
+    record.category = frame.category;
+    record.flags = 0;
+    record.hw.fill(0);
+
+    // Self counter deltas: this thread's movement across the span,
+    // minus what finished children already claimed. Saturating so a
+    // counter reset mid-span degrades to zeros instead of garbage.
+    const auto raw =
+        saturating_sub(metrics::local_values(), frame.begin_counters);
+    record.self = saturating_sub(raw, frame.child_counters);
+
+    if (frame.hw_valid) {
+        std::array<uint64_t, kNumHwCounters> now_hw;
+        if (state.hw_group.read(now_hw)) {
+            const auto raw_hw = saturating_sub(now_hw, frame.begin_hw);
+            record.hw = saturating_sub(raw_hw, frame.child_hw);
+            record.flags |= kFlagHw;
+            if (state.depth > 0) {
+                accumulate(state.stack[state.depth - 1].child_hw, raw_hw);
+            }
+        }
+    }
+    if (state.depth > 0) {
+        accumulate(state.stack[state.depth - 1].child_counters, raw);
+    }
+    state.push_record(record);
+}
+
+void
+instant_slow(Category category, const char* name, uint64_t arg)
+{
+    ThreadState& state = local_state();
+    SpanRecord record;
+    const uint64_t now = now_ns();
+    record.begin_ns = now;
+    record.end_ns = now;
+    record.name = name;
+    record.arg = arg;
+    record.stall_ns = 0;
+    record.self.fill(0);
+    record.hw.fill(0);
+    record.tid = rt::thread_id();
+    record.depth = static_cast<uint16_t>(state.depth);
+    record.category = category;
+    record.flags = kFlagInstant;
+    state.push_record(record);
+}
+
+void
+stall_slow(uint64_t begin_ns)
+{
+    const uint64_t now = now_ns();
+    const uint64_t ns = now >= begin_ns ? now - begin_ns : 0;
+    ThreadState& state = local_state();
+    if (state.depth > 0 && state.overflow_open == 0) {
+        state.stack[state.depth - 1].own_stall_ns += ns;
+    }
+    if (ns >= kStallInstantNs) {
+        instant_slow(Category::kStall, "sched_stall", ns);
+    }
+}
+
+} // namespace detail
+
+void
+set_enabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceData
+snapshot()
+{
+    Registry& registry = Registry::instance();
+    std::lock_guard guard(registry.lock);
+    TraceData data;
+    auto harvest = [&](const ThreadState& state) {
+        const std::size_t cap = state.ring.size();
+        if (cap == 0) {
+            return;
+        }
+        const uint64_t kept =
+            state.written < cap ? state.written : cap;
+        data.dropped += state.written - kept;
+        data.depth_overflow += state.depth_overflow;
+        // Oldest surviving record first.
+        const std::size_t start = state.written < cap
+            ? 0
+            : state.head; // head is the oldest slot once wrapped
+        for (uint64_t i = 0; i < kept; ++i) {
+            data.spans.push_back(state.ring[(start + i) % cap]);
+        }
+    };
+    for (const ThreadState* state : registry.live) {
+        harvest(*state);
+    }
+    for (const auto& state : registry.retired) {
+        harvest(*state);
+    }
+    return data;
+}
+
+void
+reset()
+{
+    Registry& registry = Registry::instance();
+    std::lock_guard guard(registry.lock);
+    const std::size_t cap = g_ring_capacity.load();
+    for (ThreadState* state : registry.live) {
+        state->ring.assign(cap, SpanRecord{});
+        state->head = 0;
+        state->written = 0;
+        state->depth_overflow = 0;
+    }
+    registry.retired.clear();
+}
+
+void
+set_ring_capacity(std::size_t spans)
+{
+    g_ring_capacity.store(spans == 0 ? 1 : spans);
+}
+
+std::size_t
+ring_capacity()
+{
+    return g_ring_capacity.load();
+}
+
+namespace {
+
+/// Synthetic Chrome-trace tid for the scheduler-stall instant track.
+constexpr uint32_t kStallTrackTid = 1000;
+
+void
+write_args_json(std::ofstream& out, const SpanRecord& record)
+{
+    out << "\"args\":{";
+    bool first = true;
+    auto field = [&](const char* key, uint64_t value) {
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        out << "\"" << key << "\":" << value;
+    };
+    if (record.arg != 0) {
+        field("arg", record.arg);
+    }
+    if (record.stall_ns != 0) {
+        field("stall_ns", record.stall_ns);
+    }
+    if (record.instant() &&
+        record.category == Category::kStall) {
+        field("worker", record.tid);
+    }
+    for (unsigned i = 0; i < metrics::kNumCounters; ++i) {
+        if (record.self[i] != 0) {
+            field(metrics::counter_name(
+                      static_cast<metrics::CounterId>(i)),
+                  record.self[i]);
+        }
+    }
+    if (record.has_hw()) {
+        for (unsigned i = 0; i < kNumHwCounters; ++i) {
+            field(hw_counter_name(i), record.hw[i]);
+        }
+    }
+    out << "}";
+}
+
+} // namespace
+
+bool
+write_chrome_trace(const std::string& path)
+{
+    const TraceData data = snapshot();
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "gas::trace: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+
+    uint64_t base_ns = ~uint64_t{0};
+    std::map<uint32_t, bool> tids; // tid -> has non-instant spans
+    for (const SpanRecord& record : data.spans) {
+        base_ns = std::min(base_ns, record.begin_ns);
+        if (!record.instant()) {
+            tids[record.tid] = true;
+        }
+    }
+    if (data.spans.empty()) {
+        base_ns = 0;
+    }
+
+    char ts_buf[64];
+    auto us = [&](uint64_t ns) {
+        std::snprintf(ts_buf, sizeof(ts_buf), "%.3f",
+                      static_cast<double>(ns - base_ns) / 1000.0);
+        return ts_buf;
+    };
+
+    out << "[\n";
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"gas\"}}";
+    for (const auto& [tid, _] : tids) {
+        out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            << (tid == 0 ? "main/worker 0"
+                         : "worker " + std::to_string(tid))
+            << "\"}}";
+    }
+    out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << kStallTrackTid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           "\"scheduler stalls\"}}";
+
+    for (const SpanRecord& record : data.spans) {
+        out << ",\n{";
+        out << "\"name\":\"" << record.name << "\",";
+        out << "\"cat\":\"" << category_name(record.category) << "\",";
+        if (record.instant()) {
+            const uint32_t tid = record.category == Category::kStall
+                ? kStallTrackTid
+                : record.tid;
+            out << "\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid
+                << ",\"ts\":" << us(record.begin_ns) << ",";
+        } else {
+            out << "\"ph\":\"X\",\"pid\":0,\"tid\":" << record.tid
+                << ",\"ts\":" << us(record.begin_ns) << ",";
+            out << "\"dur\":";
+            std::snprintf(
+                ts_buf, sizeof(ts_buf), "%.3f",
+                static_cast<double>(record.end_ns - record.begin_ns) /
+                    1000.0);
+            out << ts_buf << ",";
+        }
+        write_args_json(out, record);
+        out << "}";
+    }
+    out << "\n]\n";
+
+    const bool ok = out.good();
+    out.close();
+    std::printf("gas::trace: wrote %zu events to %s", data.spans.size(),
+                path.c_str());
+    if (data.dropped != 0) {
+        std::printf(" (%llu spans dropped to ring wrap; raise "
+                    "GAS_TRACE_BUF)",
+                    static_cast<unsigned long long>(data.dropped));
+    }
+    std::printf("\n");
+    return ok;
+}
+
+bool
+configure_from_env()
+{
+    static std::string env_path;
+    static std::once_flag once;
+    bool enabled_now = false;
+    std::call_once(once, [&] {
+        const char* path = std::getenv("GAS_TRACE");
+        if (path == nullptr || path[0] == '\0') {
+            return;
+        }
+        env_path = path;
+        if (const char* buf = std::getenv("GAS_TRACE_BUF")) {
+            const long long spans = std::atoll(buf);
+            if (spans > 0) {
+                set_ring_capacity(static_cast<std::size_t>(spans));
+            }
+        }
+        if (const char* hw = std::getenv("GAS_TRACE_HW")) {
+            g_hw_wanted.store(std::strcmp(hw, "0") != 0);
+        }
+        set_enabled(true);
+        enabled_now = true;
+        std::atexit([] {
+            set_enabled(false);
+            write_chrome_trace(env_path);
+        });
+    });
+    return enabled_now || (detail::g_enabled.load() && !env_path.empty());
+}
+
+} // namespace gas::trace

@@ -1,0 +1,241 @@
+#pragma once
+
+/**
+ * @file
+ * gas::trace — a low-overhead, per-thread span tracer threaded through
+ * every layer of the system.
+ *
+ * The paper's headline analysis (Tables IV/V) attributes the
+ * Lonestar-vs-LAGraph gap to *where* time and memory traffic go: which
+ * round, which kernel, which materialization. Flat per-run counter
+ * totals (metrics/counters.h) cannot answer that; this module can.
+ *
+ * ## Model
+ *
+ * A *span* is a begin/end interval on one thread: a runtime region
+ * (do_all / on_each / for_each / OBIM), a GraphBLAS operation (vxm,
+ * mxv, eWise*, apply, reduce, select), an algorithm round, or a whole
+ * (app, system) cell. Spans nest; each carries
+ *
+ *  - begin/end steady-clock timestamps (gas::now_ns(), shared with the
+ *    bench Timer so trace and bench timelines are comparable),
+ *  - the pool thread id and nesting depth,
+ *  - *self* counter deltas: the change in the calling thread's own
+ *    metrics counters across the span, minus the deltas claimed by its
+ *    child spans. Summed over all spans of a run, self deltas
+ *    reconstruct the global counter totals exactly — every work item,
+ *    edge visit, and materialized byte is attributed to precisely one
+ *    phase (see DESIGN.md section 9),
+ *  - scheduler-stall nanoseconds accumulated inside the span (the
+ *    executors' idle backoff episodes),
+ *  - optionally, per-thread hardware-counter deltas (instructions,
+ *    cycles, L1D / LLC misses) from a perf_event_open group
+ *    (trace/perf_counters.h); when perf is unavailable or unprivileged
+ *    the hw fields stay zero and consumers fall back to the software
+ *    proxies.
+ *
+ * Counter snapshots read only the calling thread's counter block
+ * (metrics::local_values()), so span boundaries are race-free and cost
+ * no synchronization. Worker threads bump counters only inside
+ * parallel regions, and every region emits one span per participating
+ * worker — so thread-local attribution covers all activity.
+ *
+ * ## Storage
+ *
+ * Finished spans land in a lock-free per-thread ring buffer (the same
+ * pattern as src/check/'s race-report ring): the owner appends, and
+ * snapshot()/export run only at quiescence (no active parallel
+ * region), ordered after the workers' writes by the pool's region
+ * barrier. When a ring wraps, the oldest spans are dropped and
+ * counted.
+ *
+ * ## Export
+ *
+ *  - write_chrome_trace() renders Chrome trace-event JSON — loadable
+ *    in Perfetto / chrome://tracing — with one track per pool thread
+ *    plus an instant-event track for scheduler stalls. Setting
+ *    GAS_TRACE=out.json on any bench binary enables tracing and writes
+ *    the file at exit.
+ *  - snapshot() returns the raw records for in-process aggregation
+ *    (bench/table6_phases.cpp builds the per-round compute /
+ *    materialization / scheduler-idle table from it).
+ *
+ * ## Overhead discipline
+ *
+ * Tracing is gated behind one relaxed atomic flag. With tracing
+ * disabled, a Span is a load + branch over a dead flag: no clock
+ * reads, no counter snapshots, and no allocation of any kind
+ * (verified by tests/trace_test.cpp's zero-allocation check and a
+ * bench delta within noise).
+ */
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/counters.h"
+
+namespace gas::trace {
+
+/// What layer a span came from (rendered as the Chrome-trace category).
+enum class Category : uint8_t {
+    kCell,    ///< one (app, system) run in the harness
+    kAlgo,    ///< one algorithm invocation (la_* / ls_* entry point)
+    kRound,   ///< one BSP round / OBIM bucket phase
+    kGrb,     ///< one GraphBLAS operation
+    kRuntime, ///< one runtime construct (do_all, for_each, ...)
+    kWorker,  ///< one thread's participation in a runtime construct
+    kStall,   ///< scheduler idle episode (instant events)
+};
+
+/// Printable name of a category.
+const char* category_name(Category category);
+
+/// Hardware counters read per span when the perf group is available:
+/// instructions, cycles, L1D read misses, LLC misses (in that order).
+inline constexpr unsigned kNumHwCounters = 4;
+
+/// Printable name of hardware counter @p index.
+const char* hw_counter_name(unsigned index);
+
+/// SpanRecord::flags bits.
+inline constexpr uint8_t kFlagInstant = 1; ///< zero-length marker event
+inline constexpr uint8_t kFlagHw = 2;      ///< hw[] holds real deltas
+
+/// One finished span as stored in the ring and returned by snapshot().
+struct SpanRecord
+{
+    uint64_t begin_ns;  ///< gas::now_ns() at construction
+    uint64_t end_ns;    ///< gas::now_ns() at destruction
+    const char* name;   ///< static string naming the phase
+    uint64_t arg;       ///< name-specific payload (round index, size, ...)
+    uint64_t stall_ns;  ///< scheduler idle time inside this span (self)
+    /// Self counter deltas: this thread's counter movement during the
+    /// span minus the movement claimed by child spans.
+    std::array<uint64_t, metrics::kNumCounters> self;
+    /// Self hardware-counter deltas (valid iff flags & kFlagHw).
+    std::array<uint64_t, kNumHwCounters> hw;
+    uint32_t tid;       ///< pool thread id at span end
+    uint16_t depth;     ///< nesting depth (0 = outermost on its thread)
+    Category category;
+    uint8_t flags;
+
+    bool instant() const { return (flags & kFlagInstant) != 0; }
+    bool has_hw() const { return (flags & kFlagHw) != 0; }
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+void span_begin(Category category, const char* name, uint64_t arg);
+void span_end();
+void instant_slow(Category category, const char* name, uint64_t arg);
+void stall_slow(uint64_t begin_ns);
+
+} // namespace detail
+
+/// True when tracing is on. One relaxed load; the disabled fast path of
+/// every instrumentation site is a branch over this dead flag.
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn tracing on or off. Spans open when the flag flips are closed
+/// defensively (end with whatever state they have) — flip at
+/// quiescence for exact traces.
+void set_enabled(bool on);
+
+/**
+ * RAII span. Constructing while tracing is disabled records nothing
+ * and allocates nothing; the destructor is a dead branch.
+ */
+class Span
+{
+  public:
+    Span(Category category, const char* name, uint64_t arg = 0)
+    {
+        if (enabled()) {
+            active_ = true;
+            detail::span_begin(category, name, arg);
+        }
+    }
+
+    ~Span()
+    {
+        if (active_) {
+            detail::span_end();
+        }
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    bool active_{false};
+};
+
+/// Record an instant event (zero-length marker) on the calling thread.
+inline void
+instant(Category category, const char* name, uint64_t arg = 0)
+{
+    if (enabled()) {
+        detail::instant_slow(category, name, arg);
+    }
+}
+
+/// Report a scheduler idle episode that started at @p begin_ns (a
+/// now_ns() value captured when the thread first found no work). Adds
+/// the episode to the innermost open span's stall_ns and emits an
+/// instant event on the stall track for episodes long enough to see.
+inline void
+stall(uint64_t begin_ns)
+{
+    if (enabled()) {
+        detail::stall_slow(begin_ns);
+    }
+}
+
+/// Everything snapshot() knows about the recorded trace.
+struct TraceData
+{
+    /// All surviving spans, grouped by thread, per-thread in
+    /// completion order (children before parents).
+    std::vector<SpanRecord> spans;
+    /// Spans lost to ring wrap-around (oldest-first eviction).
+    uint64_t dropped{0};
+    /// Spans lost because nesting exceeded the tracker's depth limit.
+    uint64_t depth_overflow{0};
+};
+
+/// Collect every thread's surviving spans. Call only at quiescence (no
+/// active parallel region); the pool's region barrier orders the reads
+/// after the workers' writes.
+TraceData snapshot();
+
+/// Drop all recorded spans and re-arm rings at the current capacity.
+/// Quiescence required, like snapshot().
+void reset();
+
+/// Spans each thread's ring can hold before wrapping (default 16384;
+/// GAS_TRACE_BUF overrides). Takes effect for new rings and at reset().
+void set_ring_capacity(std::size_t spans);
+std::size_t ring_capacity();
+
+/// Render the recorded trace as Chrome trace-event JSON at @p path.
+/// Returns false (and warns on stderr) if the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+/**
+ * Bench/CLI wiring: if GAS_TRACE=<path> is set, enable tracing, apply
+ * GAS_TRACE_BUF / GAS_TRACE_HW, and register an atexit hook that
+ * writes the Chrome trace to <path>. Returns true when tracing was
+ * enabled. Idempotent.
+ */
+bool configure_from_env();
+
+} // namespace gas::trace

@@ -141,11 +141,12 @@ TEST(RuntimeStress, ObimBinMemoryStaysBounded)
     std::vector<int> out;
     constexpr int kRounds = 100000;
     std::size_t high_water = 0;
+    bool became_empty = false;
     for (int i = 0; i < kRounds; ++i) {
         bin.push(i);
         bin.push(i);
         out.clear();
-        ASSERT_EQ(bin.pop_batch(out, 2), 2u);
+        ASSERT_EQ(bin.pop_batch(out, 2, became_empty), 2u);
         high_water = std::max(high_water, bin.storage_size());
     }
     // 4 live items + a bounded drained prefix; without compaction the
@@ -160,19 +161,20 @@ TEST(RuntimeStress, ObimBinCompactionPreservesFifoOrder)
     std::vector<unsigned> out;
     unsigned pushed = 0;
     unsigned popped = 0;
+    bool became_empty = false;
     for (int round = 0; round < 5000; ++round) {
         for (int i = 0; i < 3; ++i) {
             bin.push(pushed++);
         }
         out.clear();
-        bin.pop_batch(out, 3);
+        bin.pop_batch(out, 3, became_empty);
         for (const unsigned item : out) {
             ASSERT_EQ(item, popped++); // strict FIFO across compactions
         }
     }
     while (popped < pushed) {
         out.clear();
-        ASSERT_NE(bin.pop_batch(out, 16), 0u);
+        ASSERT_NE(bin.pop_batch(out, 16, became_empty), 0u);
         for (const unsigned item : out) {
             ASSERT_EQ(item, popped++);
         }

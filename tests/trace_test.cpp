@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the gas::trace span tracer: nesting invariants, concurrent
+ * emission, ring wrap-around, the disabled-mode zero-allocation
+ * guarantee, Chrome-trace export, and the counter-attribution
+ * invariant (sum of per-span self deltas == global counter totals)
+ * over a full la::pagerank run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "lagraph/lagraph.h"
+#include "lonestar/lonestar.h"
+#include "matrix/matrix.h"
+#include "metrics/counters.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "support/timer.h"
+#include "trace/trace.h"
+
+// ---- Global allocation counter for the zero-allocation test ----
+// Counts every operator new in the binary; the disabled-tracing test
+// asserts the count does not move across a burst of Span constructions.
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+} // namespace
+
+void*
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace gas {
+namespace {
+
+using graph::Graph;
+
+/// RAII guard: every test leaves tracing disabled and the rings empty.
+struct TraceScope
+{
+    TraceScope()
+    {
+        trace::set_enabled(true);
+        trace::reset();
+    }
+    ~TraceScope()
+    {
+        trace::set_enabled(false);
+        trace::reset();
+    }
+};
+
+Graph
+small_graph()
+{
+    auto list = graph::rmat(9, 8, 123);
+    graph::remove_self_loops(list);
+    graph::symmetrize(list);
+    graph::randomize_weights(list, 7, 1, 64);
+    return Graph::from_edge_list(list, true);
+}
+
+TEST(Trace, DisabledSpansRecordNothingAndAllocateNothing)
+{
+    trace::set_enabled(false);
+    trace::reset();
+    const uint64_t before = g_allocations.load();
+    for (int i = 0; i < 100000; ++i) {
+        trace::Span span(trace::Category::kGrb, "noop", i);
+        trace::instant(trace::Category::kStall, "noop");
+        trace::stall(now_ns());
+    }
+    EXPECT_EQ(g_allocations.load(), before);
+    const auto data = trace::snapshot();
+    EXPECT_TRUE(data.spans.empty());
+    EXPECT_EQ(data.dropped, 0u);
+}
+
+TEST(Trace, NestingInvariants)
+{
+    TraceScope scope;
+    {
+        trace::Span outer(trace::Category::kAlgo, "outer");
+        {
+            trace::Span inner(trace::Category::kRound, "inner", 3);
+        }
+        {
+            trace::Span inner(trace::Category::kRound, "inner2");
+        }
+    }
+    const auto data = trace::snapshot();
+    ASSERT_EQ(data.spans.size(), 3u);
+    // Per-thread completion order: children before their parent.
+    const auto& inner = data.spans[0];
+    const auto& inner2 = data.spans[1];
+    const auto& outer = data.spans[2];
+    EXPECT_STREQ(inner.name, "inner");
+    EXPECT_STREQ(inner2.name, "inner2");
+    EXPECT_STREQ(outer.name, "outer");
+    EXPECT_EQ(inner.arg, 3u);
+    EXPECT_EQ(outer.depth, 0);
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_EQ(inner2.depth, 1);
+    // Timestamps nest: parent contains both children, children are
+    // ordered, and every span is well-formed.
+    for (const auto& s : data.spans) {
+        EXPECT_LE(s.begin_ns, s.end_ns);
+    }
+    EXPECT_LE(outer.begin_ns, inner.begin_ns);
+    EXPECT_LE(inner.end_ns, inner2.begin_ns);
+    EXPECT_LE(inner2.end_ns, outer.end_ns);
+}
+
+TEST(Trace, SelfDeltaExcludesChildren)
+{
+    TraceScope scope;
+    metrics::reset();
+    {
+        trace::Span outer(trace::Category::kAlgo, "outer");
+        metrics::bump(metrics::kWorkItems, 10);
+        {
+            trace::Span inner(trace::Category::kRound, "inner");
+            metrics::bump(metrics::kWorkItems, 7);
+        }
+        metrics::bump(metrics::kWorkItems, 5);
+    }
+    const auto data = trace::snapshot();
+    ASSERT_EQ(data.spans.size(), 2u);
+    EXPECT_EQ(data.spans[0].self[metrics::kWorkItems], 7u);  // inner
+    EXPECT_EQ(data.spans[1].self[metrics::kWorkItems], 15u); // outer
+}
+
+TEST(Trace, ConcurrentEmissionOneWorkerSpanPerThread)
+{
+    rt::set_num_threads(4);
+    TraceScope scope;
+    std::atomic<uint64_t> sink{0};
+    rt::do_all(100000, [&](std::size_t i) {
+        sink.fetch_add(i, std::memory_order_relaxed);
+    });
+    const auto data = trace::snapshot();
+    std::set<uint32_t> worker_tids;
+    unsigned regions = 0;
+    for (const auto& s : data.spans) {
+        if (s.category == trace::Category::kWorker) {
+            worker_tids.insert(s.tid);
+        }
+        if (s.category == trace::Category::kRuntime) {
+            ++regions;
+        }
+    }
+    EXPECT_EQ(regions, 1u);
+    // Every pool thread that participated emitted exactly one worker
+    // span; with 100k items all 4 participate.
+    EXPECT_EQ(worker_tids.size(), 4u);
+    EXPECT_EQ(data.dropped, 0u);
+}
+
+TEST(Trace, RingWrapDropsOldestAndCounts)
+{
+    trace::set_enabled(true);
+    const std::size_t old_capacity = trace::ring_capacity();
+    trace::set_ring_capacity(16);
+    trace::reset();
+    for (int i = 0; i < 100; ++i) {
+        trace::Span span(trace::Category::kGrb, "filler", i);
+    }
+    const auto data = trace::snapshot();
+    EXPECT_EQ(data.spans.size(), 16u);
+    EXPECT_EQ(data.dropped, 84u);
+    // Oldest-first eviction: the survivors are the newest 16.
+    for (const auto& s : data.spans) {
+        EXPECT_GE(s.arg, 84u);
+    }
+    trace::set_ring_capacity(old_capacity);
+    trace::set_enabled(false);
+    trace::reset();
+}
+
+TEST(Trace, AttributionSumsMatchGlobalTotals)
+{
+    // The acceptance-criteria invariant: per-span self deltas over a
+    // full la::pagerank run sum to the global counter totals — every
+    // work item and materialized byte lands in exactly one phase.
+    rt::set_num_threads(4);
+    const Graph graph = small_graph();
+    const Graph transpose = graph::transpose(graph);
+    grb::BackendScope backend(grb::Backend::kParallel);
+    const auto A = grb::Matrix<double>::from_graph(graph, false);
+    const auto At = A.transpose();
+
+    TraceScope scope;
+    metrics::reset();
+    const metrics::Interval interval;
+    la::pagerank(A, At, 0.85, 10);
+    const auto totals = interval.delta();
+    const auto data = trace::snapshot();
+    ASSERT_EQ(data.dropped, 0u);
+    ASSERT_FALSE(data.spans.empty());
+
+    std::array<uint64_t, metrics::kNumCounters> summed{};
+    for (const auto& s : data.spans) {
+        for (unsigned c = 0; c < metrics::kNumCounters; ++c) {
+            summed[c] += s.self[c];
+        }
+    }
+    EXPECT_GT(totals[metrics::kWorkItems], 0u);
+    EXPECT_GT(totals[metrics::kBytesMaterialized], 0u);
+    for (unsigned c = 0; c < metrics::kNumCounters; ++c) {
+        const auto id = static_cast<metrics::CounterId>(c);
+        EXPECT_EQ(summed[c], totals[id])
+            << "counter " << metrics::counter_name(id);
+    }
+}
+
+TEST(Trace, ObimGaugesBalanceAndStallsAttributed)
+{
+    rt::set_num_threads(4);
+    const Graph graph = small_graph();
+    metrics::reset();
+    metrics::gauges_reset();
+    TraceScope scope;
+    ls::SsspOptions options;
+    options.delta = 8;
+    ls::sssp(graph, 0, options);
+    // Every bin that became non-empty was drained: the live gauge is
+    // balanced back to zero and the high-water mark saw at least one.
+    EXPECT_EQ(metrics::gauge_read(metrics::kObimBinsLive), 0u);
+    EXPECT_GE(metrics::gauge_read(metrics::kObimBinsLiveMax), 1u);
+    const auto data = trace::snapshot();
+    bool saw_region = false;
+    for (const auto& s : data.spans) {
+        if (s.category == trace::Category::kRuntime &&
+            std::strcmp(s.name, "obim_relax") == 0) {
+            saw_region = true;
+        }
+    }
+    EXPECT_TRUE(saw_region);
+}
+
+TEST(Trace, ChromeTraceExportIsWellFormed)
+{
+    rt::set_num_threads(2);
+    TraceScope scope;
+    {
+        trace::Span algo(trace::Category::kAlgo, "export_test");
+        rt::do_all(1000, [](std::size_t) {});
+    }
+    const auto path =
+        std::filesystem::temp_directory_path() / "gas_trace_test.json";
+    ASSERT_TRUE(trace::write_chrome_trace(path.string()));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    // Structural smoke checks; CI additionally runs a real JSON parser
+    // over a bench-produced trace.
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("export_test"), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, NowNsMonotonic)
+{
+    uint64_t last = now_ns();
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t t = now_ns();
+        EXPECT_LE(last, t);
+        last = t;
+    }
+}
+
+} // namespace
+} // namespace gas
