@@ -43,6 +43,8 @@
 
 #include "bench_common.h"
 
+#include "lagraph/lagraph.h"
+
 namespace {
 
 using gas::trace::Category;
@@ -53,6 +55,8 @@ is_compute_op(const char* name)
 {
     static constexpr const char* kComputeOps[] = {
         "vxm",        "mxv",      "mxv_sparse", "vxm_fused_assign",
+        "vxm_fused",  "mxv_fused", "ewise_fused_assign",
+        "ewise_mult_select",
         "mxm_masked_dot", "mxm_saxpy", "mxm_dot",
     };
     for (const char* op : kComputeOps) {
@@ -258,6 +262,79 @@ main()
                 {"spans_dropped", std::to_string(ph.dropped)},
             };
             records.push_back(std::move(record));
+        }
+
+        // gb-lazy cells (bfs and pr): the same workloads rewired
+        // through the non-blocking expression layer, reported with
+        // api "gb-lazy" so the perf trajectory can diff lazy vs eager
+        // bytes and runtime (the ISSUE's >= 30% bytes-reduction
+        // acceptance check reads these records). For pr the eager
+        // residual formulation is also emitted (api "gb-res") since
+        // that — not the topology-driven gb cell — is the lazy
+        // variant's like-for-like runtime baseline.
+        const auto extra_cell = [&](const char* api, auto&& fn) {
+            grb::BackendScope scope(grb::Backend::kParallel);
+            trace::set_enabled(true);
+            trace::reset();
+            Timer timer;
+            timer.start();
+            fn();
+            timer.stop();
+            const auto data = trace::snapshot();
+            trace::set_enabled(false);
+
+            std::map<std::string, PhaseAgg> rollup;
+            const CellPhases ph = aggregate(data, rollup);
+            table.add_row(
+                {core::app_name(app), api, graph_name,
+                 ms_str(ph.wall_ns > 0
+                            ? ph.wall_ns
+                            : static_cast<uint64_t>(timer.seconds() *
+                                                    1e9)),
+                 ms_str(ph.grb_compute_ns), ms_str(ph.grb_mat_ns),
+                 ms_str(ph.busy_ns), ms_str(ph.idle_ns),
+                 std::to_string(ph.bytes), std::to_string(ph.items),
+                 std::to_string(ph.rounds),
+                 std::to_string(ph.dropped)});
+            for (const auto& [name, agg] : rollup) {
+                rollup_table.add_row(
+                    {core::app_name(app), api, name,
+                     std::to_string(agg.count), ms_str(agg.total_ns),
+                     std::to_string(agg.bytes),
+                     std::to_string(agg.items)});
+            }
+
+            bench::JsonRecord record{core::app_name(app), graph_name,
+                                     api, config.threads,
+                                     timer.seconds() * 1e3, {}};
+            record.extra = {
+                {"grb_compute_ms", ms_str(ph.grb_compute_ns)},
+                {"grb_mat_ms", ms_str(ph.grb_mat_ns)},
+                {"busy_ms", ms_str(ph.busy_ns)},
+                {"idle_ms", ms_str(ph.idle_ns)},
+                {"bytes_materialized", std::to_string(ph.bytes)},
+                {"work_items", std::to_string(ph.items)},
+                {"rounds", std::to_string(ph.rounds)},
+                {"spans_dropped", std::to_string(ph.dropped)},
+            };
+            records.push_back(std::move(record));
+        };
+        if (app == core::App::kBfs) {
+            const auto A =
+                grb::Matrix<uint8_t>::from_graph(input.directed, false);
+            const auto At = A.transpose();
+            extra_cell("gb-lazy",
+                       [&] { la::bfs_lazy(A, At, input.source); });
+        } else if (app == core::App::kPr) {
+            const auto A =
+                grb::Matrix<double>::from_graph(input.directed, false);
+            const auto At = A.transpose();
+            extra_cell("gb-res", [&] {
+                la::pagerank_residual(A, At, 0.85, 10);
+            });
+            extra_cell("gb-lazy", [&] {
+                la::pagerank_residual_lazy(A, At, 0.85, 10);
+            });
         }
     }
 

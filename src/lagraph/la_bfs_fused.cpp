@@ -9,12 +9,19 @@ using grb::Index;
 using grb::Vector;
 
 /*
- * bfs using the fused composite kernel grb::vxm_fused_assign — the
- * operator a restructuring compiler would synthesize from Algorithm 2
- * (Section VI of the paper). One kernel call per round replaces the
- * vxm + nvals + assign triple, eliminating two of the three passes.
- * Comparing bfs(), bfs_fused(), and ls::bfs() quantifies how much of
- * the graph API's advantage loop fusion alone recovers.
+ * bfs using the fused SpMV+assign composite — the operator a
+ * restructuring compiler would synthesize from Algorithm 2 (Section VI
+ * of the paper). One kernel call per round replaces the vxm + nvals +
+ * assign triple, eliminating two of the three passes. Comparing bfs(),
+ * bfs_fused(), and ls::bfs() quantifies how much of the graph API's
+ * advantage loop fusion alone recovers.
+ *
+ * The dispatcher-routed overload below additionally lets fused rounds
+ * direction-optimize: the composite is priced by the same cost model
+ * as plain dispatch_spmv, so fusion no longer forfeits pull rounds on
+ * pull-favoring graphs. bfs_lazy() expresses the same rounds through
+ * the non-blocking expression layer, letting the fusion planner build
+ * the composite from ordinary dispatch_spmv + assign_scalar calls.
  */
 
 Vector<uint32_t>
@@ -41,6 +48,88 @@ bfs_fused(const grb::Matrix<uint8_t>& A, Index source)
         // filter visited vertices, and assign the new level.
         grb::vxm_fused_assign<grb::LorLand>(frontier, dist, level,
                                             frontier, A);
+        if (frontier.nvals() == 0) {
+            break;
+        }
+    }
+    return dist;
+}
+
+Vector<uint32_t>
+bfs_fused(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
+          Index source, grb::Direction force)
+{
+    trace::Span algo(trace::Category::kAlgo, "la_bfs_fused");
+    const Index n = A.nrows();
+
+    Vector<uint32_t> dist(n);
+    grb::assign_scalar<uint32_t, uint8_t>(dist, nullptr, grb::kDefaultDesc,
+                                          0u);
+    dist.set_element(source, 1);
+
+    Vector<uint8_t> frontier(n);
+    frontier.set_element(source, 1);
+
+    grb::SpmvDispatcher<uint8_t> spmv(A, At);
+    grb::Descriptor desc = grb::kComplementReplaceDesc;
+    desc.direction = force;
+
+    // The previous round's frontier storage, recycled into the next
+    // round's output so steady-state rounds stop allocating.
+    Vector<uint8_t> spare;
+
+    uint32_t level = 1;
+    while (true) {
+        trace::Span round(trace::Category::kRound, "round", level - 1);
+        metrics::bump(metrics::kRounds);
+        ++level;
+
+        grb::fused_spmv_assign<grb::LorLand>(spmv, frontier, dist, desc,
+                                             level, frontier,
+                                             /*structural_assign=*/false,
+                                             &spare);
+        if (frontier.nvals() == 0) {
+            break;
+        }
+    }
+    return dist;
+}
+
+Vector<uint32_t>
+bfs_lazy(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
+         Index source, grb::Direction force)
+{
+    trace::Span algo(trace::Category::kAlgo, "la_bfs_lazy");
+    grb::ExecModeScope mode(grb::ExecMode::kNonBlocking);
+    const Index n = A.nrows();
+
+    Vector<uint32_t> dist(n);
+    grb::assign_scalar<uint32_t, uint8_t>(dist, nullptr, grb::kDefaultDesc,
+                                          0u);
+    dist.set_element(source, 1);
+
+    grb::SpmvDispatcher<uint8_t> spmv(A, At);
+    grb::Descriptor desc = grb::kComplementReplaceDesc;
+    desc.direction = force;
+
+    // Declared after everything its pending nodes reference (dist,
+    // spmv): handle destruction is a flush point and must run first.
+    grb::LazyVector<uint8_t> frontier(n);
+    frontier.set_element(source, 1);
+
+    uint32_t level = 1;
+    while (true) {
+        trace::Span round(trace::Category::kRound, "round", level - 1);
+        metrics::bump(metrics::kRounds);
+        ++level;
+
+        // Written as the plain three-op round of Algorithm 2; the
+        // non-blocking planner recognizes the spmv + assign chain and
+        // runs both as one fused kernel when nvals() forces the round.
+        grb::lazy::dispatch_spmv<grb::LorLand>(spmv, frontier, &dist,
+                                               desc, frontier);
+        grb::lazy::assign_scalar(dist, frontier, grb::kDefaultDesc,
+                                 level);
         if (frontier.nvals() == 0) {
             break;
         }

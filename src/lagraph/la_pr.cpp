@@ -125,4 +125,63 @@ pagerank_residual(const grb::Matrix<double>& A,
     return to_std(rank, base);
 }
 
+std::vector<double>
+pagerank_residual_lazy(const grb::Matrix<double>& A,
+                       const grb::Matrix<double>& At, double damping,
+                       unsigned iterations)
+{
+    trace::Span algo(trace::Category::kAlgo, "la_pr_lazy");
+    grb::ExecModeScope mode(grb::ExecMode::kNonBlocking);
+    const Index n = A.nrows();
+    const double base = (1.0 - damping) / n;
+    const Vector<double> inv_deg = inverse_out_degrees(A);
+
+    Vector<double> rank(n);
+    rank.fill(1.0 / n);
+    Vector<double> delta = rank;
+
+    // Lazy handles, declared after every vector their pending nodes
+    // read (delta, inv_deg): destruction is a flush point. The fusion
+    // planner folds contrib's eWiseMult into update's pull kernel, so
+    // contrib never materializes; update's output buffer is recycled
+    // round over round and rotated with delta by swap_value.
+    grb::LazyVector<double> contrib(n);
+    grb::LazyVector<double> update(n);
+
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        trace::Span round(trace::Category::kRound, "round", iter);
+        metrics::bump(metrics::kRounds);
+
+        // The same three logical ops as pagerank_residual; recorded,
+        // fused into a single pull pass, and executed at the
+        // update.value() materialization point below.
+        grb::lazy::ewise_mult(contrib, delta, inv_deg,
+                              [](double d, double inv) {
+                                  return d * inv;
+                              });
+        grb::lazy::mxv<grb::PlusTimes<double>>(update, grb::kDefaultDesc,
+                                               At, contrib);
+        grb::lazy::apply(update,
+                         [damping](double x) { return damping * x; });
+
+        if (iter == 0) {
+            grb::assign_scalar<double, uint8_t>(rank, nullptr,
+                                                grb::kDefaultDesc, base);
+            Vector<double> new_rank;
+            grb::ewise_add(new_rank, rank, update.value(),
+                           [](double a, double b) { return a + b; });
+            grb::apply(delta, new_rank, [n](double x) {
+                return x - 1.0 / static_cast<double>(n);
+            });
+            rank = std::move(new_rank);
+        } else {
+            grb::ewise_add(rank, rank, update.value(),
+                           [](double a, double b) { return a + b; });
+            // delta = update without a copy: exchange the buffers.
+            update.swap_value(delta);
+        }
+    }
+    return to_std(rank, base);
+}
+
 } // namespace gas::la

@@ -141,4 +141,103 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
     return out;
 }
 
+std::vector<uint64_t>
+sssp_delta_lazy(const Matrix<uint64_t>& A, Index source, uint64_t delta)
+{
+    trace::Span algo(trace::Category::kAlgo, "la_sssp_lazy");
+    grb::ExecModeScope mode(grb::ExecMode::kNonBlocking);
+    const Index n = A.nrows();
+
+    Matrix<uint64_t> light;
+    Matrix<uint64_t> heavy;
+    grb::select_matrix(light, A, [delta](Index, Index, uint64_t w) {
+        return w <= delta;
+    });
+    grb::select_matrix(heavy, A, [delta](Index, Index, uint64_t w) {
+        return w > delta;
+    });
+
+    Vector<uint64_t> dist(n);
+    dist.fill(kInf);
+    dist.set_element(source, 0);
+
+    grb::SpmvDispatcher<uint64_t> light_spmv(light);
+    grb::SpmvDispatcher<uint64_t> heavy_spmv(heavy);
+
+    // Lazy handles, declared after everything their pending nodes
+    // reference (dist, dispatchers): destruction is a flush point.
+    // Reused across rounds so the fused kernels recycle their buffers;
+    // the eWiseMult + select chain fuses, so `improvements` is
+    // subsumed and never materialized.
+    grb::LazyVector<uint64_t> candidates(n);
+    grb::LazyVector<uint64_t> improvements(n);
+    grb::LazyVector<uint64_t> improved(n);
+
+    // One light/heavy relaxation, shared by both phases. Returns the
+    // materialized improved-entries vector.
+    auto relax = [&](grb::SpmvDispatcher<uint64_t>& spmv,
+                     const Vector<uint64_t>& frontier)
+        -> const Vector<uint64_t>& {
+        grb::lazy::dispatch_spmv<grb::MinPlus<uint64_t>>(
+            spmv, candidates, grb::kDefaultDesc, frontier);
+        grb::lazy::ewise_mult(improvements, candidates, dist,
+                              [](uint64_t c, uint64_t d) {
+                                  return c < d ? c : kInf;
+                              });
+        grb::lazy::select_entries(improved, improvements,
+                                  [](Index, uint64_t v) {
+                                      return v != kInf;
+                                  });
+        // Materialization point: runs the fused mult+select kernel.
+        const Vector<uint64_t>& got = improved.value();
+        grb::ewise_add(dist, dist, got, [](uint64_t a, uint64_t b) {
+            return std::min(a, b);
+        });
+        return got;
+    };
+
+    uint64_t bucket_index = 0;
+    while (true) {
+        const uint64_t lo = bucket_index * delta;
+        const uint64_t hi = lo + delta;
+
+        Vector<uint64_t> frontier = bucket_of(dist, lo, hi);
+        while (frontier.nvals() != 0) {
+            trace::Span round(trace::Category::kRound, "light_round",
+                              bucket_index);
+            metrics::bump(metrics::kRounds);
+
+            const Vector<uint64_t>& got = relax(light_spmv, frontier);
+            Vector<uint64_t> next;
+            grb::select_entries(next, got, [lo, hi](Index, uint64_t d) {
+                return d >= lo && d < hi;
+            });
+            frontier = std::move(next);
+        }
+
+        trace::Span round(trace::Category::kRound, "heavy_round",
+                          bucket_index);
+        metrics::bump(metrics::kRounds);
+        Vector<uint64_t> settled = bucket_of(dist, lo, hi);
+        if (settled.nvals() != 0) {
+            relax(heavy_spmv, settled);
+        }
+
+        Vector<uint64_t> remaining;
+        grb::select_entries(remaining, dist, [hi](Index, uint64_t d) {
+            return d >= hi && d != kInf;
+        });
+        if (remaining.nvals() == 0) {
+            break;
+        }
+        const uint64_t nearest =
+            grb::reduce<grb::MinMonoid<uint64_t>>(remaining);
+        bucket_index = nearest / delta;
+    }
+
+    std::vector<uint64_t> out(n, kInf);
+    dist.for_entries([&](Index i, uint64_t d) { out[i] = d; });
+    return out;
+}
+
 } // namespace gas::la

@@ -78,6 +78,30 @@ grb::Vector<uint32_t> bfs_fused(const grb::Matrix<uint8_t>& A,
                                 grb::Index source);
 
 /**
+ * bfs_fused with the fused round routed through grb::SpmvDispatcher's
+ * direction cost model: push rounds run the fused vxm+assign kernel,
+ * pull rounds the fused mxv+assign kernel over @p At, and the previous
+ * frontier's storage is recycled into the next round's output.
+ * @p force overrides the cost model (ablation modes).
+ */
+grb::Vector<uint32_t> bfs_fused(const grb::Matrix<uint8_t>& A,
+                                const grb::Matrix<uint8_t>& At,
+                                grb::Index source,
+                                grb::Direction force = grb::Direction::kAuto);
+
+/**
+ * bfs written as plain dispatch_spmv + assign_scalar rounds in
+ * non-blocking mode: the lazy fusion planner recognizes the chain and
+ * builds the same fused kernel bfs_fused() hand-codes. Identical
+ * output to bfs_fused(); exists to demonstrate (and test) that the
+ * expression layer recovers hand fusion from unfused source.
+ */
+grb::Vector<uint32_t> bfs_lazy(const grb::Matrix<uint8_t>& A,
+                               const grb::Matrix<uint8_t>& At,
+                               grb::Index source,
+                               grb::Direction force = grb::Direction::kAuto);
+
+/**
  * Connected components via FastSV. @p A must be a symmetric pattern
  * matrix. @return canonical labels (smallest member id per component).
  */
@@ -103,6 +127,15 @@ std::vector<double> pagerank_residual(const grb::Matrix<double>& A,
                                       const grb::Matrix<double>& At,
                                       double damping, unsigned iterations);
 
+/// pagerank_residual in non-blocking mode: the per-round eWiseMult is
+/// folded into the pull kernel's operand view (the contribution vector
+/// never materializes) and the damping apply rides the same kernel's
+/// per-entry hook. Identical output to pagerank_residual().
+std::vector<double> pagerank_residual_lazy(const grb::Matrix<double>& A,
+                                           const grb::Matrix<double>& At,
+                                           double damping,
+                                           unsigned iterations);
+
 /**
  * Bulk-synchronous delta-stepping sssp.
  *
@@ -112,6 +145,13 @@ std::vector<double> pagerank_residual(const grb::Matrix<double>& A,
  */
 std::vector<uint64_t> sssp_delta(const grb::Matrix<uint64_t>& A,
                                  grb::Index source, uint64_t delta);
+
+/// sssp_delta in non-blocking mode: each relaxation's eWiseMult +
+/// select pair fuses into one kernel (the improvements vector is
+/// subsumed) and SpMV outputs recycle their buffers across rounds.
+/// Identical output to sssp_delta().
+std::vector<uint64_t> sssp_delta_lazy(const grb::Matrix<uint64_t>& A,
+                                      grb::Index source, uint64_t delta);
 
 /// Triangle count via SandiaDot on an (optionally pre-sorted) symmetric
 /// pattern matrix: count = reduce(C<L> = L * L'), L = tril(A).

@@ -44,8 +44,7 @@ betweenness(const Graph& graph, const std::vector<Node>& sources)
     std::vector<double> sigma(n);
     std::vector<double> delta(n);
     std::vector<int32_t> depth(n);
-    metrics::bump(metrics::kBytesMaterialized,
-                  n * (sizeof(double) * 3 + sizeof(int32_t)));
+    metrics::charge_materialized(n * (sizeof(double) * 3 + sizeof(int32_t)));
 
     for (const Node source : sources) {
         rt::do_all(n, [&](std::size_t v) {

@@ -31,7 +31,7 @@ bfs(const Graph& graph, Node source)
             metrics::bump(metrics::kLabelWrites);
         });
     }
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint32_t));
+    metrics::charge_materialized(n * sizeof(uint32_t));
 
     dist.set(source, 0);
     rt::InsertBag<Node> bag_a;

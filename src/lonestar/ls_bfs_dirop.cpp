@@ -35,7 +35,7 @@ bfs_dirop(const Graph& graph, const Graph& transpose, Node source,
         dist[v] = kUnreachedLevel;
         metrics::bump(metrics::kLabelWrites);
     });
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint32_t));
+    metrics::charge_materialized(n * sizeof(uint32_t));
     dist[source] = 0;
 
     rt::InsertBag<Node> bag_a;

@@ -109,7 +109,7 @@ init_components(Node n)
         comp.set(v, static_cast<Node>(v));
         metrics::bump(metrics::kLabelWrites);
     });
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(Node));
+    metrics::charge_materialized(n * sizeof(Node));
     return comp;
 }
 

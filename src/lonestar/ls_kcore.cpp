@@ -43,7 +43,7 @@ core_numbers(const Graph& graph)
         max_degree.update(degree[v]);
         metrics::bump(metrics::kLabelWrites);
     });
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint32_t) * 2);
+    metrics::charge_materialized(n * sizeof(uint32_t) * 2);
 
     std::atomic<Node> remaining{n};
     const uint32_t top = max_degree.reduce();

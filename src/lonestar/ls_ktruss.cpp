@@ -65,8 +65,7 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
     }
 
     graph::EdgeData<uint8_t> alive(m, uint8_t{1}, "ktruss:alive");
-    metrics::bump(metrics::kBytesMaterialized,
-                  m * (sizeof(EdgeIdx) + sizeof(uint8_t)));
+    metrics::charge_materialized(m * (sizeof(EdgeIdx) + sizeof(uint8_t)));
 
     uint32_t rounds = 0;
     bool changed = true;

@@ -52,7 +52,7 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
         double rank;
     };
     graph::NodeData<PrNode> data(n, "pr:nodes");
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(PrNode));
+    metrics::charge_materialized(n * sizeof(PrNode));
 
     {
         check::RegionLabel label("pr:init");
@@ -133,7 +133,7 @@ pagerank_soa(const Graph& graph, const Graph& transpose, double damping,
     graph::NodeData<double> delta(n, "pr:delta");
     graph::NodeData<double> next_delta(n, "pr:next_delta");
     graph::NodeData<double> rank(n, "pr:rank");
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(double) * 4);
+    metrics::charge_materialized(n * sizeof(double) * 4);
 
     {
         check::RegionLabel label("pr:init");

@@ -45,7 +45,7 @@ sssp(const Graph& graph, Node source, const SsspOptions& options)
             metrics::bump(metrics::kLabelWrites);
         });
     }
-    metrics::bump(metrics::kBytesMaterialized, n * sizeof(uint64_t));
+    metrics::charge_materialized(n * sizeof(uint64_t));
     dist.set(source, 0);
 
     const uint64_t delta = options.delta;

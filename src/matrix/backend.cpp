@@ -1,10 +1,13 @@
 #include "matrix/types.h"
 
+#include "matrix/lazy_registry.h"
+
 namespace gas::grb {
 
 namespace {
 
 Backend active_backend = Backend::kParallel;
+ExecMode active_mode = ExecMode::kBlocking;
 
 } // namespace
 
@@ -22,12 +25,43 @@ backend()
 
 BackendScope::BackendScope(Backend scoped) : saved_(backend())
 {
+    // Backend switches are synchronization points: no deferred work may
+    // execute under a different backend than it was recorded under.
+    detail::flush_all_pending();
     set_backend(scoped);
 }
 
 BackendScope::~BackendScope()
 {
+    detail::flush_all_pending();
     set_backend(saved_);
+}
+
+void
+set_exec_mode(ExecMode mode)
+{
+    if (mode == ExecMode::kBlocking) {
+        // Leaving non-blocking mode materializes everything pending.
+        detail::flush_all_pending();
+    }
+    active_mode = mode;
+}
+
+ExecMode
+exec_mode()
+{
+    return active_mode;
+}
+
+ExecModeScope::ExecModeScope(ExecMode scoped) : saved_(exec_mode())
+{
+    set_exec_mode(scoped);
+}
+
+ExecModeScope::~ExecModeScope()
+{
+    detail::flush_all_pending();
+    set_exec_mode(saved_);
 }
 
 } // namespace gas::grb

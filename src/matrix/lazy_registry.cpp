@@ -1,0 +1,45 @@
+#include "matrix/lazy_registry.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gas::grb::detail {
+
+namespace {
+
+std::vector<Flushable*>&
+registry()
+{
+    static std::vector<Flushable*> handles;
+    return handles;
+}
+
+} // namespace
+
+void
+register_flushable(Flushable* handle)
+{
+    registry().push_back(handle);
+}
+
+void
+unregister_flushable(Flushable* handle)
+{
+    auto& handles = registry();
+    handles.erase(std::remove(handles.begin(), handles.end(), handle),
+                  handles.end());
+}
+
+void
+flush_all_pending()
+{
+    // Flushing never registers or deregisters handles, but iterate a
+    // snapshot anyway so a surprising reentrancy cannot invalidate the
+    // loop.
+    const std::vector<Flushable*> snapshot = registry();
+    for (Flushable* handle : snapshot) {
+        handle->flush_pending();
+    }
+}
+
+} // namespace gas::grb::detail

@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Registry of live lazy expression handles.
+ *
+ * The non-blocking mode's synchronization points that are not tied to
+ * a particular handle — BackendScope entry/exit and
+ * set_exec_mode(kBlocking) — must flush *every* pending expression.
+ * LazyVector registers itself here on construction and deregisters on
+ * destruction; flush_all_pending() walks the registry and forces each
+ * handle's deferred work.
+ *
+ * Recording is a calling-thread activity (the kernels parallelize
+ * internally), so the registry is deliberately unsynchronized: one
+ * thread records, forces, and flushes. This mirrors the GraphBLAS
+ * non-blocking contract, where method calls on the same objects from
+ * multiple threads require external synchronization anyway.
+ */
+
+namespace gas::grb::detail {
+
+/// Anything holding deferred work that a global sync must force.
+class Flushable
+{
+  public:
+    virtual ~Flushable() = default;
+
+    /// Execute any pending deferred operation (idempotent).
+    virtual void flush_pending() = 0;
+};
+
+/// Add @p handle to the live-handle registry.
+void register_flushable(Flushable* handle);
+
+/// Remove @p handle from the live-handle registry.
+void unregister_flushable(Flushable* handle);
+
+/// Force every registered handle's pending work (backend sync /
+/// mode-switch materialization point).
+void flush_all_pending();
+
+} // namespace gas::grb::detail

@@ -157,7 +157,7 @@ class Matrix
                 t.vals_[slot] = vals_[e];
             }
         }
-        metrics::bump(metrics::kBytesMaterialized, t.bytes());
+        metrics::charge_materialized(t.bytes());
         // Row-major traversal of the source emits ascending rows, so
         // each output row is already sorted.
         return t;

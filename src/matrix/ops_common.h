@@ -39,6 +39,22 @@ backend_sorts_outputs()
 }
 
 /**
+ * The one true mask-entry truth test (GrB mask semantics).
+ *
+ * Every mask consumer — MaskView below, the dispatcher's candidate
+ * counting, and the fused kernels' inline per-edge skips — must agree
+ * on this predicate, or fused and unfused pipelines diverge on
+ * structural/complement descriptors. Keep it in one place.
+ */
+template <typename MT>
+inline bool
+mask_entry_true(bool present, MT value, bool structural, bool complement)
+{
+    const bool present_true = present && (structural || value != MT{0});
+    return complement ? !present_true : present_true;
+}
+
+/**
  * O(1)-testable view of an optional vector mask.
  *
  * Sparse masks are lazily sorted so membership tests can binary-search.
@@ -80,20 +96,20 @@ class MaskView
         if (mask_ == nullptr) {
             return true;
         }
-        bool present_true = false;
         if (mask_->format() == VectorFormat::kDense) {
-            present_true = mask_->dense_presence()[i] != 0 &&
-                (structural_ || mask_->dense_values()[i] != MT{0});
-        } else {
-            const auto& idx = mask_->sparse_indices();
-            const auto it =
-                std::lower_bound(idx.begin(), idx.end(), i);
-            present_true = it != idx.end() && *it == i &&
-                (structural_ ||
-                 mask_->sparse_values()[static_cast<std::size_t>(
-                     it - idx.begin())] != MT{0});
+            return mask_entry_true(mask_->dense_presence()[i] != 0,
+                                   mask_->dense_values()[i],
+                                   structural_, complement_);
         }
-        return complement_ ? !present_true : present_true;
+        const auto& idx = mask_->sparse_indices();
+        const auto it = std::lower_bound(idx.begin(), idx.end(), i);
+        const bool present = it != idx.end() && *it == i;
+        return mask_entry_true(
+            present,
+            present ? mask_->sparse_values()[static_cast<std::size_t>(
+                          it - idx.begin())]
+                    : MT{0},
+            structural_, complement_);
     }
 
   private:
@@ -181,8 +197,8 @@ class SpaWorkspace
         if (values_.size() < size) {
             values_.assign(size, Semiring::identity());
             occupied_.assign(size, uint8_t{0});
-            metrics::bump(metrics::kBytesMaterialized,
-                          static_cast<uint64_t>(size) * (sizeof(T) + 1));
+            metrics::charge_materialized(
+                static_cast<uint64_t>(size) * (sizeof(T) + 1));
         }
     }
 

@@ -75,10 +75,8 @@ class SpmvDispatcher
     {
         const Direction dir = choose<Semiring>(mask, desc, u);
         if (dir == Direction::kPush) {
-            metrics::bump(metrics::kSpmvPushRounds);
             vxm<Semiring>(w, mask, desc, u, *A_);
         } else {
-            metrics::bump(metrics::kSpmvPullRounds);
             if (mask != nullptr &&
                 mask->format() == VectorFormat::kSparse) {
                 mxv_sparse<FlipMul<Semiring>>(w, *mask, desc, *At_, u);
@@ -86,7 +84,7 @@ class SpmvDispatcher
                 mxv<FlipMul<Semiring>>(w, mask, desc, *At_, u);
             }
         }
-        last_ = dir;
+        note_executed(dir);
         return dir;
     }
 
@@ -101,6 +99,38 @@ class SpmvDispatcher
 
     /// Direction the most recent dispatch executed.
     Direction last_direction() const { return last_; }
+
+    /**
+     * Price both directions for the next product without running it.
+     * This is the same decision dispatch_spmv makes internally; the
+     * fused kernels in ops_fused.h call it so composite chains get the
+     * identical direction policy (hysteresis included) instead of
+     * regressing to pure push.
+     */
+    template <typename Semiring, typename MT = uint8_t>
+    Direction
+    plan(const Vector<MT>* mask, const Descriptor& desc,
+         const Vector<T>& u) const
+    {
+        return choose<Semiring>(mask, desc, u);
+    }
+
+    /// Record that a planned direction was actually executed (by this
+    /// dispatcher or by a fused kernel acting on its behalf): bumps the
+    /// push/pull round counters and updates the hysteresis state.
+    void
+    note_executed(Direction dir)
+    {
+        metrics::bump(dir == Direction::kPush ? metrics::kSpmvPushRounds
+                                              : metrics::kSpmvPullRounds);
+        last_ = dir;
+    }
+
+    /// The forward (vxm/push) matrix.
+    const Matrix<T>& matrix() const { return *A_; }
+
+    /// The registered transpose, or nullptr for push-only dispatchers.
+    const Matrix<T>* transpose() const { return At_; }
 
   private:
     /// The non-current direction must be this factor cheaper to flip.

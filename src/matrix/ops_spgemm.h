@@ -59,7 +59,7 @@ mxm_masked_dot(Matrix<T>& C, const Matrix<MT>& M, const Matrix<T>& A,
     result.raw_row_ptr() = M.raw_row_ptr();
     result.raw_col() = M.raw_col();
     result.raw_vals().resize(M.nvals());
-    metrics::bump(metrics::kBytesMaterialized, result.bytes());
+    metrics::charge_materialized(result.bytes());
 
     rt::do_all_blocked(
         M.nrows(),
@@ -211,8 +211,7 @@ mxm_saxpy(Matrix<T>& C, const Matrix<T>& A, const Matrix<T>& B,
         rt::PerThread<std::vector<T>> accumulators;
         rt::PerThread<std::vector<uint8_t>> flags;
         rt::PerThread<std::vector<Index>> touched;
-        metrics::bump(metrics::kBytesMaterialized,
-                      static_cast<uint64_t>(rt::num_threads()) * ncols *
+        metrics::charge_materialized(static_cast<uint64_t>(rt::num_threads()) * ncols *
                           (sizeof(T) + 1));
         rt::do_all_blocked(
             nrows,
@@ -328,7 +327,7 @@ mxm_saxpy(Matrix<T>& C, const Matrix<T>& A, const Matrix<T>& B,
             }
         },
         backend_schedule());
-    metrics::bump(metrics::kBytesMaterialized, result.bytes());
+    metrics::charge_materialized(result.bytes());
     C = std::move(result);
 }
 
@@ -397,7 +396,7 @@ mxm_dot(Matrix<T>& C, const Matrix<T>& A, const Matrix<T>& Bt)
     }
     result.raw_col().resize(row_ptr[nrows]);
     result.raw_vals().resize(row_ptr[nrows]);
-    metrics::bump(metrics::kBytesMaterialized, result.bytes());
+    metrics::charge_materialized(result.bytes());
 
     // Numeric pass: recompute the dots into the exact-size arrays.
     rt::do_all_blocked(
@@ -499,7 +498,7 @@ select_matrix(Matrix<T>& C, const Matrix<T>& A, Pred&& pred)
             }
         },
         backend_schedule());
-    metrics::bump(metrics::kBytesMaterialized, result.bytes());
+    metrics::charge_materialized(result.bytes());
     C = std::move(result);
 }
 
@@ -550,7 +549,7 @@ kronecker(Matrix<T>& C, const Matrix<T>& A, const Matrix<T>& B)
     }
     result.raw_col().resize(row_ptr[nrows]);
     result.raw_vals().resize(row_ptr[nrows]);
-    metrics::bump(metrics::kBytesMaterialized, result.bytes());
+    metrics::charge_materialized(result.bytes());
 
     rt::do_all_blocked(
         nrows,
@@ -649,7 +648,7 @@ apply_matrix(Matrix<T>& C, const Matrix<T>& A, Fn&& fn)
             }
         },
         backend_schedule());
-    metrics::bump(metrics::kBytesMaterialized, result.bytes());
+    metrics::charge_materialized(result.bytes());
     C = std::move(result);
 }
 

@@ -122,8 +122,7 @@ vxm(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     if (backend_sorts_outputs()) {
         result.sort_entries();
     }
-    metrics::bump(metrics::kBytesMaterialized,
-                  oidx.size() * (sizeof(Index) + sizeof(T)));
+    result.charge_materialized();
     w = std::move(result);
 }
 
@@ -212,8 +211,10 @@ mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
         },
         backend_schedule());
     result.set_dense_nvals(count.load());
-    metrics::bump(metrics::kBytesMaterialized,
-                  static_cast<uint64_t>(A.nrows()) * (sizeof(T) + 1));
+    // The output bytes were charged when result.densify() allocated the
+    // dense arrays (allocation-site accounting); re-billing them here
+    // used to double-count every pull-style product.
+    result.charge_materialized();
     w = std::move(result);
 }
 
@@ -301,8 +302,7 @@ mxv_sparse(Vector<T>& w, const Vector<MT>& mask, const Descriptor& desc,
         }
     }
     metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
-    metrics::bump(metrics::kBytesMaterialized,
-                  candidates.size() * sizeof(Index));
+    metrics::charge_materialized(candidates.size() * sizeof(Index));
 
     rt::InsertBag<std::pair<Index, T>> output;
     rt::do_all_blocked(
@@ -357,132 +357,7 @@ mxv_sparse(Vector<T>& w, const Vector<MT>& mask, const Descriptor& desc,
     if (backend_sorts_outputs()) {
         result.sort_entries();
     }
-    metrics::bump(metrics::kBytesMaterialized,
-                  oidx.size() * (sizeof(Index) + sizeof(T)));
-    w = std::move(result);
-}
-
-/**
- * Fused composite kernel: vxm + masked scalar assign in one pass.
- *
- * Computes w<mask_vector complement, replace> = u * A over the
- * semiring, and *additionally* stores @p assign_value into
- * @p assign_target at every output position — all during the single
- * scatter/compaction pass.
- *
- * This operation is NOT part of the GraphBLAS API: it is the composite
- * operator the paper's Section VI says a restructuring compiler would
- * have to generate to remove the matrix API's lightweight-loop
- * penalty. bfs written with it needs one kernel call per round instead
- * of three (see la::bfs_fused), which quantifies the headroom loop
- * fusion leaves on the table.
- *
- * @p assign_target must be dense and is used as the (complemented)
- * mask: positions whose current value is non-zero are skipped.
- */
-template <typename Semiring, typename T, typename MT>
-void
-vxm_fused_assign(Vector<T>& w, Vector<MT>& assign_target, MT assign_value,
-                 const Vector<T>& u, const Matrix<T>& A)
-{
-    GAS_CHECK(u.size() == A.nrows(), "vxm_fused_assign dim mismatch");
-    GAS_CHECK(assign_target.format() == VectorFormat::kDense,
-              "vxm_fused_assign needs a dense assign target");
-    trace::Span span(trace::Category::kGrb, "vxm_fused_assign", u.nvals());
-    metrics::bump(metrics::kPasses);
-
-    auto& spa = SpaWorkspace<T, Semiring>::get(A.ncols());
-    T* const acc = spa.values();
-    uint8_t* const occ = spa.occupied();
-    rt::InsertBag<Index> touched;
-    auto& target_vals = assign_target.dense_values();
-    const auto& target_present = assign_target.dense_presence();
-
-    auto scatter_row = [&](Index i, T x) {
-        metrics::bump(metrics::kLabelReads);
-        const Nnz begin = A.row_begin(i);
-        const Nnz end = A.row_end(i);
-        metrics::bump(metrics::kEdgeVisits, end - begin);
-        metrics::bump(metrics::kWorkItems, end - begin);
-        for (Nnz e = begin; e < end; ++e) {
-            const Index j = A.col_at(e);
-            // Fused mask test: skip already-assigned positions without
-            // touching the accumulator.
-            if (target_present[j] != 0 && target_vals[j] != MT{0}) {
-                continue;
-            }
-            const T product = Semiring::mul(x, A.val_at(e));
-            atomic_accum(acc[j], product, [](T a, T b) {
-                return Semiring::add(a, b);
-            });
-            metrics::bump(metrics::kLabelWrites);
-            if (atomic_claim(occ[j])) {
-                touched.push(j);
-            }
-        }
-    };
-
-    if (u.format() == VectorFormat::kDense) {
-        const auto& uvals = u.dense_values();
-        const auto& upresent = u.dense_presence();
-        rt::do_all_blocked(
-            u.size(),
-            [&](rt::Range range) {
-                for (std::size_t i = range.begin; i < range.end; ++i) {
-                    if (upresent[i] != 0) {
-                        scatter_row(static_cast<Index>(i), uvals[i]);
-                    }
-                }
-            },
-            backend_schedule());
-    } else {
-        const auto& uidx = u.sparse_indices();
-        const auto& uvals = u.sparse_values();
-        rt::do_all_blocked(
-            uidx.size(),
-            [&](rt::Range range) {
-                for (std::size_t k = range.begin; k < range.end; ++k) {
-                    scatter_row(uidx[k], uvals[k]);
-                }
-            },
-            backend_schedule());
-    }
-
-    // Single compaction pass: emit the new frontier AND perform the
-    // assignment (the fusion).
-    rt::InsertBag<std::pair<Index, T>> output;
-    auto& target_present_mut = assign_target.dense_presence();
-    std::atomic<Nnz> added{0};
-    touched.parallel_apply([&](Index j) {
-        if (target_present[j] == 0 || target_vals[j] == MT{0}) {
-            output.push({j, acc[j]});
-            if (target_present_mut[j] == 0) {
-                target_present_mut[j] = 1;
-                added.fetch_add(1, std::memory_order_relaxed);
-            }
-            target_vals[j] = assign_value;
-            metrics::bump(metrics::kLabelWrites);
-        }
-    });
-    assign_target.set_dense_nvals(assign_target.nvals() + added.load());
-    spa.reset(touched);
-
-    Vector<T> result(A.ncols());
-    auto& oidx = result.sparse_indices();
-    auto& ovals = result.sparse_values();
-    oidx.reserve(output.size());
-    ovals.reserve(output.size());
-    output.for_each([&](const std::pair<Index, T>& entry) {
-        oidx.push_back(entry.first);
-        ovals.push_back(entry.second);
-    });
-    result.set_format(VectorFormat::kSparse);
-    result.set_sorted(false);
-    if (backend_sorts_outputs()) {
-        result.sort_entries();
-    }
-    metrics::bump(metrics::kBytesMaterialized,
-                  oidx.size() * (sizeof(Index) + sizeof(T)));
+    result.charge_materialized();
     w = std::move(result);
 }
 

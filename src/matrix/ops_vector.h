@@ -20,7 +20,9 @@ namespace gas::grb {
 /**
  * w<mask> = value for all positions allowed by the mask
  * (GrB_assign with GrB_ALL). Without a mask, w becomes fully dense.
- * With a mask, w is densified and masked positions are overwritten.
+ * With a mask, w is densified and masked positions are overwritten;
+ * with desc.replace set, positions the mask does NOT admit lose their
+ * entries (GrB_REPLACE), exactly as the fused assign kernels do.
  */
 template <typename T, typename MT = uint8_t>
 void
@@ -39,9 +41,11 @@ assign_scalar(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     auto& vals = w.dense_values();
     auto& present = w.dense_presence();
 
-    if (!desc.mask_complement &&
+    if (!desc.mask_complement && !desc.replace &&
         mask->format() == VectorFormat::kSparse) {
-        // Fast path: iterate only the mask's explicit entries.
+        // Fast path: iterate only the mask's explicit entries. Not
+        // valid under replace semantics, which must also clear the
+        // positions the mask does not name.
         const auto& idx = mask->sparse_indices();
         const auto& mvals = mask->sparse_values();
         std::atomic<Nnz> added{0};
@@ -71,13 +75,22 @@ assign_scalar(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
 
     const MaskView<MT> view(mask, desc);
     std::atomic<Nnz> added{0};
+    std::atomic<Nnz> removed{0};
     rt::do_all_blocked(
         w.size(),
         [&](rt::Range range) {
             Nnz local_added = 0;
+            Nnz local_removed = 0;
             for (std::size_t i = range.begin; i < range.end; ++i) {
                 metrics::bump(metrics::kWorkItems);
                 if (!view.test(static_cast<Index>(i))) {
+                    if (desc.replace && present[i] != 0) {
+                        // GrB_REPLACE: entries outside the mask are
+                        // cleared, not carried over.
+                        present[i] = 0;
+                        ++local_removed;
+                        metrics::bump(metrics::kLabelWrites);
+                    }
                     continue;
                 }
                 if (present[i] == 0) {
@@ -88,9 +101,10 @@ assign_scalar(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
                 metrics::bump(metrics::kLabelWrites);
             }
             added.fetch_add(local_added, std::memory_order_relaxed);
+            removed.fetch_add(local_removed, std::memory_order_relaxed);
         },
         backend_schedule());
-    w.set_dense_nvals(w.nvals() + added.load());
+    w.set_dense_nvals(w.nvals() + added.load() - removed.load());
 }
 
 /// w = f(u) entry-wise, preserving u's structure. f: T -> T.
@@ -181,8 +195,7 @@ ewise_add(Vector<T>& w, const Vector<T>& u, const Vector<T>& v, Fn&& fn)
         }
         result.set_format(VectorFormat::kSparse);
         result.set_sorted(true);
-        metrics::bump(metrics::kBytesMaterialized,
-                      idx.size() * (sizeof(Index) + sizeof(T)));
+        result.charge_materialized();
         w = std::move(result);
         return;
     }
@@ -276,8 +289,10 @@ ewise_mult(Vector<T>& w, const Vector<T>& u, const Vector<T>& v, Fn&& fn)
             },
             backend_schedule());
         result.set_dense_nvals(count.load());
-        metrics::bump(metrics::kBytesMaterialized,
-                      static_cast<uint64_t>(u.size()) * (sizeof(T) + 1));
+        // densify() above already charged the dense storage through the
+        // capacity watermark; this is a reconciliation no-op, not a
+        // second charge.
+        result.charge_materialized();
         w = std::move(result);
         return;
     }
@@ -331,8 +346,7 @@ ewise_mult(Vector<T>& w, const Vector<T>& u, const Vector<T>& v, Fn&& fn)
     if (backend_sorts_outputs()) {
         result.sort_entries();
     }
-    metrics::bump(metrics::kBytesMaterialized,
-                  idx.size() * (sizeof(Index) + sizeof(T)));
+    result.charge_materialized();
     w = std::move(result);
 }
 
@@ -412,8 +426,7 @@ gather(Vector<T>& w, const Vector<T>& u, const Vector<IT>& idx)
         },
         backend_schedule());
     result.set_dense_nvals(idx.size());
-    metrics::bump(metrics::kBytesMaterialized,
-                  static_cast<uint64_t>(idx.size()) * (sizeof(T) + 1));
+    result.charge_materialized();
     w = std::move(result);
 }
 
@@ -508,8 +521,7 @@ select_entries(Vector<T>& w, const Vector<T>& u, Pred&& pred)
     if (backend_sorts_outputs()) {
         result.sort_entries();
     }
-    metrics::bump(metrics::kBytesMaterialized,
-                  oidx.size() * (sizeof(Index) + sizeof(T)));
+    result.charge_materialized();
     w = std::move(result);
 }
 

@@ -41,7 +41,10 @@ void set_backend(Backend backend);
 Backend backend();
 
 /// RAII guard that switches the backend for a scope (used by the
-/// harness to run the same LAGraph code as "SS" and "GB").
+/// harness to run the same LAGraph code as "SS" and "GB"). Switching
+/// the backend is a synchronization point for the non-blocking mode:
+/// entering and leaving the scope flushes every pending lazy
+/// expression, so no deferred work crosses a backend boundary.
 class BackendScope
 {
   public:
@@ -53,6 +56,46 @@ class BackendScope
 
   private:
     Backend saved_;
+};
+
+/**
+ * Execution mode of the matrix API (the GraphBLAS spec's
+ * GrB_BLOCKING / GrB_NONBLOCKING distinction).
+ *
+ * Blocking (the default): every operation materializes its result
+ * before returning, exactly as the plain gas::grb ops always have.
+ *
+ * Non-blocking: operations recorded through the lazy layer
+ * (matrix/lazy.h) return unevaluated expression handles; a fusion
+ * planner collapses recognized chains into single fused kernels at
+ * materialization points (nvals, reduce, extract, backend sync, or an
+ * explicit wait). Unrecognized shapes fall back to eager evaluation.
+ */
+enum class ExecMode {
+    kBlocking,
+    kNonBlocking,
+};
+
+/// Set the process-wide execution mode. Dropping back to kBlocking
+/// flushes every pending lazy expression (a synchronization point).
+void set_exec_mode(ExecMode mode);
+
+/// Currently active execution mode.
+ExecMode exec_mode();
+
+/// RAII guard switching the execution mode for a scope. Both the
+/// switch in and the switch out flush pending lazy expressions.
+class ExecModeScope
+{
+  public:
+    explicit ExecModeScope(ExecMode scoped);
+    ~ExecModeScope();
+
+    ExecModeScope(const ExecModeScope&) = delete;
+    ExecModeScope& operator=(const ExecModeScope&) = delete;
+
+  private:
+    ExecMode saved_;
 };
 
 /**

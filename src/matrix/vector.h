@@ -36,6 +36,49 @@ enum class VectorFormat {
     kSparse,
 };
 
+namespace detail {
+
+/**
+ * Per-storage-group kBytesMaterialized watermark.
+ *
+ * Vector charges materialization bytes at the allocation site: each
+ * group (dense arrays, sparse arrays) remembers how many capacity
+ * bytes it has already charged, and Vector::charge_materialized only
+ * bills positive growth. Moving a Vector moves the watermark with the
+ * storage (the moved-from side is zeroed so a recycled shell starts
+ * uncharged); copying keeps the source's watermark on both sides,
+ * matching the historical behaviour that plain copies never bumped
+ * the counter.
+ */
+struct ChargeMark
+{
+    std::size_t dense{0};
+    std::size_t sparse{0};
+
+    ChargeMark() = default;
+    ChargeMark(const ChargeMark&) = default;
+    ChargeMark& operator=(const ChargeMark&) = default;
+
+    ChargeMark(ChargeMark&& other) noexcept
+        : dense(other.dense), sparse(other.sparse)
+    {
+        other.dense = 0;
+        other.sparse = 0;
+    }
+
+    ChargeMark&
+    operator=(ChargeMark&& other) noexcept
+    {
+        dense = other.dense;
+        sparse = other.sparse;
+        other.dense = 0;
+        other.sparse = 0;
+        return *this;
+    }
+};
+
+} // namespace detail
+
 template <typename T>
 class Vector
 {
@@ -68,6 +111,8 @@ class Vector
     }
 
     /// Remove all entries (keeps the dimension, becomes sparse empty).
+    /// Frees the backing storage, so a later refill is a fresh
+    /// allocation and charges materialization bytes again.
     void
     clear()
     {
@@ -78,6 +123,51 @@ class Vector
         dense_vals_.reset();
         dense_present_.reset();
         dense_nvals_ = 0;
+        charged_ = detail::ChargeMark{};
+    }
+
+    /// Remove all entries and set the dimension to @p new_size, but
+    /// keep the allocated capacity *and its materialization charge*.
+    /// This is the lazy layer's recycled-output path: refilling a
+    /// recycled buffer charges only capacity growth, never the full
+    /// buffer again.
+    void
+    clear_keep_capacity(Index new_size)
+    {
+        size_ = new_size;
+        format_ = VectorFormat::kSparse;
+        sorted_ = true;
+        sparse_idx_.clear();
+        sparse_vals_.clear();
+        dense_vals_.clear();
+        dense_present_.clear();
+        dense_nvals_ = 0;
+    }
+
+    /**
+     * Charge kBytesMaterialized for capacity growth since the last
+     * charge (the centralized allocation-site accounting — see
+     * metrics::charge_materialized). Kernels call this once on their
+     * result vector instead of hand-computing byte totals; shrunken
+     * groups lower the watermark without credit so a re-grown group is
+     * charged again, matching the old fresh-allocation semantics.
+     */
+    void
+    charge_materialized()
+    {
+        const std::size_t dense_now =
+            dense_vals_.capacity() * sizeof(T) + dense_present_.capacity();
+        const std::size_t sparse_now =
+            sparse_idx_.capacity() * sizeof(Index) +
+            sparse_vals_.capacity() * sizeof(T);
+        if (dense_now > charged_.dense) {
+            metrics::charge_materialized(dense_now - charged_.dense);
+        }
+        charged_.dense = dense_now;
+        if (sparse_now > charged_.sparse) {
+            metrics::charge_materialized(sparse_now - charged_.sparse);
+        }
+        charged_.sparse = sparse_now;
     }
 
     /// Set (or overwrite) a single element.
@@ -192,8 +282,6 @@ class Vector
             present[i] = 1;
             vals[i] = sparse_vals_[k];
         }
-        metrics::bump(metrics::kBytesMaterialized,
-                      size_ * (sizeof(T) + 1));
         dense_vals_ = std::move(vals);
         dense_present_ = std::move(present);
         dense_nvals_ = count;
@@ -201,6 +289,7 @@ class Vector
         sparse_vals_.reset();
         format_ = VectorFormat::kDense;
         sorted_ = true;
+        charge_materialized();
     }
 
     /// Convert to sparse storage (sorted).
@@ -221,8 +310,6 @@ class Vector
                 vals.push_back(dense_vals_[i]);
             }
         }
-        metrics::bump(metrics::kBytesMaterialized,
-                      idx.size() * (sizeof(Index) + sizeof(T)));
         sparse_idx_ = std::move(idx);
         sparse_vals_ = std::move(vals);
         dense_vals_.reset();
@@ -230,6 +317,7 @@ class Vector
         dense_nvals_ = 0;
         format_ = VectorFormat::kSparse;
         sorted_ = true;
+        charge_materialized();
     }
 
     /// Make every slot explicit with value @p value (dense).
@@ -243,6 +331,7 @@ class Vector
         dense_nvals_ = size_;
         sparse_idx_.reset();
         sparse_vals_.reset();
+        charge_materialized();
     }
 
     /// Replace contents from index/value arrays (sparse build).
@@ -257,6 +346,10 @@ class Vector
         sparse_vals_ = std::move(values);
         sorted_ = indices_sorted;
         format_ = VectorFormat::kSparse;
+        // No materialization charge: build() ingests caller-provided
+        // arrays (inputs, not intermediates), like set_element.
+        charged_.sparse = sparse_idx_.capacity() * sizeof(Index) +
+            sparse_vals_.capacity() * sizeof(T);
     }
 
     /// Sort sparse entries by index (no-op when dense or sorted).
@@ -362,6 +455,8 @@ class Vector
 
     TrackedVector<Index> sparse_idx_;
     TrackedVector<T> sparse_vals_;
+
+    detail::ChargeMark charged_;
 };
 
 } // namespace gas::grb

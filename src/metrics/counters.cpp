@@ -91,6 +91,9 @@ counter_name(CounterId id)
       case kRacesDetected: return "races_detected";
       case kFuzzPerturbations: return "fuzz_perturbations";
       case kObimCompactions: return "obim_compactions";
+      case kLazyOpsDeferred: return "lazy_ops_deferred";
+      case kFusedChains: return "fused_chains";
+      case kLazyFallbacks: return "lazy_fallbacks";
       default: return "unknown";
     }
 }

@@ -59,6 +59,16 @@
  *  - kFuzzPerturbations  schedule-fuzzer perturbations injected (yields,
  *                        spins, shuffled victims, forced steal failures)
  *
+ * Lazy non-blocking mode counters (the expression layer in
+ * src/matrix/lazy.h):
+ *
+ *  - kLazyOpsDeferred    operations recorded as unevaluated expression
+ *                        nodes instead of executing immediately
+ *  - kFusedChains        recognized chains collapsed into a single
+ *                        fused kernel by the fusion planner
+ *  - kLazyFallbacks      lazy-mode operations that evaluated eagerly
+ *                        because their shape was not recognized
+ *
  * Counters are per-thread (plain non-atomic increments) and aggregated
  * on demand, so instrumentation stays cheap enough to leave enabled in
  * the hot loops of every kernel.
@@ -92,6 +102,9 @@ enum CounterId : unsigned {
     kRacesDetected,
     kFuzzPerturbations,
     kObimCompactions,
+    kLazyOpsDeferred,
+    kFusedChains,
+    kLazyFallbacks,
     kNumCounters,
 };
 
@@ -147,6 +160,23 @@ struct Snapshot
 
 /// Bump a counter on the calling thread by @p amount.
 void bump(CounterId id, uint64_t amount = 1);
+
+/**
+ * The single entry point for kBytesMaterialized.
+ *
+ * Every allocation-site charge routes through here — grb::Vector's
+ * capacity watermark (Vector::charge_materialized), matrix builders,
+ * the SPA workspace, and the ls_* algorithms' working arrays — so the
+ * accounting policy lives in one place: charge bytes when backing
+ * storage actually grows, never when a buffer is reused. Fused and
+ * lazy execution paths therefore cannot double-count buffers the
+ * planner elided; they simply never allocate them.
+ */
+inline void
+charge_materialized(uint64_t bytes)
+{
+    bump(kBytesMaterialized, bytes);
+}
 
 /// The calling thread's own counter block. Reading it is race-free by
 /// construction (only the owner writes it); the span tracer snapshots
