@@ -9,17 +9,28 @@
  *  - Sparse-vector representation: dense array vs sorted sparse input
  *    to the same vxm.
  *  - do_all scheduling: static vs dynamic chunks on a skewed workload.
+ *  - Row storage x SIMD: pull mxv under each forced format (csr /
+ *    bitmap / sell), scalar vs AVX2, over the whole suite. The table
+ *    reports the tuner's own per-graph decision, the sell sweep's lane
+ *    utilization, and the bitmap's skipped-row count; a JSON record
+ *    per cell goes to results/BENCH_ablation_kernels.json so CI can
+ *    smoke-check the tuner (sell on road grids, bitmap/csr on power
+ *    law) and that SIMD never loses to scalar beyond noise.
  *
- * Run with --benchmark_filter=... to narrow; sizes are fixed (not
- * GAS_SCALE-scaled) so numbers are comparable across runs.
+ * Run with --benchmark_filter=... to narrow the google-benchmark
+ * section; its sizes are fixed (not GAS_SCALE-scaled) so numbers are
+ * comparable across runs. The format table scales with GAS_SCALE like
+ * every suite bench.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/suite.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "matrix/grb.h"
+#include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 
@@ -186,12 +197,151 @@ BM_DoAllDynamic(benchmark::State& state)
 }
 BENCHMARK(BM_DoAllDynamic)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Format x SIMD ablation over the suite graphs.
+// ---------------------------------------------------------------------
+
+/// Counter delta of one run of fn().
+template <typename Fn>
+gas::metrics::Snapshot
+counted_run(Fn&& fn)
+{
+    const gas::metrics::Interval interval;
+    fn();
+    return interval.delta();
+}
+
+/// Toggle the GAS_SIMD kill switch for a scope.
+class SimdScope
+{
+  public:
+    explicit SimdScope(bool enabled)
+    {
+        if (!enabled) {
+            setenv("GAS_SIMD", "0", 1);
+        } else {
+            unsetenv("GAS_SIMD");
+        }
+    }
+    ~SimdScope() { unsetenv("GAS_SIMD"); }
+};
+
+void
+run_format_ablation(const gas::bench::Config& config)
+{
+    using namespace gas;
+
+    core::Table table(
+        "Row-storage x SIMD ablation (pull mxv, PlusTimes<uint32_t>, "
+        "fully dense u): speedup over gb-csr-scalar");
+    table.set_header({"graph", "tuner", "csr", "csr+simd", "bitmap",
+                      "bitmap+simd", "sell", "sell+simd", "lane util",
+                      "rows skipped"});
+
+    std::vector<bench::JsonRecord> records;
+    constexpr grb::StorageFormat kFormats[] = {
+        grb::StorageFormat::kCsr, grb::StorageFormat::kBitmapCsr,
+        grb::StorageFormat::kSell};
+
+    for (const auto& name : core::suite_graph_names()) {
+        const auto input = core::build_suite_graph(name, config.scale);
+        const auto A =
+            grb::Matrix<uint32_t>::from_graph(input.directed, false);
+        const char* decision =
+            grb::storage_format_name(A.format_tuning().format);
+
+        grb::Vector<uint32_t> u(A.ncols());
+        for (grb::Index i = 0; i < A.ncols(); ++i) {
+            u.set_element(i, 1 + i % 7);
+        }
+        u.densify();
+
+        grb::BackendScope scope(grb::Backend::kParallel);
+        double csr_scalar = 0.0;
+        double lane_utilization = 0.0;
+        uint64_t rows_skipped = 0;
+        std::vector<std::string> row = {name, decision};
+        for (const grb::StorageFormat format : kFormats) {
+            grb::Matrix<uint32_t> M = A;
+            M.set_storage_format(format);
+            for (const bool simd : {false, true}) {
+                const SimdScope simd_scope(simd);
+                const double seconds =
+                    bench::timed_seconds_median(config.reps, [&] {
+                        grb::Vector<uint32_t> w;
+                        grb::mxv<grb::PlusTimes<uint32_t>>(
+                            w, grb::kDefaultDesc, M, u);
+                    });
+                const auto counters = counted_run([&] {
+                    grb::Vector<uint32_t> w;
+                    grb::mxv<grb::PlusTimes<uint32_t>>(
+                        w, grb::kDefaultDesc, M, u);
+                });
+                const uint64_t slots =
+                    counters[metrics::kSimdLaneSlots];
+                const uint64_t active =
+                    counters[metrics::kSimdLanesActive];
+                const uint64_t skipped =
+                    counters[metrics::kRowsSkippedBitmap];
+                const double util = slots > 0
+                    ? static_cast<double>(active) /
+                        static_cast<double>(slots)
+                    : 0.0;
+                if (format == grb::StorageFormat::kCsr && !simd) {
+                    csr_scalar = seconds;
+                    row.push_back("1.00x");
+                } else {
+                    row.push_back(
+                        bench::speedup_str(csr_scalar, seconds));
+                }
+                if (format == grb::StorageFormat::kSell && simd) {
+                    lane_utilization = util;
+                }
+                if (format == grb::StorageFormat::kBitmapCsr) {
+                    rows_skipped = skipped;
+                }
+
+                bench::JsonRecord r;
+                r.app = "mxv_pull";
+                r.graph = name;
+                r.api = std::string("gb-") +
+                    grb::storage_format_name(format) +
+                    (simd ? "-simd" : "-scalar");
+                r.threads = config.threads;
+                r.median_ms = seconds * 1e3;
+                r.extra.emplace_back(
+                    "format_decision",
+                    std::string("\"") + decision + "\"");
+                r.extra.emplace_back("simd", simd ? "1" : "0");
+                r.extra.emplace_back("lanes_active",
+                                     std::to_string(active));
+                r.extra.emplace_back("lane_slots",
+                                     std::to_string(slots));
+                r.extra.emplace_back("lane_utilization",
+                                     fixed(util, 4));
+                r.extra.emplace_back("rows_skipped_bitmap",
+                                     std::to_string(skipped));
+                records.push_back(std::move(r));
+            }
+        }
+        row.push_back(fixed(lane_utilization, 3));
+        row.push_back(std::to_string(rows_skipped));
+        table.add_row(std::move(row));
+    }
+
+    table.print();
+    bench::maybe_write_csv(table, config, "ablation_kernels");
+    bench::write_json_records(records,
+                              "results/BENCH_ablation_kernels.json");
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    gas::core::configure_threads_from_env();
+    const auto config = gas::bench::configure("ablation_kernels");
+    run_format_ablation(config);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

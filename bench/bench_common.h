@@ -15,6 +15,7 @@
  *                written to the named path at exit (see trace/trace.h)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -87,6 +88,26 @@ timed_seconds(unsigned reps, Fn&& fn)
         total += timer.seconds();
     }
     return total / reps;
+}
+
+/// Median seconds of `reps` runs of fn() — robust to the occasional
+/// interference spike that skews the mean on shared machines; used by
+/// cells that feed CI smoke gates.
+template <typename Fn>
+double
+timed_seconds_median(unsigned reps, Fn&& fn)
+{
+    std::vector<double> samples;
+    samples.reserve(reps);
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        Timer timer;
+        timer.start();
+        fn();
+        timer.stop();
+        samples.push_back(timer.seconds());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
 }
 
 /// "x.xx" speedup string; "-" when the denominator is unusable.

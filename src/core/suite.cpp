@@ -157,6 +157,12 @@ build_suite_graph(const std::string& name, double scale)
     suite_graph.symmetric = Graph::from_edge_list(sym, true);
     suite_graph.symmetric.sort_adjacencies();
 
+    // Warm the degree-stats cache at build time (one shared pass): the
+    // format tuner, compute_stats, and the benches all read it, and the
+    // build is setup work the paper excludes from timings anyway.
+    suite_graph.directed.degree_stats();
+    suite_graph.symmetric.degree_stats();
+
     // Paper policy: highest-degree source, except vertex 0 for roads.
     suite_graph.source = recipe.is_road
         ? 0

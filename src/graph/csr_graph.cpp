@@ -84,6 +84,16 @@ Graph::sort_adjacencies()
     }
 }
 
+const DegreeStats&
+Graph::degree_stats() const
+{
+    if (!degree_stats_) {
+        degree_stats_ = std::make_shared<const DegreeStats>(
+            compute_degree_stats({row_ptr_.data(), row_ptr_.size()}));
+    }
+    return *degree_stats_;
+}
+
 bool
 Graph::adjacencies_sorted() const
 {

@@ -11,8 +11,10 @@
  * never touch weights).
  */
 
+#include <memory>
 #include <span>
 
+#include "graph/degree_stats.h"
 #include "graph/edge_list.h"
 #include "support/check.h"
 #include "support/tracked_vector.h"
@@ -106,11 +108,22 @@ class Graph
     /// True if every adjacency list is sorted by destination id.
     bool adjacencies_sorted() const;
 
+    /**
+     * Degree-distribution statistics, computed once per graph on first
+     * use and cached (a Graph's topology is immutable after
+     * construction, so the cache never invalidates; copies share it).
+     * Consumers: compute_stats (Table I), the matrix layer's storage
+     * tuner (Matrix::from_graph), and the suite builder, which warms
+     * the cache during preprocessing so no timed region pays for it.
+     */
+    const DegreeStats& degree_stats() const;
+
   private:
     Node num_nodes_{0};
     TrackedVector<EdgeIdx> row_ptr_;
     TrackedVector<Node> col_;
     TrackedVector<Weight> weights_;
+    mutable std::shared_ptr<const DegreeStats> degree_stats_;
 };
 
 } // namespace gas::graph

@@ -1,0 +1,70 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gas::graph {
+
+DegreeStats
+compute_degree_stats(std::span<const uint64_t> row_ptr, unsigned lanes,
+                     unsigned sigma)
+{
+    DegreeStats stats;
+    if (row_ptr.size() < 2) {
+        return stats;
+    }
+    const std::size_t n = row_ptr.size() - 1;
+    stats.num_rows = n;
+    stats.num_entries = row_ptr[n] - row_ptr[0];
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const uint64_t degree = row_ptr[i + 1] - row_ptr[i];
+        stats.max_degree = std::max(stats.max_degree, degree);
+        if (degree == 0) {
+            ++stats.empty_rows;
+        }
+        const double d = static_cast<double>(degree);
+        sum += d;
+        sum_sq += d * d;
+    }
+    stats.avg_degree = sum / static_cast<double>(n);
+    stats.degree_variance = std::max(
+        0.0, sum_sq / static_cast<double>(n) -
+            stats.avg_degree * stats.avg_degree);
+    stats.degree_cv = stats.avg_degree > 0.0
+        ? std::sqrt(stats.degree_variance) / stats.avg_degree
+        : 0.0;
+    stats.empty_row_fraction =
+        static_cast<double>(stats.empty_rows) / static_cast<double>(n);
+
+    // Exact SELL padding for the layout the builder would produce:
+    // degrees sorted descending within each sigma window, slices of
+    // `lanes` rows padded to the slice maximum (partial final slices
+    // are padded to full lane width, matching the real structure).
+    if (stats.num_entries > 0) {
+        std::vector<uint64_t> window;
+        window.reserve(sigma);
+        uint64_t padded_slots = 0;
+        for (std::size_t base = 0; base < n; base += sigma) {
+            const std::size_t end = std::min(n, base + sigma);
+            window.clear();
+            for (std::size_t i = base; i < end; ++i) {
+                window.push_back(row_ptr[i + 1] - row_ptr[i]);
+            }
+            std::sort(window.begin(), window.end(),
+                      std::greater<uint64_t>());
+            for (std::size_t s = 0; s < window.size(); s += lanes) {
+                padded_slots += window[s] * lanes;
+            }
+        }
+        stats.sell_padding_overhead =
+            static_cast<double>(padded_slots - stats.num_entries) /
+            static_cast<double>(stats.num_entries);
+    }
+    return stats;
+}
+
+} // namespace gas::graph

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Degree-distribution statistics shared by the graph layer and the
+ * matrix layer's storage-format tuner.
+ *
+ * The stats are derived purely from a CSR row-pointer array, so the
+ * same code serves graph::Graph (row_ptr over out-edges) and
+ * grb::Matrix (row_ptr over stored entries): both use 64-bit offsets.
+ * Graph caches the result of the one O(n) + O(n log sigma) pass (see
+ * Graph::degree_stats), so call sites stop re-deriving degrees.
+ */
+
+#include <cstdint>
+#include <span>
+
+namespace gas::graph {
+
+/// SELL-C-sigma layout constants used by the padding-overhead estimate
+/// below and by the actual sliced-ELL builder in matrix/formats.h.
+/// C = 8 rows per slice (one AVX2 lane per row at 32-bit width);
+/// sigma = 64 rows per degree-sorting window (8 slices).
+inline constexpr unsigned kSellLanes = 8;
+inline constexpr unsigned kSellSigma = 64;
+
+/**
+ * Shape summary of a row-length (degree) distribution.
+ *
+ * degree_cv (coefficient of variation, stddev/mean) separates uniform
+ * degree graphs (road grids, ~0.2) from power-law graphs (>= 2);
+ * empty_row_fraction catches the isolated vertices RMAT generators
+ * produce in bulk; sell_padding_overhead is the exact fraction of
+ * padded slots a SELL-C-sigma layout of this distribution would waste
+ * (computed by sorting each sigma window, i.e. the layout the builder
+ * would actually produce, not a max-degree bound).
+ */
+struct DegreeStats
+{
+    uint64_t num_rows{0};
+    uint64_t num_entries{0};
+    uint64_t empty_rows{0};
+    uint64_t max_degree{0};
+    double avg_degree{0.0};
+    double degree_variance{0.0};
+    double degree_cv{0.0};
+    double empty_row_fraction{0.0};
+    /// (padded slots - stored entries) / stored entries; 0 when empty.
+    double sell_padding_overhead{0.0};
+};
+
+/// One pass over @p row_ptr (size n+1; empty span = empty graph).
+DegreeStats compute_degree_stats(std::span<const uint64_t> row_ptr,
+                                 unsigned lanes = kSellLanes,
+                                 unsigned sigma = kSellSigma);
+
+} // namespace gas::graph

@@ -45,15 +45,17 @@ compute_stats(const Graph& graph)
     GraphStats stats;
     stats.num_nodes = graph.num_nodes();
     stats.num_edges = graph.num_edges();
-    stats.avg_degree = stats.num_nodes == 0
-        ? 0.0
-        : static_cast<double>(stats.num_edges) / stats.num_nodes;
     stats.csr_bytes = graph.csr_bytes();
 
-    for (Node v = 0; v < graph.num_nodes(); ++v) {
-        stats.max_out_degree =
-            std::max(stats.max_out_degree, graph.out_degree(v));
-    }
+    // Out-degree statistics come from the graph's cached DegreeStats
+    // (one shared pass) instead of a private degree sweep per caller.
+    const DegreeStats& degrees = graph.degree_stats();
+    stats.avg_degree = degrees.avg_degree;
+    stats.max_out_degree = degrees.max_degree;
+    stats.degree_cv = degrees.degree_cv;
+    stats.empty_row_fraction = degrees.empty_row_fraction;
+    stats.sell_padding_overhead = degrees.sell_padding_overhead;
+
     const auto in = in_degrees(graph);
     for (Node v = 0; v < graph.num_nodes(); ++v) {
         stats.max_in_degree = std::max(stats.max_in_degree, in[v]);

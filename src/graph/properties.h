@@ -11,7 +11,8 @@
 
 namespace gas::graph {
 
-/// The per-graph properties reported in the paper's Table I.
+/// The per-graph properties reported in the paper's Table I, plus the
+/// degree-shape columns the matrix layer's storage tuner keys on.
 struct GraphStats
 {
     Node num_nodes{0};
@@ -23,6 +24,12 @@ struct GraphStats
     /// symmetrized graph.
     uint32_t approx_diameter{0};
     std::size_t csr_bytes{0};
+    /// Out-degree shape (from the graph's cached DegreeStats): the
+    /// coefficient of variation, the isolated-row fraction, and the
+    /// slot overhead a SELL-C-sigma layout of this graph would pad.
+    double degree_cv{0.0};
+    double empty_row_fraction{0.0};
+    double sell_padding_overhead{0.0};
 };
 
 /// Compute Table I statistics for @p graph.

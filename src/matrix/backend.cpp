@@ -1,5 +1,8 @@
 #include "matrix/types.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "matrix/lazy_registry.h"
 
 namespace gas::grb {
@@ -62,6 +65,36 @@ ExecModeScope::~ExecModeScope()
 {
     detail::flush_all_pending();
     set_exec_mode(saved_);
+}
+
+const char*
+storage_format_name(StorageFormat format)
+{
+    switch (format) {
+      case StorageFormat::kCsr: return "csr";
+      case StorageFormat::kBitmapCsr: return "bitmap";
+      case StorageFormat::kSell: return "sell";
+    }
+    return "unknown";
+}
+
+std::optional<StorageFormat>
+storage_format_from_env()
+{
+    const char* env = std::getenv("GAS_FORMAT");
+    if (env == nullptr) {
+        return std::nullopt;
+    }
+    if (std::strcmp(env, "csr") == 0) {
+        return StorageFormat::kCsr;
+    }
+    if (std::strcmp(env, "bitmap") == 0) {
+        return StorageFormat::kBitmapCsr;
+    }
+    if (std::strcmp(env, "sell") == 0) {
+        return StorageFormat::kSell;
+    }
+    return std::nullopt;
 }
 
 } // namespace gas::grb

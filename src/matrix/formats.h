@@ -1,0 +1,373 @@
+#pragma once
+
+/**
+ * @file
+ * Alternative row storages for grb::Matrix and the per-matrix format
+ * auto-tuner.
+ *
+ * The CSR arrays remain the source of truth (construction format,
+ * scatter kernels, transpose); this file adds two acceleration
+ * structures built lazily from them, each targeting a graph class from
+ * the paper's suite:
+ *
+ *  - RowBitmap: one presence bit per row plus per-word popcount rank
+ *    prefixes and a compacted nonempty-row list. Power-law generators
+ *    (RMAT) leave a large fraction of rows empty; pull kernels iterate
+ *    the compacted list instead of probing n row pointers, and
+ *    mxv_sparse filters sparse-mask candidates with an O(1) bit test.
+ *
+ *  - SellSlices: SELL-C-sigma sliced ELL. Rows are sorted by
+ *    descending length inside sigma-row windows, grouped into slices
+ *    of C rows, and each slice is padded to its longest row and stored
+ *    column-major, so a SIMD pull kernel walks one row per vector lane
+ *    with unit-stride loads of column ids and values. Near-uniform
+ *    degree distributions (road grids) pad almost nothing; the tuner
+ *    only picks this layout when the measured padding overhead is low.
+ *
+ * tune_format() picks between them from the degree-distribution shape
+ * (see choose_format for the heuristic), with a GAS_FORMAT=csr|bitmap|
+ * sell environment override for experiments and the CI format matrix.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "graph/degree_stats.h"
+#include "matrix/types.h"
+#include "metrics/counters.h"
+
+namespace gas::grb {
+
+using graph::DegreeStats;
+
+/// SELL slice width (rows per slice = vector lanes at 32-bit width)
+/// and degree-sorting window, shared with the padding estimator.
+inline constexpr unsigned kSellLanes = graph::kSellLanes;
+inline constexpr unsigned kSellSigma = graph::kSellSigma;
+
+/**
+ * Result of a tune() pass: the chosen format plus the statistics the
+ * decision was based on, kept so the SpMV cost model (ops_dispatch.h)
+ * and the ablation tables can see *why* a matrix landed where it did.
+ */
+struct FormatTuning
+{
+    StorageFormat format{StorageFormat::kCsr};
+    /// True when GAS_FORMAT overrode the heuristic.
+    bool forced{false};
+    double degree_cv{0.0};
+    double empty_row_fraction{0.0};
+    double sell_padding_overhead{0.0};
+};
+
+/**
+ * The tuner heuristic, mapping degree-distribution shape to a format.
+ *
+ * SELL wants near-uniform degrees: low coefficient of variation keeps
+ * slice padding down (the <= 25% padding bound is checked against the
+ * *measured* overhead of the layout the builder would produce, not a
+ * max-degree estimate). Road networks and grids land here.
+ *
+ * The bitmap pays off when many rows are empty (RMAT's isolated
+ * vertices) or the distribution is heavily skewed (cv >= 2 implies a
+ * hub-dominated structure where most rows are tiny or absent, so
+ * skipping row-pointer probes on absent rows matters).
+ *
+ * Everything else — moderate skew, dense rows — stays plain CSR,
+ * where the extra structures would cost memory without saving work.
+ */
+inline StorageFormat
+choose_format(const DegreeStats& stats)
+{
+    if (stats.num_rows == 0 || stats.num_entries == 0) {
+        return StorageFormat::kCsr;
+    }
+    if (stats.avg_degree >= 1.0 && stats.sell_padding_overhead <= 0.25 &&
+        stats.degree_cv <= 0.5) {
+        return StorageFormat::kSell;
+    }
+    if (stats.empty_row_fraction >= 0.05 || stats.degree_cv >= 2.0) {
+        return StorageFormat::kBitmapCsr;
+    }
+    return StorageFormat::kCsr;
+}
+
+/// Run the tuner (or the GAS_FORMAT override) over @p stats and record
+/// the decision in the format-selection counters.
+inline FormatTuning
+tune_format(const DegreeStats& stats)
+{
+    FormatTuning tuning;
+    tuning.degree_cv = stats.degree_cv;
+    tuning.empty_row_fraction = stats.empty_row_fraction;
+    tuning.sell_padding_overhead = stats.sell_padding_overhead;
+    if (const auto forced = storage_format_from_env()) {
+        tuning.format = *forced;
+        tuning.forced = true;
+    } else {
+        tuning.format = choose_format(stats);
+    }
+    switch (tuning.format) {
+      case StorageFormat::kCsr:
+        metrics::bump(metrics::kFormatCsrSelected);
+        break;
+      case StorageFormat::kBitmapCsr:
+        metrics::bump(metrics::kFormatBitmapSelected);
+        break;
+      case StorageFormat::kSell:
+        metrics::bump(metrics::kFormatSellSelected);
+        break;
+    }
+    return tuning;
+}
+
+/**
+ * Per-row presence bitmap over a CSR row-pointer array.
+ *
+ * words_ holds one bit per row (bit set = row has at least one stored
+ * entry); rank_ holds, per 64-bit word, the number of nonempty rows in
+ * all preceding words, so rank(r) — the index of row r among nonempty
+ * rows — is one popcount. nonempty_rows() is the compacted ascending
+ * list of nonempty row ids, the iteration order pull kernels use to
+ * touch only rows that exist.
+ */
+class RowBitmap
+{
+  public:
+    RowBitmap() = default;
+
+    explicit RowBitmap(std::span<const Nnz> row_ptr)
+    {
+        if (row_ptr.size() < 2) {
+            return;
+        }
+        const Index n = static_cast<Index>(row_ptr.size() - 1);
+        num_rows_ = n;
+        words_.assign((n + 63) / 64, 0);
+        for (Index r = 0; r < n; ++r) {
+            if (row_ptr[r + 1] > row_ptr[r]) {
+                words_[r / 64] |= uint64_t{1} << (r % 64);
+                nonempty_.push_back(r);
+            }
+        }
+        rank_.resize(words_.size() + 1);
+        rank_[0] = 0;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            rank_[w + 1] =
+                rank_[w] + static_cast<Index>(std::popcount(words_[w]));
+        }
+        metrics::charge_materialized(bytes());
+    }
+
+    Index num_rows() const { return num_rows_; }
+
+    Index
+    num_nonempty() const
+    {
+        return static_cast<Index>(nonempty_.size());
+    }
+
+    /// Does row @p r hold at least one stored entry?
+    bool
+    nonempty(Index r) const
+    {
+        return (words_[r / 64] >> (r % 64)) & 1;
+    }
+
+    /// Index of row @p r among nonempty rows (meaningful when
+    /// nonempty(r); otherwise the count of nonempty rows before r).
+    Index
+    rank(Index r) const
+    {
+        const uint64_t below = words_[r / 64] & ((uint64_t{1} << (r % 64)) - 1);
+        return rank_[r / 64] + static_cast<Index>(std::popcount(below));
+    }
+
+    /// Ascending ids of all nonempty rows.
+    std::span<const Index>
+    nonempty_rows() const
+    {
+        return {nonempty_.data(), nonempty_.size()};
+    }
+
+    std::size_t
+    bytes() const
+    {
+        return words_.size() * sizeof(uint64_t) +
+            rank_.size() * sizeof(Index) + nonempty_.size() * sizeof(Index);
+    }
+
+  private:
+    Index num_rows_{0};
+    std::vector<uint64_t> words_;
+    std::vector<Index> rank_;
+    std::vector<Index> nonempty_;
+};
+
+/**
+ * SELL-C-sigma sliced-ELL view of a CSR matrix.
+ *
+ * Rows are permuted by descending length inside each sigma-row window
+ * (ties broken by ascending row id so the layout is deterministic),
+ * then grouped into slices of kSellLanes rows. Each slice is padded to
+ * its longest member and stored column-major:
+ *
+ *     cols()[slice_ptr(s) + t * kSellLanes + lane]
+ *
+ * is the t-th column id of row row_of(s, lane) — so a vector load at
+ * step t fetches entry t of all C rows at once. Padding slots hold
+ * column 0 / value T{}; kernels never consume them (the per-lane
+ * length gates both the scalar and the masked-gather SIMD paths), the
+ * values exist only so the arrays are fully initialized.
+ *
+ * The trailing partial slice (when nrows % C != 0) is padded with
+ * phantom rows of length 0: perm() and lens() have num_slices() * C
+ * entries, so kernels index them without bounds checks.
+ */
+template <typename T>
+class SellSlices
+{
+  public:
+    SellSlices() = default;
+
+    SellSlices(std::span<const Nnz> row_ptr, std::span<const Index> col,
+               std::span<const T> vals)
+    {
+        if (row_ptr.size() < 2) {
+            return;
+        }
+        const Index n = static_cast<Index>(row_ptr.size() - 1);
+        num_rows_ = n;
+        num_slices_ = (n + kSellLanes - 1) / kSellLanes;
+        const std::size_t padded_rows =
+            static_cast<std::size_t>(num_slices_) * kSellLanes;
+
+        // Degree-sort rows inside sigma windows (descending, stable on
+        // id): this is exactly the ordering compute_degree_stats prices
+        // when it reports sell_padding_overhead.
+        perm_.resize(padded_rows);
+        std::iota(perm_.begin(), perm_.begin() + n, Index{0});
+        for (Index w = 0; w < n; w += kSellSigma) {
+            const Index w_end = std::min<Index>(w + kSellSigma, n);
+            std::sort(perm_.begin() + w, perm_.begin() + w_end,
+                      [&](Index a, Index b) {
+                          const Nnz la = row_ptr[a + 1] - row_ptr[a];
+                          const Nnz lb = row_ptr[b + 1] - row_ptr[b];
+                          return la != lb ? la > lb : a < b;
+                      });
+        }
+        // Phantom rows padding the final slice: row id 0 with length 0
+        // (the id is never dereferenced because the length gates it).
+        std::fill(perm_.begin() + n, perm_.end(), Index{0});
+
+        lens_.resize(padded_rows);
+        for (std::size_t i = 0; i < padded_rows; ++i) {
+            lens_[i] = i < n
+                ? static_cast<Index>(row_ptr[perm_[i] + 1] -
+                                     row_ptr[perm_[i]])
+                : Index{0};
+        }
+
+        // Slice extents: each slice is padded to its longest row (its
+        // lane-0 row, thanks to the descending sort).
+        slice_ptr_.resize(static_cast<std::size_t>(num_slices_) + 1);
+        slice_ptr_[0] = 0;
+        for (Index s = 0; s < num_slices_; ++s) {
+            Index widest = 0;
+            for (unsigned lane = 0; lane < kSellLanes; ++lane) {
+                widest = std::max(
+                    widest,
+                    lens_[static_cast<std::size_t>(s) * kSellLanes + lane]);
+            }
+            slice_ptr_[s + 1] = slice_ptr_[s] +
+                static_cast<uint64_t>(widest) * kSellLanes;
+        }
+
+        const uint64_t slots = slice_ptr_[num_slices_];
+        cols_.assign(slots, Index{0});
+        vals_.assign(slots, T{});
+        for (Index s = 0; s < num_slices_; ++s) {
+            const uint64_t base = slice_ptr_[s];
+            for (unsigned lane = 0; lane < kSellLanes; ++lane) {
+                const std::size_t slot_row =
+                    static_cast<std::size_t>(s) * kSellLanes + lane;
+                const Index len = lens_[slot_row];
+                if (len == 0) {
+                    continue;
+                }
+                const Nnz src = row_ptr[perm_[slot_row]];
+                for (Index t = 0; t < len; ++t) {
+                    const uint64_t slot = base +
+                        static_cast<uint64_t>(t) * kSellLanes + lane;
+                    cols_[slot] = col[src + t];
+                    vals_[slot] = vals[src + t];
+                }
+            }
+        }
+        metrics::charge_materialized(bytes());
+    }
+
+    Index num_rows() const { return num_rows_; }
+    Index num_slices() const { return num_slices_; }
+
+    /// First slot of slice @p s in cols()/vals().
+    uint64_t slice_begin(Index s) const { return slice_ptr_[s]; }
+
+    /// Padded length (steps) of slice @p s.
+    Index
+    slice_width(Index s) const
+    {
+        return static_cast<Index>((slice_ptr_[s + 1] - slice_ptr_[s]) /
+                                  kSellLanes);
+    }
+
+    /// Original row id in lane @p lane of slice @p s.
+    Index
+    row_of(Index s, unsigned lane) const
+    {
+        return perm_[static_cast<std::size_t>(s) * kSellLanes + lane];
+    }
+
+    /// Stored length of the row in lane @p lane of slice @p s.
+    Index
+    len_of(Index s, unsigned lane) const
+    {
+        return lens_[static_cast<std::size_t>(s) * kSellLanes + lane];
+    }
+
+    std::span<const Index> perm() const { return perm_; }
+    std::span<const Index> lens() const { return lens_; }
+    std::span<const uint64_t> slice_ptr() const { return slice_ptr_; }
+    std::span<const Index> cols() const { return cols_; }
+    std::span<const T> vals() const { return vals_; }
+
+    /// Total lane-slots including padding (for utilization accounting).
+    uint64_t
+    padded_slots() const
+    {
+        return slice_ptr_.empty() ? 0 : slice_ptr_.back();
+    }
+
+    std::size_t
+    bytes() const
+    {
+        return perm_.size() * sizeof(Index) + lens_.size() * sizeof(Index) +
+            slice_ptr_.size() * sizeof(uint64_t) +
+            cols_.size() * sizeof(Index) + vals_.size() * sizeof(T);
+    }
+
+  private:
+    Index num_rows_{0};
+    Index num_slices_{0};
+    std::vector<Index> perm_;
+    std::vector<Index> lens_;
+    std::vector<uint64_t> slice_ptr_;
+    std::vector<Index> cols_;
+    std::vector<T> vals_;
+};
+
+} // namespace gas::grb

@@ -12,6 +12,7 @@
  */
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <span>
 #include <tuple>
@@ -19,6 +20,8 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/degree_stats.h"
+#include "matrix/formats.h"
 #include "matrix/types.h"
 #include "metrics/counters.h"
 #include "support/check.h"
@@ -37,6 +40,37 @@ class Matrix
     {
         row_ptr_.assign(static_cast<std::size_t>(nrows) + 1, Nnz{0});
     }
+
+    // The acceleration structures (row bitmap, SELL slices) are caches
+    // over the CSR arrays: copies share nothing and rebuild lazily,
+    // moves carry them along.
+    Matrix(const Matrix& other)
+        : nrows_(other.nrows_), ncols_(other.ncols_),
+          row_ptr_(other.row_ptr_), col_(other.col_), vals_(other.vals_),
+          tuned_(other.tuned_), tuning_(other.tuning_)
+    {
+    }
+
+    Matrix&
+    operator=(const Matrix& other)
+    {
+        if (this != &other) {
+            nrows_ = other.nrows_;
+            ncols_ = other.ncols_;
+            row_ptr_ = other.row_ptr_;
+            col_ = other.col_;
+            vals_ = other.vals_;
+            tuned_ = other.tuned_;
+            tuning_ = other.tuning_;
+            bitmap_.reset();
+            sell_.reset();
+        }
+        return *this;
+    }
+
+    Matrix(Matrix&&) noexcept = default;
+    Matrix& operator=(Matrix&&) noexcept = default;
+    ~Matrix() = default;
 
     /// Adjacency matrix of @p graph. Entry values are the edge weights
     /// when @p use_weights (and the graph has them), otherwise 1.
@@ -65,6 +99,9 @@ class Matrix
             }
         }
         m.sort_rows();
+        // The graph has the same row structure, so its cached degree
+        // stats feed the format tuner without a second pass.
+        m.tune_from(graph.degree_stats());
         return m;
     }
 
@@ -90,6 +127,7 @@ class Matrix
             m.vals_[slot] = v;
         }
         m.sort_rows();
+        m.tune();
         return m;
     }
 
@@ -160,6 +198,7 @@ class Matrix
         metrics::charge_materialized(t.bytes());
         // Row-major traversal of the source emits ascending rows, so
         // each output row is already sorted.
+        t.tune();
         return t;
     }
 
@@ -186,16 +225,125 @@ class Matrix
     }
 
     // Raw array access for kernels constructing matrices directly.
-    TrackedVector<Nnz>& raw_row_ptr() { return row_ptr_; }
+    // Handing out a mutable view may change the row structure, so the
+    // tuning decision and acceleration structures are dropped; they
+    // re-derive lazily on the next format query.
+    TrackedVector<Nnz>& raw_row_ptr()
+    {
+        invalidate_storage();
+        return row_ptr_;
+    }
     const TrackedVector<Nnz>& raw_row_ptr() const { return row_ptr_; }
-    TrackedVector<Index>& raw_col() { return col_; }
+    TrackedVector<Index>& raw_col()
+    {
+        invalidate_storage();
+        return col_;
+    }
     const TrackedVector<Index>& raw_col() const { return col_; }
-    TrackedVector<T>& raw_vals() { return vals_; }
+    TrackedVector<T>& raw_vals()
+    {
+        invalidate_storage();
+        return vals_;
+    }
     const TrackedVector<T>& raw_vals() const { return vals_; }
     void set_dims(Index nrows, Index ncols)
     {
         nrows_ = nrows;
         ncols_ = ncols;
+        invalidate_storage();
+    }
+
+    // -----------------------------------------------------------------
+    // Storage-format tuning (matrix/formats.h).
+    //
+    // Every matrix keeps its CSR arrays; the tuner additionally picks a
+    // row-storage strategy per matrix from the degree distribution (or
+    // the GAS_FORMAT override). The pull kernels consult
+    // storage_format() at entry — outside any parallel region — so the
+    // lazy derivations below are single-threaded by construction.
+    // -----------------------------------------------------------------
+
+    /// Re-run the tuner now (from_graph/from_tuples/transpose call this
+    /// eagerly; matrices assembled through raw accessors tune lazily).
+    void
+    tune()
+    {
+        invalidate_storage();
+        ensure_tuned();
+    }
+
+    /// Adopt a tuning decision computed from shared degree stats
+    /// (avoids re-deriving them when a Graph already has them cached).
+    void
+    tune_from(const graph::DegreeStats& stats)
+    {
+        invalidate_storage();
+        tuning_ = tune_format(stats);
+        tuned_ = true;
+    }
+
+    /// Selected row storage (tunes lazily on first query).
+    StorageFormat
+    storage_format() const
+    {
+        ensure_tuned();
+        return tuning_.format;
+    }
+
+    /// Full tuning record: decision plus the stats it was based on.
+    const FormatTuning&
+    format_tuning() const
+    {
+        ensure_tuned();
+        return tuning_;
+    }
+
+    /// Force a specific format (ablation tables and tests). Marked as
+    /// forced so the record distinguishes it from a tuner decision.
+    void
+    set_storage_format(StorageFormat format)
+    {
+        ensure_tuned();
+        if (tuning_.format != format) {
+            bitmap_.reset();
+            sell_.reset();
+        }
+        tuning_.format = format;
+        tuning_.forced = true;
+    }
+
+    /// Row presence bitmap, built on first use from the CSR arrays.
+    const RowBitmap&
+    row_bitmap() const
+    {
+        if (!bitmap_) {
+            bitmap_ = std::make_unique<const RowBitmap>(
+                std::span<const Nnz>{row_ptr_.data(), row_ptr_.size()});
+        }
+        return *bitmap_;
+    }
+
+    /// SELL-C-sigma slices, built on first use from the CSR arrays.
+    const SellSlices<T>&
+    sell_slices() const
+    {
+        if (!sell_) {
+            sell_ = std::make_unique<const SellSlices<T>>(
+                std::span<const Nnz>{row_ptr_.data(), row_ptr_.size()},
+                std::span<const Index>{col_.data(), col_.size()},
+                std::span<const T>{vals_.data(), vals_.size()});
+        }
+        return *sell_;
+    }
+
+    /// Drop the tuning decision and derived structures (topology may
+    /// be about to change).
+    void
+    invalidate_storage()
+    {
+        tuned_ = false;
+        bitmap_.reset();
+        sell_.reset();
     }
 
   private:
@@ -225,11 +373,30 @@ class Matrix
         }
     }
 
+    /// Run the tuner over the CSR row pointers if not yet tuned.
+    /// Const (and the members below mutable) because kernels taking
+    /// const Matrix& query the format; see the class comment on
+    /// single-threaded derivation.
+    void
+    ensure_tuned() const
+    {
+        if (!tuned_) {
+            tuning_ = tune_format(graph::compute_degree_stats(
+                {row_ptr_.data(), row_ptr_.size()}));
+            tuned_ = true;
+        }
+    }
+
     Index nrows_{0};
     Index ncols_{0};
     TrackedVector<Nnz> row_ptr_;
     TrackedVector<Index> col_;
     TrackedVector<T> vals_;
+
+    mutable bool tuned_{false};
+    mutable FormatTuning tuning_{};
+    mutable std::unique_ptr<const RowBitmap> bitmap_;
+    mutable std::unique_ptr<const SellSlices<T>> sell_;
 };
 
 } // namespace gas::grb

@@ -206,9 +206,21 @@ class SpmvDispatcher
         }
         // The n/8 term charges the per-row loop / candidate-merge
         // overhead of the pull kernels.
-        const double pull_cost =
-            static_cast<double>(candidates) * per_row +
-            static_cast<double>(n) / 8.0;
+        double candidate_rows = static_cast<double>(candidates);
+        double overhead_rows = static_cast<double>(n) / 8.0;
+        // Price the transpose's tuned storage. A row bitmap filters
+        // empty rows out of the candidate list and the row loop before
+        // any row pointer is touched, shrinking both terms by the
+        // empty-row fraction. (SELL's SIMD sweep needs a fully present
+        // u, which a sparse frontier never is after densification, so
+        // it does not discount this sparse-frontier price.)
+        const FormatTuning& tuning = At_->format_tuning();
+        if (tuning.format == StorageFormat::kBitmapCsr) {
+            const double occupied = 1.0 - tuning.empty_row_fraction;
+            candidate_rows *= occupied;
+            overhead_rows *= occupied;
+        }
+        const double pull_cost = candidate_rows * per_row + overhead_rows;
         const double push_cost = static_cast<double>(frontier_edges);
 
         if (last_ == Direction::kPull) {

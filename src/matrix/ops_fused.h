@@ -152,6 +152,20 @@ vxm_fused(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     const MT* const mvals =
         edge_mask ? mask->dense_values().data() : nullptr;
 
+    // Same row-bitmap probe as plain vxm: skip empty rows before their
+    // pointers are touched (kLabelReads parity is kept by billing the
+    // u-entry read in the skip path).
+    const RowBitmap* bitmap =
+        A.storage_format() == StorageFormat::kBitmapCsr ? &A.row_bitmap()
+                                                        : nullptr;
+    auto probe_skips = [&](Index i) {
+        if (bitmap != nullptr && !bitmap->nonempty(i)) {
+            metrics::bump(metrics::kLabelReads);
+            return true;
+        }
+        return false;
+    };
+
     auto scatter_row = [&](Index i, T x) {
         metrics::bump(metrics::kLabelReads);
         const Nnz begin = A.row_begin(i);
@@ -183,10 +197,20 @@ vxm_fused(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
         rt::do_all_blocked(
             u.size(),
             [&](rt::Range range) {
+                uint64_t bitmap_skips = 0;
                 for (std::size_t i = range.begin; i < range.end; ++i) {
                     if (upresent[i] != 0) {
-                        scatter_row(static_cast<Index>(i), uvals[i]);
+                        const Index row = static_cast<Index>(i);
+                        if (probe_skips(row)) {
+                            ++bitmap_skips;
+                            continue;
+                        }
+                        scatter_row(row, uvals[i]);
                     }
+                }
+                if (bitmap_skips != 0) {
+                    metrics::bump(metrics::kRowsSkippedBitmap,
+                                  bitmap_skips);
                 }
             },
             backend_schedule());
@@ -196,8 +220,17 @@ vxm_fused(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
         rt::do_all_blocked(
             uidx.size(),
             [&](rt::Range range) {
+                uint64_t bitmap_skips = 0;
                 for (std::size_t k = range.begin; k < range.end; ++k) {
+                    if (probe_skips(uidx[k])) {
+                        ++bitmap_skips;
+                        continue;
+                    }
                     scatter_row(uidx[k], usv[k]);
+                }
+                if (bitmap_skips != 0) {
+                    metrics::bump(metrics::kRowsSkippedBitmap,
+                                  bitmap_skips);
                 }
             },
             backend_schedule());
@@ -249,13 +282,19 @@ vxm_fused(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
  * w<mask> = A * u with w(i) = add_j mul(A(i,j), uview(j)), @p extras
  * invoked on each emitted row entry. Same mask-skip and
  * absorbing-element early exit as plain mxv; dense output.
+ *
+ * Format-aware like plain mxv: @p udense, when non-null, asserts that
+ * the view is a fully present dense array starting there, which
+ * unlocks the SELL + SIMD slice sweep (extras applied in the emit
+ * hook, still pre-store); a row bitmap drives the row loop over
+ * nonempty rows only.
  */
 template <typename Semiring, typename T, typename MT, typename UView,
           typename Extras>
 void
 mxv_fused(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
           const Matrix<T>& A, UView uview, Extras&& extras,
-          Vector<T>* recycle = nullptr)
+          Vector<T>* recycle = nullptr, const T* udense = nullptr)
 {
     GAS_CHECK(recycle != &w, "mxv_fused: recycle must not alias w");
     trace::Span span(trace::Category::kGrb, "mxv_fused", A.nrows());
@@ -277,58 +316,133 @@ mxv_fused(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     const MaskView<MT> view(mask, desc);
     std::atomic<Nnz> count{0};
 
-    rt::do_all_blocked(
-        A.nrows(),
-        [&](rt::Range range) {
-            Nnz local = 0;
-            uint64_t skipped_rows = 0;
-            uint64_t short_circuited = 0;
-            uint64_t visited = 0;
-            for (std::size_t ri = range.begin; ri < range.end; ++ri) {
-                const Index i = static_cast<Index>(ri);
-                if (!view.test(i)) {
-                    ++skipped_rows;
-                    continue;
-                }
-                T accum = Semiring::identity();
-                bool hit = false;
-                const Nnz begin = A.row_begin(i);
-                const Nnz end = A.row_end(i);
-                for (Nnz e = begin; e < end; ++e) {
-                    ++visited;
-                    const Index j = A.col_at(e);
-                    if (uview.has(j)) {
-                        accum = Semiring::add(
-                            accum,
-                            Semiring::mul(A.val_at(e), uview.value(j)));
-                        hit = true;
-                        metrics::bump(metrics::kLabelReads);
-                        if constexpr (HasAbsorbing<Semiring>) {
-                            if (accum == Semiring::absorbing()) {
-                                short_circuited += end - (e + 1);
-                                break;
+    const StorageFormat fmt = A.storage_format();
+
+    // SELL + SIMD fast path, as in plain mxv; extras runs inside the
+    // emit hook so the fused semantics (hook before the store) hold.
+    bool simd_done = false;
+    if constexpr (simd::kHasSimd<Semiring> && !HasAbsorbing<Semiring>) {
+        // Unlike plain mxv, the fallthrough here is a fully scalar
+        // scan (no within-row SIMD variant of the fused hook), so the
+        // sweep is taken whenever it is legal — prefer_sell_sweep's
+        // long-row exception has no better path to defer to.
+        if (fmt == StorageFormat::kSell && udense != nullptr &&
+            simd::simd_enabled() && simd::simd_cols_ok(A.ncols())) {
+            const auto& sell = A.sell_slices();
+            rt::do_all_blocked(
+                sell.num_slices(),
+                [&](rt::Range range) {
+                    Nnz local = 0;
+                    uint64_t skipped_rows = 0;
+                    simd::SimdStats stats;
+                    simd::sell_sweep_avx2<Semiring>(
+                        sell, static_cast<Index>(range.begin),
+                        static_cast<Index>(range.end), udense,
+                        [&](Index i) {
+                            if (view.test(i)) {
+                                return true;
                             }
+                            ++skipped_rows;
+                            return false;
+                        },
+                        [&](Index i, T value) {
+                            extras(i, value);
+                            out[i] = value;
+                            present[i] = 1;
+                            ++local;
+                            metrics::bump(metrics::kLabelWrites);
+                        },
+                        stats);
+                    count.fetch_add(local, std::memory_order_relaxed);
+                    metrics::bump(metrics::kEdgeVisits, stats.visited);
+                    metrics::bump(metrics::kWorkItems, stats.visited);
+                    metrics::bump(metrics::kLabelReads, stats.visited);
+                    if (mask != nullptr) {
+                        metrics::bump(metrics::kMaskSkippedRows,
+                                      skipped_rows);
+                    }
+                    metrics::bump(metrics::kSimdLanesActive,
+                                  stats.lanes_active);
+                    metrics::bump(metrics::kSimdLaneSlots,
+                                  stats.lane_slots);
+                },
+                backend_schedule());
+            simd_done = true;
+        }
+    }
+
+    auto scan_rows = [&](rt::Range range, auto row_at) {
+        Nnz local = 0;
+        uint64_t skipped_rows = 0;
+        uint64_t short_circuited = 0;
+        uint64_t visited = 0;
+        for (std::size_t ri = range.begin; ri < range.end; ++ri) {
+            const Index i = row_at(ri);
+            if (!view.test(i)) {
+                ++skipped_rows;
+                continue;
+            }
+            T accum = Semiring::identity();
+            bool hit = false;
+            const Nnz begin = A.row_begin(i);
+            const Nnz end = A.row_end(i);
+            for (Nnz e = begin; e < end; ++e) {
+                ++visited;
+                const Index j = A.col_at(e);
+                if (uview.has(j)) {
+                    accum = Semiring::add(
+                        accum,
+                        Semiring::mul(A.val_at(e), uview.value(j)));
+                    hit = true;
+                    metrics::bump(metrics::kLabelReads);
+                    if constexpr (HasAbsorbing<Semiring>) {
+                        if (accum == Semiring::absorbing()) {
+                            short_circuited += end - (e + 1);
+                            break;
                         }
                     }
                 }
-                if (hit) {
-                    T value = accum;
-                    extras(i, value);
-                    out[i] = value;
-                    present[i] = 1;
-                    ++local;
-                    metrics::bump(metrics::kLabelWrites);
-                }
             }
-            count.fetch_add(local, std::memory_order_relaxed);
-            metrics::bump(metrics::kEdgeVisits, visited);
-            metrics::bump(metrics::kWorkItems, visited);
-            if (mask != nullptr) {
-                metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
+            if (hit) {
+                T value = accum;
+                extras(i, value);
+                out[i] = value;
+                present[i] = 1;
+                ++local;
+                metrics::bump(metrics::kLabelWrites);
             }
-            metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
-        },
-        backend_schedule());
+        }
+        count.fetch_add(local, std::memory_order_relaxed);
+        metrics::bump(metrics::kEdgeVisits, visited);
+        metrics::bump(metrics::kWorkItems, visited);
+        if (mask != nullptr) {
+            metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
+        }
+        metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
+    };
+
+    if (simd_done) {
+        // Output already built by the slice sweep.
+    } else if (fmt == StorageFormat::kBitmapCsr) {
+        const auto rows = A.row_bitmap().nonempty_rows();
+        metrics::bump(metrics::kRowsSkippedBitmap,
+                      static_cast<uint64_t>(A.nrows()) - rows.size());
+        rt::do_all_blocked(
+            rows.size(),
+            [&](rt::Range range) {
+                scan_rows(range, [&](std::size_t ri) { return rows[ri]; });
+            },
+            backend_schedule());
+    } else {
+        rt::do_all_blocked(
+            A.nrows(),
+            [&](rt::Range range) {
+                scan_rows(range, [](std::size_t ri) {
+                    return static_cast<Index>(ri);
+                });
+            },
+            backend_schedule());
+    }
     result.set_dense_nvals(count.load());
     result.charge_materialized();
     if (recycle != nullptr) {
@@ -379,11 +493,16 @@ dispatch_spmv_fused(SpmvDispatcher<T>& dispatcher, Vector<T>& w,
                 dense_copy.densify();
                 uview = &dense_copy;
             }
+            // A fully present operand unlocks the SELL + SIMD sweep.
+            const T* udense =
+                uview->nvals() == static_cast<Nnz>(uview->size())
+                ? uview->dense_values().data()
+                : nullptr;
             mxv_fused<FlipMul<Semiring>>(
                 w, mask, desc, At,
                 DirectUView<T>{uview->dense_presence().data(),
                                uview->dense_values().data()},
-                extras, recycle);
+                extras, recycle, udense);
         }
     }
     dispatcher.note_executed(dir);

@@ -22,14 +22,81 @@
  * mxv_sparse is the mask-driven pull variant: when the mask is sparse
  * it iterates only candidate rows (mask support, or its sorted
  * complement) instead of all n, producing a sparse output.
+ *
+ * All three kernels are storage-format aware (matrix/formats.h): with
+ * a row bitmap the pull kernels iterate only nonempty rows and the
+ * push kernel probes rows before touching their pointers; with SELL
+ * slices and a SIMD-capable semiring the dense pull kernel runs the
+ * vectorized slice sweep (matrix/simd_spmv.h). Every accelerated path
+ * produces the same entries as the plain CSR scan — bit-identical for
+ * the SELL sweep, value-identical for the order-free within-row path.
  */
 
 #include "matrix/matrix.h"
 #include "matrix/ops_common.h"
 #include "matrix/semiring.h"
+#include "matrix/simd_spmv.h"
 #include "trace/trace.h"
 
 namespace gas::grb {
+
+namespace detail {
+
+/**
+ * Scan one matrix row against a densified u, returning whether any
+ * entry contributed and leaving the accumulated value in @p accum.
+ *
+ * This is the shared inner loop of mxv and mxv_sparse. When
+ * @p use_row_simd (caller established: SIMD enabled, u fully present,
+ * column ids gather-safe) and the semiring's add is order-free, rows of
+ * at least kCsrSimdMinRow entries run the vectorized within-row
+ * accumulation; everything else takes the scalar loop with the
+ * absorbing-element early exit.
+ */
+template <typename Semiring, typename T>
+inline bool
+pull_row_scan(const Matrix<T>& A, Index i, const uint8_t* upresent,
+              const T* uvals, bool use_row_simd, T& accum,
+              uint64_t& visited, uint64_t& short_circuited,
+              simd::SimdStats& sstats)
+{
+    const Nnz begin = A.row_begin(i);
+    const Nnz end = A.row_end(i);
+    accum = Semiring::identity();
+    if constexpr (simd::kHasSimd<Semiring> && simd::kSimdOrderFree<Semiring>) {
+        if (use_row_simd && end - begin >= simd::kCsrSimdMinRow) {
+            const Index len = static_cast<Index>(end - begin);
+            accum = simd::csr_row_accumulate_avx2<Semiring>(
+                A.raw_col().data() + begin, A.raw_vals().data() + begin,
+                len, uvals, sstats);
+            visited += len;
+            metrics::bump(metrics::kLabelReads, len);
+            return true;
+        }
+    }
+    bool hit = false;
+    for (Nnz e = begin; e < end; ++e) {
+        ++visited;
+        const Index j = A.col_at(e);
+        if (upresent[j] != 0) {
+            accum =
+                Semiring::add(accum, Semiring::mul(A.val_at(e), uvals[j]));
+            hit = true;
+            metrics::bump(metrics::kLabelReads);
+            if constexpr (HasAbsorbing<Semiring>) {
+                // The add monoid saturated: no later edge can change
+                // accum, so stop the row scan.
+                if (accum == Semiring::absorbing()) {
+                    short_circuited += end - (e + 1);
+                    break;
+                }
+            }
+        }
+    }
+    return hit;
+}
+
+} // namespace detail
 
 /**
  * w<mask> = u * A over a semiring: w(j) = add_i mul(u(i), A(i,j)).
@@ -52,6 +119,15 @@ vxm(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     uint8_t* const occ = spa.occupied();
     rt::InsertBag<Index> touched;
 
+    // With a row bitmap, probe each active row before touching its
+    // pointers: frontiers over power-law graphs routinely land on
+    // vertices with no out-edges. The kLabelReads bump for reading u's
+    // entry still happens (in the skip path below), so label traffic
+    // accounting matches the plain CSR scatter exactly.
+    const RowBitmap* bitmap =
+        A.storage_format() == StorageFormat::kBitmapCsr ? &A.row_bitmap()
+                                                        : nullptr;
+
     auto scatter_row = [&](Index i, T x) {
         metrics::bump(metrics::kLabelReads);
         const Nnz begin = A.row_begin(i);
@@ -71,16 +147,34 @@ vxm(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
         }
     };
 
+    auto probe_skips = [&](Index i) {
+        if (bitmap != nullptr && !bitmap->nonempty(i)) {
+            metrics::bump(metrics::kLabelReads);
+            return true;
+        }
+        return false;
+    };
+
     if (u.format() == VectorFormat::kDense) {
         const auto& uvals = u.dense_values();
         const auto& upresent = u.dense_presence();
         rt::do_all_blocked(
             u.size(),
             [&](rt::Range range) {
+                uint64_t bitmap_skips = 0;
                 for (std::size_t i = range.begin; i < range.end; ++i) {
                     if (upresent[i] != 0) {
-                        scatter_row(static_cast<Index>(i), uvals[i]);
+                        const Index row = static_cast<Index>(i);
+                        if (probe_skips(row)) {
+                            ++bitmap_skips;
+                            continue;
+                        }
+                        scatter_row(row, uvals[i]);
                     }
+                }
+                if (bitmap_skips != 0) {
+                    metrics::bump(metrics::kRowsSkippedBitmap,
+                                  bitmap_skips);
                 }
             },
             backend_schedule());
@@ -90,8 +184,17 @@ vxm(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
         rt::do_all_blocked(
             uidx.size(),
             [&](rt::Range range) {
+                uint64_t bitmap_skips = 0;
                 for (std::size_t k = range.begin; k < range.end; ++k) {
+                    if (probe_skips(uidx[k])) {
+                        ++bitmap_skips;
+                        continue;
+                    }
                     scatter_row(uidx[k], uvals[k]);
+                }
+                if (bitmap_skips != 0) {
+                    metrics::bump(metrics::kRowsSkippedBitmap,
+                                  bitmap_skips);
                 }
             },
             backend_schedule());
@@ -151,6 +254,8 @@ mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     }
     const auto& uvals = uview->dense_values();
     const auto& upresent = uview->dense_presence();
+    const bool u_all_present =
+        uview->nvals() == static_cast<Nnz>(uview->size());
 
     Vector<T> result(A.nrows());
     result.densify();
@@ -159,57 +264,123 @@ mxv(Vector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     const MaskView<MT> view(mask, desc);
     std::atomic<Nnz> count{0};
 
-    rt::do_all_blocked(
-        A.nrows(),
-        [&](rt::Range range) {
-            Nnz local = 0;
-            uint64_t skipped_rows = 0;
-            uint64_t short_circuited = 0;
-            uint64_t visited = 0;
-            for (std::size_t ri = range.begin; ri < range.end; ++ri) {
-                const Index i = static_cast<Index>(ri);
-                if (!view.test(i)) {
-                    ++skipped_rows;
-                    continue;
-                }
-                T accum = Semiring::identity();
-                bool hit = false;
-                const Nnz begin = A.row_begin(i);
-                const Nnz end = A.row_end(i);
-                for (Nnz e = begin; e < end; ++e) {
-                    ++visited;
-                    const Index j = A.col_at(e);
-                    if (upresent[j] != 0) {
-                        accum = Semiring::add(
-                            accum, Semiring::mul(A.val_at(e), uvals[j]));
-                        hit = true;
-                        metrics::bump(metrics::kLabelReads);
-                        if constexpr (HasAbsorbing<Semiring>) {
-                            // The add monoid saturated: no later edge
-                            // can change accum, so stop the row scan.
-                            if (accum == Semiring::absorbing()) {
-                                short_circuited += end - (e + 1);
-                                break;
+    const StorageFormat fmt = A.storage_format();
+    const bool use_simd = u_all_present && simd::simd_enabled() &&
+        simd::simd_cols_ok(A.ncols());
+
+    // SELL + SIMD fast path: one row per vector lane, bit-identical to
+    // the scalar scan (each lane accumulates its row sequentially).
+    // Absorbing semirings keep the scalar loop for its early exit, and
+    // long-row order-free products keep the within-row path below
+    // (prefer_sell_sweep).
+    if constexpr (simd::kHasSimd<Semiring> && !HasAbsorbing<Semiring>) {
+        if (fmt == StorageFormat::kSell && use_simd &&
+            simd::prefer_sell_sweep<Semiring>(A.nvals(), A.nrows())) {
+            const auto& sell = A.sell_slices();
+            rt::do_all_blocked(
+                sell.num_slices(),
+                [&](rt::Range range) {
+                    Nnz local = 0;
+                    uint64_t skipped_rows = 0;
+                    simd::SimdStats stats;
+                    simd::sell_sweep_avx2<Semiring>(
+                        sell, static_cast<Index>(range.begin),
+                        static_cast<Index>(range.end), uvals.data(),
+                        [&](Index i) {
+                            if (view.test(i)) {
+                                return true;
                             }
-                        }
+                            ++skipped_rows;
+                            return false;
+                        },
+                        [&](Index i, T value) {
+                            out[i] = value;
+                            present[i] = 1;
+                            ++local;
+                            metrics::bump(metrics::kLabelWrites);
+                        },
+                        stats);
+                    count.fetch_add(local, std::memory_order_relaxed);
+                    metrics::bump(metrics::kEdgeVisits, stats.visited);
+                    metrics::bump(metrics::kWorkItems, stats.visited);
+                    // u is fully present: every visited entry read it.
+                    metrics::bump(metrics::kLabelReads, stats.visited);
+                    if (mask != nullptr) {
+                        metrics::bump(metrics::kMaskSkippedRows,
+                                      skipped_rows);
                     }
-                }
-                if (hit) {
-                    out[i] = accum;
-                    present[i] = 1;
-                    ++local;
-                    metrics::bump(metrics::kLabelWrites);
-                }
+                    metrics::bump(metrics::kSimdLanesActive,
+                                  stats.lanes_active);
+                    metrics::bump(metrics::kSimdLaneSlots,
+                                  stats.lane_slots);
+                },
+                backend_schedule());
+            result.set_dense_nvals(count.load());
+            result.charge_materialized();
+            w = std::move(result);
+            return;
+        }
+    }
+
+    auto scan_rows = [&](rt::Range range, auto row_at) {
+        Nnz local = 0;
+        uint64_t skipped_rows = 0;
+        uint64_t short_circuited = 0;
+        uint64_t visited = 0;
+        simd::SimdStats sstats;
+        for (std::size_t ri = range.begin; ri < range.end; ++ri) {
+            const Index i = row_at(ri);
+            if (!view.test(i)) {
+                ++skipped_rows;
+                continue;
             }
-            count.fetch_add(local, std::memory_order_relaxed);
-            metrics::bump(metrics::kEdgeVisits, visited);
-            metrics::bump(metrics::kWorkItems, visited);
-            if (mask != nullptr) {
-                metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
+            T accum;
+            const bool hit = detail::pull_row_scan<Semiring>(
+                A, i, upresent.data(), uvals.data(), use_simd, accum,
+                visited, short_circuited, sstats);
+            if (hit) {
+                out[i] = accum;
+                present[i] = 1;
+                ++local;
+                metrics::bump(metrics::kLabelWrites);
             }
-            metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
-        },
-        backend_schedule());
+        }
+        count.fetch_add(local, std::memory_order_relaxed);
+        metrics::bump(metrics::kEdgeVisits, visited);
+        metrics::bump(metrics::kWorkItems, visited);
+        if (mask != nullptr) {
+            metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
+        }
+        metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
+        if (sstats.lane_slots != 0) {
+            metrics::bump(metrics::kSimdLanesActive, sstats.lanes_active);
+            metrics::bump(metrics::kSimdLaneSlots, sstats.lane_slots);
+        }
+    };
+
+    if (fmt == StorageFormat::kBitmapCsr) {
+        // Drive the row loop from the compacted nonempty-row list:
+        // empty rows (common under power-law generators) are skipped
+        // without touching their row pointers or the mask.
+        const auto rows = A.row_bitmap().nonempty_rows();
+        metrics::bump(metrics::kRowsSkippedBitmap,
+                      static_cast<uint64_t>(A.nrows()) - rows.size());
+        rt::do_all_blocked(
+            rows.size(),
+            [&](rt::Range range) {
+                scan_rows(range, [&](std::size_t ri) { return rows[ri]; });
+            },
+            backend_schedule());
+    } else {
+        rt::do_all_blocked(
+            A.nrows(),
+            [&](rt::Range range) {
+                scan_rows(range, [](std::size_t ri) {
+                    return static_cast<Index>(ri);
+                });
+            },
+            backend_schedule());
+    }
     result.set_dense_nvals(count.load());
     // The output bytes were charged when result.densify() allocated the
     // dense arrays (allocation-site accounting); re-billing them here
@@ -304,34 +475,43 @@ mxv_sparse(Vector<T>& w, const Vector<MT>& mask, const Descriptor& desc,
     metrics::bump(metrics::kMaskSkippedRows, skipped_rows);
     metrics::charge_materialized(candidates.size() * sizeof(Index));
 
+    // With a row bitmap, filter the candidate list down to rows that
+    // actually hold entries before the parallel scan: an O(1) bit probe
+    // per candidate replaces a row-pointer load, and empty candidates
+    // (bulk-produced by complemented masks over power-law graphs) never
+    // reach the work loop. Mask-skip accounting above is untouched —
+    // these rows were admitted by the mask and would simply have
+    // produced nothing.
+    if (A.storage_format() == StorageFormat::kBitmapCsr) {
+        const RowBitmap& bitmap = A.row_bitmap();
+        std::size_t kept = 0;
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            if (bitmap.nonempty(candidates[ci])) {
+                candidates[kept++] = candidates[ci];
+            }
+        }
+        metrics::bump(metrics::kRowsSkippedBitmap,
+                      candidates.size() - kept);
+        candidates.resize(kept);
+    }
+
+    const bool use_simd =
+        uview->nvals() == static_cast<Nnz>(uview->size()) &&
+        simd::simd_enabled() && simd::simd_cols_ok(A.ncols());
+
     rt::InsertBag<std::pair<Index, T>> output;
     rt::do_all_blocked(
         candidates.size(),
         [&](rt::Range range) {
             uint64_t short_circuited = 0;
             uint64_t visited = 0;
+            simd::SimdStats sstats;
             for (std::size_t ci = range.begin; ci < range.end; ++ci) {
                 const Index i = candidates[ci];
-                T accum = Semiring::identity();
-                bool hit = false;
-                const Nnz begin = A.row_begin(i);
-                const Nnz end = A.row_end(i);
-                for (Nnz e = begin; e < end; ++e) {
-                    ++visited;
-                    const Index j = A.col_at(e);
-                    if (upresent[j] != 0) {
-                        accum = Semiring::add(
-                            accum, Semiring::mul(A.val_at(e), uvals[j]));
-                        hit = true;
-                        metrics::bump(metrics::kLabelReads);
-                        if constexpr (HasAbsorbing<Semiring>) {
-                            if (accum == Semiring::absorbing()) {
-                                short_circuited += end - (e + 1);
-                                break;
-                            }
-                        }
-                    }
-                }
+                T accum;
+                const bool hit = detail::pull_row_scan<Semiring>(
+                    A, i, upresent.data(), uvals.data(), use_simd, accum,
+                    visited, short_circuited, sstats);
                 if (hit) {
                     output.push({i, accum});
                     metrics::bump(metrics::kLabelWrites);
@@ -340,6 +520,11 @@ mxv_sparse(Vector<T>& w, const Vector<MT>& mask, const Descriptor& desc,
             metrics::bump(metrics::kEdgeVisits, visited);
             metrics::bump(metrics::kWorkItems, visited);
             metrics::bump(metrics::kEdgesShortCircuited, short_circuited);
+            if (sstats.lane_slots != 0) {
+                metrics::bump(metrics::kSimdLanesActive,
+                              sstats.lanes_active);
+                metrics::bump(metrics::kSimdLaneSlots, sstats.lane_slots);
+            }
         },
         backend_schedule());
 

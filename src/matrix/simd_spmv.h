@@ -1,0 +1,604 @@
+#pragma once
+
+/**
+ * @file
+ * AVX2 inner loops for the pull-side SpMV kernels, with runtime CPU
+ * dispatch and a portable scalar fallback.
+ *
+ * Two vector shapes are provided:
+ *
+ *  - sell_sweep_avx2: walks a SellSlices layout one row per vector
+ *    lane. Each lane accumulates its own row *sequentially* (step t
+ *    combines entry t of every row), so the per-row result is the same
+ *    add-chain the scalar kernel computes — bit-identical even for
+ *    floating-point semirings, provided multiply and add stay separate
+ *    instructions (no FMA contraction; see SimdOps<PlusTimes<double>>).
+ *
+ *  - csr_row_accumulate_avx2: vectorizes *within* one CSR row using
+ *    kLanes partial accumulators folded at the end. That reorders the
+ *    additions, so it is gated on SimdOps::kOrderFree — true only for
+ *    semirings whose add is associative/commutative in machine
+ *    arithmetic (integer plus, min), never floats.
+ *
+ * Dispatch is per call, not per build: kernels are compiled with
+ * per-function target("avx2") attributes (the translation unit itself
+ * stays baseline), and call sites test simd_enabled(), which combines
+ * __builtin_cpu_supports("avx2") with the GAS_SIMD environment switch
+ * (GAS_SIMD=0 forces the scalar paths; the equivalence tests diff the
+ * two). Vectorization support is a per-semiring opt-in through the
+ * SimdOps trait — semirings without a specialization (saturating
+ * MinPlus, absorbing LorLand) keep their scalar loops untouched.
+ *
+ * Gathers interpret column ids as *signed* 32-bit offsets, so every
+ * SIMD call site must gate on ncols < 2^31 (simd_cols_ok).
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "matrix/formats.h"
+#include "matrix/semiring.h"
+#include "matrix/types.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define GAS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GAS_SIMD_X86 0
+#endif
+
+namespace gas::grb::simd {
+
+/// Strips FlipMul so one SimdOps specialization serves a semiring and
+/// its argument-swapped adapter (the dispatcher reroutes vxm onto mxv
+/// over the transpose through FlipMul; a partial specialization of
+/// SimdOps for FlipMul<S> would instead hard-instantiate for every S).
+template <typename S>
+struct UnwrapFlip
+{
+    using Base = S;
+    static constexpr bool kFlipped = false;
+};
+
+template <typename S>
+struct UnwrapFlip<FlipMul<S>>
+{
+    using Base = S;
+    static constexpr bool kFlipped = true;
+};
+
+/// Vector-operation hooks for a semiring. The primary template means
+/// "no SIMD support": kLanes == 0 keeps every vector path dead via
+/// if constexpr without requiring specializations to exist.
+template <typename S>
+struct SimdOps
+{
+    static constexpr unsigned kLanes = 0;
+    static constexpr bool kOrderFree = false;
+};
+
+/// True when the semiring (or its FlipMul wrapper) has vector hooks.
+template <typename S>
+inline constexpr bool kHasSimd =
+    SimdOps<typename UnwrapFlip<S>::Base>::kLanes > 0;
+
+/// True when within-row reordering of adds is exact for the semiring.
+template <typename S>
+inline constexpr bool kSimdOrderFree =
+    SimdOps<typename UnwrapFlip<S>::Base>::kOrderFree;
+
+/// Minimum CSR row length for the within-row path: shorter rows lose
+/// more to the horizontal fold than the vector body saves.
+inline constexpr Index kCsrSimdMinRow = 16;
+
+/// Column ids are gathered as signed 32-bit offsets.
+inline bool
+simd_cols_ok(Index ncols)
+{
+    return ncols < (Index{1} << 31);
+}
+
+inline bool
+cpu_has_avx2()
+{
+#if GAS_SIMD_X86
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+#else
+    return false;
+#endif
+}
+
+/// Runtime switch consulted by every kernel invocation: AVX2 present
+/// and GAS_SIMD not set to 0. Re-read each call so tests can flip the
+/// variable mid-process.
+inline bool
+simd_enabled()
+{
+    if (!cpu_has_avx2()) {
+        return false;
+    }
+    const char* env = std::getenv("GAS_SIMD");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+/// Expected per-entry speedup of the vector pull path, for the SpMV
+/// cost model. Lanes divided by two, not lanes: gathers are the
+/// bottleneck and retire at roughly half the ideal lane rate.
+template <typename S>
+inline double
+lane_speedup()
+{
+    if constexpr (kHasSimd<S>) {
+        return simd_enabled()
+            ? SimdOps<typename UnwrapFlip<S>::Base>::kLanes / 2.0
+            : 1.0;
+    } else {
+        return 1.0;
+    }
+}
+
+/// Below this average row length the slice sweep's per-strip overhead
+/// (admit/emit scatter, mask setup) exceeds what its lanes save over a
+/// trivial scalar scan with perfect locality — road grids (degree ~4)
+/// measure at or below parity, degree ~14 RMAT measures a win.
+inline constexpr Index kSellSweepMinRow = 8;
+
+/// Should a kSell matrix run the slice sweep rather than the CSR row
+/// scan with within-row SIMD? For order-sensitive semirings the sweep
+/// is the only vector option (within-row folds reorder adds), so it
+/// always runs. Order-free semirings use it only in the middle band of
+/// average row lengths: below kSellSweepMinRow the scalar scan wins
+/// outright, and from kCsrSimdMinRow up the within-row path wins — its
+/// gathers walk one sorted row at a time instead of C scattered rows
+/// at once.
+template <typename S>
+inline bool
+prefer_sell_sweep(Nnz nnz, Index nrows)
+{
+    if constexpr (!kSimdOrderFree<S>) {
+        return true;
+    }
+    const Nnz rows = std::max<Index>(nrows, 1);
+    return nnz >= static_cast<Nnz>(kSellSweepMinRow) * rows &&
+        nnz < static_cast<Nnz>(kCsrSimdMinRow) * rows;
+}
+
+/// Lane-occupancy and traversal tallies a SIMD sweep hands back to the
+/// caller, which folds them into the metrics counters once per kernel.
+struct SimdStats
+{
+    uint64_t lanes_active{0};
+    uint64_t lane_slots{0};
+    uint64_t visited{0};
+};
+
+#if GAS_SIMD_X86
+
+// ---------------------------------------------------------------------
+// SimdOps specializations. Hook contract (all target("avx2")):
+//   Vec/IdxVec/LenVec/Mask   register types for values / column ids /
+//                            per-lane lengths / lane predicates
+//   identity_vec/add/mul     the semiring in registers; mul(a, u) takes
+//                            the matrix entry first, like S::mul
+//   load_cols/load_vals      unit-stride loads of kLanes entries
+//   load_lens/step_mask      lens register + "t < len" lane predicate
+//   gather                   masked u[col] loads (masked-off lanes take
+//                            src and perform no memory access)
+//   blend/store/true_mask/popcount_mask   bookkeeping
+// ---------------------------------------------------------------------
+
+template <>
+struct SimdOps<PlusTimes<uint32_t>>
+{
+    using Value = uint32_t;
+    using Vec = __m256i;
+    using IdxVec = __m256i;
+    using LenVec = __m256i;
+    using Mask = __m256i;
+    static constexpr unsigned kLanes = 8;
+    /// Integer plus is exactly associative: within-row reorder is legal.
+    static constexpr bool kOrderFree = true;
+
+    __attribute__((target("avx2"))) static Vec
+    identity_vec()
+    {
+        return _mm256_setzero_si256();
+    }
+    __attribute__((target("avx2"))) static Vec
+    add(Vec a, Vec b)
+    {
+        return _mm256_add_epi32(a, b);
+    }
+    __attribute__((target("avx2"))) static Vec
+    mul(Vec a, Vec u)
+    {
+        return _mm256_mullo_epi32(a, u);
+    }
+    __attribute__((target("avx2"))) static IdxVec
+    load_cols(const Index* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    __attribute__((target("avx2"))) static Vec
+    load_vals(const Value* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    __attribute__((target("avx2"))) static LenVec
+    load_lens(const Index* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    __attribute__((target("avx2"))) static Mask
+    step_mask(LenVec lens, int t)
+    {
+        // Lengths are < 2^31, so the signed compare is exact.
+        return _mm256_cmpgt_epi32(lens, _mm256_set1_epi32(t));
+    }
+    __attribute__((target("avx2"))) static Vec
+    gather(const Value* u, IdxVec idx, Mask m, Vec src)
+    {
+        return _mm256_mask_i32gather_epi32(
+            src, reinterpret_cast<const int*>(u), idx, m, 4);
+    }
+    __attribute__((target("avx2"))) static Vec
+    blend(Vec keep, Vec take, Mask m)
+    {
+        return _mm256_blendv_epi8(keep, take, m);
+    }
+    __attribute__((target("avx2"))) static void
+    store(Value* dst, Vec v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+    }
+    __attribute__((target("avx2"))) static Mask
+    true_mask()
+    {
+        return _mm256_set1_epi32(-1);
+    }
+    __attribute__((target("avx2"))) static unsigned
+    popcount_mask(Mask m)
+    {
+        return static_cast<unsigned>(std::popcount(
+            static_cast<unsigned>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(m)))));
+    }
+};
+
+template <>
+struct SimdOps<MinSecond<uint32_t>>
+{
+    using Value = uint32_t;
+    using Vec = __m256i;
+    using IdxVec = __m256i;
+    using LenVec = __m256i;
+    using Mask = __m256i;
+    static constexpr unsigned kLanes = 8;
+    /// min is exactly associative and commutative.
+    static constexpr bool kOrderFree = true;
+
+    __attribute__((target("avx2"))) static Vec
+    identity_vec()
+    {
+        // identity() == uint32 max == all bits set.
+        return _mm256_set1_epi32(-1);
+    }
+    __attribute__((target("avx2"))) static Vec
+    add(Vec a, Vec b)
+    {
+        return _mm256_min_epu32(a, b);
+    }
+    __attribute__((target("avx2"))) static Vec
+    mul(Vec, Vec u)
+    {
+        // MinSecond::mul(a, b) == b: the neighbor's label.
+        return u;
+    }
+    __attribute__((target("avx2"))) static IdxVec
+    load_cols(const Index* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    __attribute__((target("avx2"))) static Vec
+    load_vals(const Value* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    __attribute__((target("avx2"))) static LenVec
+    load_lens(const Index* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    __attribute__((target("avx2"))) static Mask
+    step_mask(LenVec lens, int t)
+    {
+        return _mm256_cmpgt_epi32(lens, _mm256_set1_epi32(t));
+    }
+    __attribute__((target("avx2"))) static Vec
+    gather(const Value* u, IdxVec idx, Mask m, Vec src)
+    {
+        return _mm256_mask_i32gather_epi32(
+            src, reinterpret_cast<const int*>(u), idx, m, 4);
+    }
+    __attribute__((target("avx2"))) static Vec
+    blend(Vec keep, Vec take, Mask m)
+    {
+        return _mm256_blendv_epi8(keep, take, m);
+    }
+    __attribute__((target("avx2"))) static void
+    store(Value* dst, Vec v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+    }
+    __attribute__((target("avx2"))) static Mask
+    true_mask()
+    {
+        return _mm256_set1_epi32(-1);
+    }
+    __attribute__((target("avx2"))) static unsigned
+    popcount_mask(Mask m)
+    {
+        return static_cast<unsigned>(std::popcount(
+            static_cast<unsigned>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(m)))));
+    }
+};
+
+template <>
+struct SimdOps<PlusTimes<double>>
+{
+    using Value = double;
+    using Vec = __m256d;
+    using IdxVec = __m128i;
+    using LenVec = __m128i;
+    using Mask = __m256i; // 64-bit lane predicates
+    static constexpr unsigned kLanes = 4;
+    /// Float adds must keep the scalar kernel's order: within-row
+    /// vectorization is off; only the per-lane-sequential SELL sweep
+    /// (which preserves each row's add chain) may use these hooks.
+    static constexpr bool kOrderFree = false;
+
+    __attribute__((target("avx2"))) static Vec
+    identity_vec()
+    {
+        return _mm256_setzero_pd();
+    }
+    __attribute__((target("avx2"))) static Vec
+    add(Vec a, Vec b)
+    {
+        // Separate add (paired with the separate mul below): fusing
+        // them into an FMA would change rounding vs the scalar kernel
+        // and break the bit-identity the format tests assert.
+        return _mm256_add_pd(a, b);
+    }
+    __attribute__((target("avx2"))) static Vec
+    mul(Vec a, Vec u)
+    {
+        return _mm256_mul_pd(a, u);
+    }
+    __attribute__((target("avx2"))) static IdxVec
+    load_cols(const Index* p)
+    {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    }
+    __attribute__((target("avx2"))) static Vec
+    load_vals(const Value* p)
+    {
+        return _mm256_loadu_pd(p);
+    }
+    __attribute__((target("avx2"))) static LenVec
+    load_lens(const Index* p)
+    {
+        return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    }
+    __attribute__((target("avx2"))) static Mask
+    step_mask(LenVec lens, int t)
+    {
+        return _mm256_cvtepi32_epi64(
+            _mm_cmpgt_epi32(lens, _mm_set1_epi32(t)));
+    }
+    __attribute__((target("avx2"))) static Vec
+    gather(const Value* u, IdxVec idx, Mask m, Vec src)
+    {
+        return _mm256_mask_i32gather_pd(src, u, idx,
+                                        _mm256_castsi256_pd(m), 8);
+    }
+    __attribute__((target("avx2"))) static Vec
+    blend(Vec keep, Vec take, Mask m)
+    {
+        return _mm256_blendv_pd(keep, take, _mm256_castsi256_pd(m));
+    }
+    __attribute__((target("avx2"))) static void
+    store(Value* dst, Vec v)
+    {
+        _mm256_storeu_pd(dst, v);
+    }
+    __attribute__((target("avx2"))) static Mask
+    true_mask()
+    {
+        return _mm256_set1_epi64x(-1);
+    }
+    __attribute__((target("avx2"))) static unsigned
+    popcount_mask(Mask m)
+    {
+        return static_cast<unsigned>(std::popcount(
+            static_cast<unsigned>(
+                _mm256_movemask_pd(_mm256_castsi256_pd(m)))));
+    }
+};
+
+/**
+ * Vectorized sweep over SELL slices [s_begin, s_end), one row per
+ * lane. @p u must be a fully dense value array of the input vector
+ * (every element present) — that is what makes an unmasked per-step
+ * gather legal. admit(row) -> bool is consulted once per *real* row
+ * (phantom padding lanes are excluded, empty real rows are not, so
+ * mask-skip accounting matches the scalar kernel's row loop exactly)
+ * before any entry is touched; a refused row's lane idles for the
+ * whole slice. emit(row, value) is called once per admitted nonempty
+ * row with the finished accumulator.
+ *
+ * When the semiring's vector width is narrower than the slice height
+ * (doubles: 4 lanes vs C = 8 rows), the slice is processed as
+ * independent strips; column-major slots keep every strip's loads
+ * unit-stride.
+ */
+template <typename S, typename T, typename Admit, typename Emit>
+__attribute__((target("avx2"))) void
+sell_sweep_avx2(const SellSlices<T>& sell, Index s_begin, Index s_end,
+                const T* u, Admit&& admit, Emit&& emit, SimdStats& stats)
+{
+    using Base = typename UnwrapFlip<S>::Base;
+    constexpr bool kFlipped = UnwrapFlip<S>::kFlipped;
+    using Ops = SimdOps<Base>;
+    static_assert(Ops::kLanes > 0, "semiring has no SIMD hooks");
+    static_assert(std::is_same_v<typename Ops::Value, T>);
+    constexpr unsigned kL = Ops::kLanes;
+    static_assert(kSellLanes % kL == 0);
+    constexpr unsigned kStrips = kSellLanes / kL;
+
+    alignas(32) T accbuf[kL];
+    alignas(32) Index lens_local[kL];
+    const Index* cols = sell.cols().data();
+    const T* vals = sell.vals().data();
+
+    for (Index s = s_begin; s < s_end; ++s) {
+        const uint64_t base = sell.slice_begin(s);
+        for (unsigned strip = 0; strip < kStrips; ++strip) {
+            const unsigned lane0 = strip * kL;
+            // Permutation slots [0, num_rows) hold real rows; the rest
+            // pad the final slice.
+            const std::size_t slot0 =
+                static_cast<std::size_t>(s) * kSellLanes + lane0;
+            Index max_len = 0;
+            uint64_t strip_edges = 0;
+            for (unsigned lane = 0; lane < kL; ++lane) {
+                const bool real =
+                    slot0 + lane < static_cast<std::size_t>(sell.num_rows());
+                Index len = real ? sell.len_of(s, lane0 + lane) : Index{0};
+                if (real && !admit(sell.row_of(s, lane0 + lane))) {
+                    len = 0;
+                }
+                lens_local[lane] = len;
+                max_len = std::max(max_len, len);
+                strip_edges += len;
+            }
+            if (max_len == 0) {
+                continue;
+            }
+            // Lane-occupancy tallies fall out of the lengths: step t
+            // activates the lanes with len > t, so the active-lane sum
+            // over all steps is exactly the strip's edge count. Summing
+            // here keeps movemask/popcount out of the gather loop.
+            stats.lanes_active += strip_edges;
+            stats.lane_slots += uint64_t{max_len} * kL;
+            stats.visited += strip_edges;
+            const typename Ops::LenVec lens_vec =
+                Ops::load_lens(lens_local);
+            typename Ops::Vec acc = Ops::identity_vec();
+            for (Index t = 0; t < max_len; ++t) {
+                const typename Ops::Mask m =
+                    Ops::step_mask(lens_vec, static_cast<int>(t));
+                const uint64_t slot =
+                    base + uint64_t{t} * kSellLanes + lane0;
+                const typename Ops::IdxVec idx =
+                    Ops::load_cols(cols + slot);
+                const typename Ops::Vec av = Ops::load_vals(vals + slot);
+                const typename Ops::Vec uv =
+                    Ops::gather(u, idx, m, Ops::identity_vec());
+                typename Ops::Vec prod;
+                if constexpr (kFlipped) {
+                    prod = Ops::mul(uv, av);
+                } else {
+                    prod = Ops::mul(av, uv);
+                }
+                acc = Ops::blend(acc, Ops::add(acc, prod), m);
+            }
+            Ops::store(accbuf, acc);
+            for (unsigned lane = 0; lane < kL; ++lane) {
+                if (lens_local[lane] != 0) {
+                    emit(sell.row_of(s, lane0 + lane), accbuf[lane]);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Within-row vector accumulation of one CSR row against a fully dense
+ * @p u: kLanes partial sums folded into one at the end. Only legal for
+ * order-free semirings (static_assert) — the fold reorders adds.
+ */
+template <typename S>
+__attribute__((target("avx2"))) typename S::Value
+csr_row_accumulate_avx2(const Index* cols, const typename S::Value* vals,
+                        Index len, const typename S::Value* u,
+                        SimdStats& stats)
+{
+    using Base = typename UnwrapFlip<S>::Base;
+    constexpr bool kFlipped = UnwrapFlip<S>::kFlipped;
+    using Ops = SimdOps<Base>;
+    static_assert(Ops::kLanes > 0, "semiring has no SIMD hooks");
+    static_assert(Ops::kOrderFree,
+                  "within-row SIMD reorders adds; semiring must be exact");
+    constexpr unsigned kL = Ops::kLanes;
+    using Value = typename S::Value;
+
+    typename Ops::Vec acc = Ops::identity_vec();
+    const typename Ops::Mask full = Ops::true_mask();
+    Index t = 0;
+    for (; t + kL <= len; t += kL) {
+        const typename Ops::IdxVec idx = Ops::load_cols(cols + t);
+        const typename Ops::Vec av = Ops::load_vals(vals + t);
+        const typename Ops::Vec uv =
+            Ops::gather(u, idx, full, Ops::identity_vec());
+        typename Ops::Vec prod;
+        if constexpr (kFlipped) {
+            prod = Ops::mul(uv, av);
+        } else {
+            prod = Ops::mul(av, uv);
+        }
+        acc = Ops::add(acc, prod);
+        stats.lanes_active += kL;
+        stats.lane_slots += kL;
+    }
+    alignas(32) Value accbuf[kL];
+    Ops::store(accbuf, acc);
+    Value result = accbuf[0];
+    for (unsigned lane = 1; lane < kL; ++lane) {
+        result = S::add(result, accbuf[lane]);
+    }
+    for (; t < len; ++t) {
+        result = S::add(result, S::mul(vals[t], u[cols[t]]));
+    }
+    return result;
+}
+
+#else // !GAS_SIMD_X86
+
+// Non-x86 stubs: kHasSimd<S> is false for every S (no specializations
+// exist), so these bodies are never reached; they exist only so call
+// sites inside if constexpr branches keep parsing.
+
+template <typename S, typename T, typename Admit, typename Emit>
+void
+sell_sweep_avx2(const SellSlices<T>&, Index, Index, const T*, Admit&&,
+                Emit&&, SimdStats&)
+{
+}
+
+template <typename S>
+typename S::Value
+csr_row_accumulate_avx2(const Index*, const typename S::Value*, Index,
+                        const typename S::Value*, SimdStats&)
+{
+    return S::identity();
+}
+
+#endif // GAS_SIMD_X86
+
+} // namespace gas::grb::simd

@@ -11,6 +11,7 @@
  */
 
 #include <cstdint>
+#include <optional>
 
 namespace gas::grb {
 
@@ -110,6 +111,39 @@ enum class Direction {
     kPush,
     kPull,
 };
+
+/**
+ * Row storage layout of a Matrix.
+ *
+ * Every Matrix keeps its CSR arrays (they are the construction format
+ * and the scatter kernels' format); the tuner in matrix/formats.h may
+ * additionally select an acceleration structure built lazily from
+ * them:
+ *
+ *   kCsr       plain CSR row scan — the safe default.
+ *   kBitmapCsr CSR plus a per-row presence bitmap with popcount rank
+ *              offsets and a compacted nonempty-row list: pull kernels
+ *              iterate only rows that have entries, and mxv_sparse
+ *              filters mask candidates with an O(1) bit probe (the
+ *              power-law / hypersparse-row choice).
+ *   kSell      SELL-C-sigma sliced ELL: sigma-window degree-sorted
+ *              slices of C rows padded to the slice width, traversed
+ *              one vector lane per row by the AVX2 pull kernels (the
+ *              uniform-degree choice; scalar fallback uses CSR).
+ */
+enum class StorageFormat {
+    kCsr,
+    kBitmapCsr,
+    kSell,
+};
+
+/// Short name for tables and logs: "csr", "bitmap", "sell".
+const char* storage_format_name(StorageFormat format);
+
+/// Parse the GAS_FORMAT environment override (csr|bitmap|sell).
+/// Unset or unrecognized values mean "let the tuner decide". Read at
+/// every tune() so tests can flip the variable between matrices.
+std::optional<StorageFormat> storage_format_from_env();
 
 /**
  * Operation modifiers, mirroring GrB_Descriptor.

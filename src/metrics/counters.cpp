@@ -94,6 +94,12 @@ counter_name(CounterId id)
       case kLazyOpsDeferred: return "lazy_ops_deferred";
       case kFusedChains: return "fused_chains";
       case kLazyFallbacks: return "lazy_fallbacks";
+      case kFormatCsrSelected: return "format_csr_selected";
+      case kFormatBitmapSelected: return "format_bitmap_selected";
+      case kFormatSellSelected: return "format_sell_selected";
+      case kSimdLanesActive: return "simd_lanes_active";
+      case kSimdLaneSlots: return "simd_lane_slots";
+      case kRowsSkippedBitmap: return "rows_skipped_bitmap";
       default: return "unknown";
     }
 }

@@ -69,6 +69,21 @@
  *  - kLazyFallbacks      lazy-mode operations that evaluated eagerly
  *                        because their shape was not recognized
  *
+ * Storage-format tuning and SIMD counters (the per-matrix auto-tuner
+ * and vector kernels in src/matrix/formats.h / simd_spmv.h):
+ *
+ *  - kFormatCsrSelected/kFormatBitmapSelected/kFormatSellSelected
+ *                        tune() decisions, one bump per tuned matrix
+ *                        (env-forced decisions count too)
+ *  - kSimdLanesActive    vector lane-slots that carried a real matrix
+ *                        entry in a SIMD step
+ *  - kSimdLaneSlots      total lane-slots issued by SIMD steps
+ *                        (active/slots = lane utilization; the gap is
+ *                        SELL padding and partial tail vectors)
+ *  - kRowsSkippedBitmap  rows a kernel skipped without touching the
+ *                        row pointers because the row bitmap showed
+ *                        them empty
+ *
  * Counters are per-thread (plain non-atomic increments) and aggregated
  * on demand, so instrumentation stays cheap enough to leave enabled in
  * the hot loops of every kernel.
@@ -105,6 +120,12 @@ enum CounterId : unsigned {
     kLazyOpsDeferred,
     kFusedChains,
     kLazyFallbacks,
+    kFormatCsrSelected,
+    kFormatBitmapSelected,
+    kFormatSellSelected,
+    kSimdLanesActive,
+    kSimdLaneSlots,
+    kRowsSkippedBitmap,
     kNumCounters,
 };
 
