@@ -26,6 +26,7 @@
 
 #include "core/runner.h"
 #include "core/suite.h"
+#include "support/env.h"
 #include "core/table.h"
 #include "support/format.h"
 #include "support/timer.h"
@@ -49,13 +50,11 @@ configure(const char* binary_name)
     Config config;
     config.scale = core::suite_scale_from_env();
     config.threads = core::configure_threads_from_env();
-    if (const char* reps = std::getenv("GAS_REPS")) {
-        config.reps = static_cast<unsigned>(std::max(1, std::atoi(reps)));
-    }
-    if (const char* timeout = std::getenv("GAS_TIMEOUT")) {
-        config.timeout_seconds = std::atof(timeout);
-    }
-    config.csv_dir = std::getenv("GAS_CSV_DIR");
+    config.reps = static_cast<unsigned>(std::max<uint64_t>(
+        1, env::u64_or("GAS_REPS", config.reps)));
+    config.timeout_seconds =
+        env::f64_or("GAS_TIMEOUT", config.timeout_seconds);
+    config.csv_dir = env::raw("GAS_CSV_DIR");
     trace::configure_from_env();
     std::printf("[%s] scale=%.2f threads=%u reps=%u timeout=%.0fs\n",
                 binary_name, config.scale, config.threads, config.reps,

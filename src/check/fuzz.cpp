@@ -8,6 +8,7 @@
 
 #include "metrics/counters.h"
 #include "runtime/thread_pool.h"
+#include "support/env.h"
 
 namespace gas::check::fuzz {
 
@@ -22,8 +23,8 @@ std::atomic<uint64_t> g_generation{0};
 /// workload binaries under the checked build) fuzz without code
 /// changes.
 [[maybe_unused]] const bool g_env_seed_applied = [] {
-    if (const char* env = std::getenv("GAS_CHECK_SEED")) {
-        set_seed(std::strtoull(env, nullptr, 10));
+    if (env::raw("GAS_CHECK_SEED") != nullptr) {
+        set_seed(env::u64_or("GAS_CHECK_SEED", 0));
     }
     return true;
 }();

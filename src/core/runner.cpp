@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
 
 #include "graph/builder.h"
 #include "lagraph/lagraph.h"
 #include "lonestar/lonestar.h"
+#include "support/cancel.h"
 #include "support/check.h"
+#include "support/env.h"
 #include "support/format.h"
 #include "support/memory_tracker.h"
 #include "support/timer.h"
@@ -251,6 +254,11 @@ run_cell(App app, System system, const SuiteGraph& input,
         }
     };
 
+    // Per-rep deadline budget (0 = off). Each repetition gets a fresh
+    // token: the deadline is absolute, so reusing one would charge rep
+    // N for the time reps 0..N-1 spent.
+    const uint64_t deadline_ms = env::u64_or("GAS_DEADLINE_MS", 0);
+
     double total_seconds = 0.0;
     std::vector<double> rep_seconds;
     metrics::gauges_reset();
@@ -261,11 +269,26 @@ run_cell(App app, System system, const SuiteGraph& input,
         {
             trace::Span cell(trace::Category::kCell,
                              cell_label(app, system), rep);
-            run_once();
+            // Every rep runs under the recoverable-failure contract:
+            // without it a fault-injected bad_alloc in a no-deadline
+            // chaos run would escape the rep loop and kill the whole
+            // table instead of marking one cell non-OK.
+            CancelToken token;
+            std::optional<CancelScope> scope;
+            if (deadline_ms > 0) {
+                token.set_deadline_ms(deadline_ms);
+                scope.emplace(token);
+            }
+            result.status = run_guarded(run_once);
         }
         timer.stop();
         total_seconds += timer.seconds();
         rep_seconds.push_back(timer.seconds());
+        if (!result.status.ok()) {
+            // The rep was cut short; its outputs are partial, so later
+            // reps (and verification) would read indeterminate state.
+            break;
+        }
         if (rep == 0) {
             result.counters = interval.delta();
             for (unsigned g = 0; g < metrics::kNumGauges; ++g) {
@@ -288,7 +311,7 @@ run_cell(App app, System system, const SuiteGraph& input,
         input.directed.csr_bytes() + input.symmetric.csr_bytes();
 
     // ---- Verification against the serial oracles ----
-    if (config.verify) {
+    if (config.verify && result.status.ok()) {
         OracleCache& cache = OracleCache::instance();
         const std::string key = cache_key(input);
         result.verified = true;
@@ -364,6 +387,11 @@ format_cell(const CellResult& result)
 {
     if (result.timed_out) {
         return "TO";
+    }
+    if (!result.status.ok()) {
+        return result.status.code() == StatusCode::kDeadlineExceeded
+            ? "DL"
+            : "X";
     }
     if (result.verified && !result.correct) {
         return "C";

@@ -15,6 +15,7 @@
 
 #include "core/suite.h"
 #include "metrics/counters.h"
+#include "support/status.h"
 
 namespace gas::core {
 
@@ -62,15 +63,23 @@ struct CellResult
     std::array<uint64_t, metrics::kNumGauges> gauges{};
     std::size_t peak_bytes{0};  ///< peak tracked memory incl. structures
     uint64_t result_signature{0}; ///< app-specific scalar (e.g. count)
+    /// Non-OK when a repetition was cut short (deadline, cancel, or a
+    /// recoverable failure mapped by run_guarded); outputs are partial
+    /// and verification is skipped.
+    Status status{Status::Ok()};
 };
 
 /// Run one cell. Preprocessing (matrix building, transposes, forward
-/// graphs) happens outside the timed region.
+/// graphs) happens outside the timed region. When GAS_DEADLINE_MS is
+/// set (> 0), every timed repetition runs under a fresh deadline token:
+/// a rep that exceeds the budget unwinds within one scheduler chunk and
+/// the cell reports kDeadlineExceeded in `status`.
 CellResult run_cell(App app, System system, const SuiteGraph& input,
                     const RunConfig& config = {});
 
-/// Format a cell for a Table II style entry: seconds, "TO", or "C"
-/// (correctness failure), as in the paper.
+/// Format a cell for a Table II style entry: seconds, "TO", "C"
+/// (correctness failure), or "DL"/"X" (deadline / cancelled-or-failed),
+/// as in the paper plus the robustness extensions.
 std::string format_cell(const CellResult& result);
 
 } // namespace gas::core

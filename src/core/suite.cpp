@@ -7,6 +7,7 @@
 #include "graph/generators.h"
 #include "runtime/thread_pool.h"
 #include "support/check.h"
+#include "support/env.h"
 
 namespace gas::core {
 
@@ -189,11 +190,10 @@ build_suite(double scale)
 double
 suite_scale_from_env()
 {
-    const char* value = std::getenv("GAS_SCALE");
-    if (value == nullptr) {
+    if (env::raw("GAS_SCALE") == nullptr) {
         return 1.0;
     }
-    const double scale = std::atof(value);
+    const double scale = env::f64_or("GAS_SCALE", 0.0);
     GAS_REQUIRE(scale > 0.0, "GAS_SCALE must be positive");
     return scale;
 }
@@ -205,8 +205,8 @@ configure_threads_from_env()
     if (threads == 0) {
         threads = 1;
     }
-    if (const char* value = std::getenv("GAS_THREADS")) {
-        const int parsed = std::atoi(value);
+    if (env::raw("GAS_THREADS") != nullptr) {
+        const uint64_t parsed = env::u64_or("GAS_THREADS", 0);
         GAS_REQUIRE(parsed > 0, "GAS_THREADS must be positive");
         threads = static_cast<unsigned>(parsed);
     }

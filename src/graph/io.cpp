@@ -1,9 +1,12 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
+#include "graph/validate.h"
 #include "support/check.h"
+#include "support/faults.h"
 
 namespace gas::graph {
 
@@ -39,23 +42,19 @@ write_array(std::FILE* file, const TrackedVector<T>& values)
 }
 
 template <typename T>
-void
+[[nodiscard]] bool
 read_pod(std::FILE* file, T& value)
 {
-    GAS_REQUIRE(std::fread(&value, sizeof(T), 1, file) == 1,
-                "short read while loading graph");
+    return std::fread(&value, sizeof(T), 1, file) == 1;
 }
 
 template <typename T>
-void
+[[nodiscard]] bool
 read_array(std::FILE* file, TrackedVector<T>& values, std::size_t count)
 {
     values.resize(count);
-    if (count != 0) {
-        GAS_REQUIRE(std::fread(values.data(), sizeof(T), count, file) ==
-                        count,
-                    "short read while loading graph array");
-    }
+    return count == 0 ||
+        std::fread(values.data(), sizeof(T), count, file) == count;
 }
 
 } // namespace
@@ -81,40 +80,71 @@ save_binary(const Graph& graph, const std::string& file_path)
     }
 }
 
-Graph
-load_binary(const std::string& file_path)
+StatusOr<Graph>
+try_load_binary(const std::string& file_path)
 {
     FilePtr file(std::fopen(file_path.c_str(), "rb"));
-    GAS_REQUIRE(file != nullptr, "cannot open ", file_path, " for reading");
+    if (file == nullptr) {
+        return Status::InvalidArgument("cannot open " + file_path +
+                                       " for reading");
+    }
 
     char magic[4];
-    GAS_REQUIRE(std::fread(magic, 1, sizeof(magic), file.get()) ==
-                        sizeof(magic) &&
-                    std::equal(magic, magic + 4, kMagic),
-                file_path, " is not a gas graph file");
+    if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
+        !std::equal(magic, magic + 4, kMagic)) {
+        return Status::InvalidArgument(file_path +
+                                       " is not a gas graph file");
+    }
     uint32_t version = 0;
-    read_pod(file.get(), version);
-    GAS_REQUIRE(version == kVersion, "unsupported graph file version ",
-                version);
+    if (!read_pod(file.get(), version)) {
+        return Status::InvalidArgument(file_path + ": truncated header");
+    }
+    if (version != kVersion) {
+        return Status::InvalidArgument(file_path +
+                                       ": unsupported graph file version " +
+                                       std::to_string(version));
+    }
 
     Node num_nodes = 0;
     EdgeIdx num_edges = 0;
     uint8_t has_weights = 0;
-    read_pod(file.get(), num_nodes);
-    read_pod(file.get(), num_edges);
-    read_pod(file.get(), has_weights);
+    if (!read_pod(file.get(), num_nodes) ||
+        !read_pod(file.get(), num_edges) ||
+        !read_pod(file.get(), has_weights)) {
+        return Status::InvalidArgument(file_path + ": truncated header");
+    }
+
+    // Fault-injection point: the load's array allocations are the
+    // first large allocations of a query's life.
+    faults::try_alloc("graph.load");
 
     TrackedVector<EdgeIdx> row_ptr;
     TrackedVector<Node> col;
     TrackedVector<Weight> weights;
-    read_array(file.get(), row_ptr,
-               static_cast<std::size_t>(num_nodes) + 1);
-    read_array(file.get(), col, num_edges);
-    if (has_weights != 0) {
-        read_array(file.get(), weights, num_edges);
+    if (!read_array(file.get(), row_ptr,
+                    static_cast<std::size_t>(num_nodes) + 1) ||
+        !read_array(file.get(), col, num_edges) ||
+        (has_weights != 0 &&
+         !read_array(file.get(), weights, num_edges))) {
+        return Status::InvalidArgument(file_path + ": truncated arrays");
     }
-    return Graph::from_csr(std::move(row_ptr), std::move(col),
-                           std::move(weights));
+    if (num_nodes != 0 && row_ptr.back() != col.size()) {
+        return Status::InvalidArgument(
+            file_path + ": row_ptr/col mismatch (corrupt file)");
+    }
+
+    Graph graph = Graph::from_csr(std::move(row_ptr), std::move(col),
+                                  std::move(weights));
+    GAS_RETURN_IF_ERROR(validate(graph));
+    return graph;
+}
+
+Graph
+load_binary(const std::string& file_path)
+{
+    StatusOr<Graph> loaded = try_load_binary(file_path);
+    GAS_REQUIRE(loaded.ok(), loaded.status().to_string());
+    return loaded.take();
 }
 
 } // namespace gas::graph

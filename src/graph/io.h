@@ -13,6 +13,7 @@
 #include <string>
 
 #include "graph/csr_graph.h"
+#include "support/status.h"
 
 namespace gas::graph {
 
@@ -20,6 +21,16 @@ namespace gas::graph {
 void save_binary(const Graph& graph, const std::string& file_path);
 
 /// Deserialize a graph from @p file_path. Fatal on I/O or format error.
+/// (CLI convenience wrapper over try_load_binary.)
 Graph load_binary(const std::string& file_path);
+
+/**
+ * Deserialize a graph from @p file_path, returning kInvalidArgument on
+ * a malformed, truncated, or structurally corrupt file (bad magic,
+ * short arrays, non-monotone row pointers, out-of-range column
+ * indices — everything graph::validate checks) instead of exiting.
+ * The entry point for loads whose input the caller does not control.
+ */
+StatusOr<Graph> try_load_binary(const std::string& file_path);
 
 } // namespace gas::graph

@@ -1,0 +1,87 @@
+#include "graph/validate.h"
+
+#include <string>
+
+namespace gas::graph {
+
+Status
+validate(const Graph& graph, const ValidateOptions& options)
+{
+    const auto& row_ptr = graph.row_ptr();
+    const auto& col = graph.col();
+    const auto& weights = graph.weights();
+    const Node n = graph.num_nodes();
+
+    if (row_ptr.size() != static_cast<std::size_t>(n) + 1) {
+        return Status::InvalidArgument(
+            "row_ptr has " + std::to_string(row_ptr.size()) +
+            " entries for " + std::to_string(n) + " nodes");
+    }
+    if (row_ptr.front() != 0) {
+        return Status::InvalidArgument(
+            "row_ptr does not start at 0 (got " +
+            std::to_string(row_ptr.front()) + ")");
+    }
+    for (Node v = 0; v < n; ++v) {
+        if (row_ptr[v + 1] < row_ptr[v]) {
+            return Status::InvalidArgument(
+                "row_ptr not monotone at node " + std::to_string(v) +
+                " (" + std::to_string(row_ptr[v]) + " -> " +
+                std::to_string(row_ptr[v + 1]) + ")");
+        }
+    }
+    if (row_ptr.back() != col.size()) {
+        return Status::InvalidArgument(
+            "row_ptr ends at " + std::to_string(row_ptr.back()) +
+            " but col has " + std::to_string(col.size()) + " entries");
+    }
+    if (!weights.empty() && weights.size() != col.size()) {
+        return Status::InvalidArgument(
+            "weights has " + std::to_string(weights.size()) +
+            " entries but col has " + std::to_string(col.size()));
+    }
+    for (EdgeIdx e = 0; e < col.size(); ++e) {
+        if (col[e] >= n) {
+            return Status::InvalidArgument(
+                "edge " + std::to_string(e) + " targets node " +
+                std::to_string(col[e]) + " of " + std::to_string(n));
+        }
+    }
+    if (options.require_sorted || options.reject_duplicates) {
+        for (Node v = 0; v < n; ++v) {
+            for (EdgeIdx e = row_ptr[v] + 1; e < row_ptr[v + 1]; ++e) {
+                if (options.require_sorted && col[e - 1] > col[e]) {
+                    return Status::InvalidArgument(
+                        "adjacency of node " + std::to_string(v) +
+                        " not sorted at edge " + std::to_string(e));
+                }
+                if (options.reject_duplicates && col[e - 1] == col[e]) {
+                    return Status::InvalidArgument(
+                        "duplicate edge " + std::to_string(v) + " -> " +
+                        std::to_string(col[e]));
+                }
+            }
+        }
+    }
+    return Status::Ok();
+}
+
+StatusOr<Graph>
+try_from_edge_list(const EdgeList& list, bool keep_weights)
+{
+    for (std::size_t i = 0; i < list.edges.size(); ++i) {
+        const Edge& edge = list.edges[i];
+        if (edge.src >= list.num_nodes || edge.dst >= list.num_nodes) {
+            return Status::InvalidArgument(
+                "edge " + std::to_string(i) + " (" +
+                std::to_string(edge.src) + " -> " +
+                std::to_string(edge.dst) + ") out of range for " +
+                std::to_string(list.num_nodes) + " nodes");
+        }
+    }
+    // Endpoints pre-validated: from_edge_list's own range GAS_CHECK
+    // cannot fire.
+    return Graph::from_edge_list(list, keep_weights);
+}
+
+} // namespace gas::graph

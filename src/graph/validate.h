@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Structural validation for graphs entering the engine.
+ *
+ * A CSR graph assembled from untrusted bytes (a corrupt or truncated
+ * .gasg file, a buggy generator, a malformed client upload once the
+ * serving layer lands) used to be silent undefined behavior: an
+ * out-of-range column index reads past a label array, a non-monotone
+ * row pointer makes out_degree underflow to ~2^64. validate() checks
+ * every structural invariant the kernels rely on and returns a
+ * gas::Status naming the first violation, so load paths can reject bad
+ * inputs instead of crashing mid-query.
+ *
+ * Invariants checked:
+ *  - row_ptr has num_nodes + 1 entries, starts at 0, ends at col.size()
+ *  - row_ptr is monotonically non-decreasing (degrees never underflow)
+ *  - every column index is < num_nodes (no out-of-range neighbor)
+ *  - weights, when present, parallel the column array
+ *  - optionally: adjacency lists are sorted and duplicate-free (the
+ *    intersection-based triangle kernels and the matrix layer assume
+ *    sorted rows; duplicates silently double-count in tc/ktruss)
+ */
+
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+#include "support/status.h"
+
+namespace gas::graph {
+
+/// What validate() checks beyond the core CSR invariants.
+struct ValidateOptions
+{
+    /// Require each adjacency list sorted by destination id.
+    bool require_sorted{false};
+    /// Require no duplicate destination within an adjacency list
+    /// (implies a sorted check per row, done in the same pass).
+    bool reject_duplicates{false};
+};
+
+/// Check @p graph 's structural invariants. Returns kInvalidArgument
+/// naming the first violation, or OK.
+Status validate(const Graph& graph, const ValidateOptions& options = {});
+
+/// Build a CSR graph from an edge list, returning kInvalidArgument on
+/// out-of-range endpoints instead of aborting (the Status-returning
+/// face of Graph::from_edge_list).
+StatusOr<Graph> try_from_edge_list(const EdgeList& list, bool keep_weights);
+
+} // namespace gas::graph

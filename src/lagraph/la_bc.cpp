@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -28,6 +29,9 @@ betweenness(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
     std::vector<double> centrality(n, 0.0);
 
     for (const Index source : sources) {
+        if (cancel_requested()) {
+            break;
+        }
         // paths(v): shortest-path counts; doubles as the visited mask
         // (any visited vertex has paths >= 1).
         Vector<double> paths(n);
@@ -41,7 +45,7 @@ betweenness(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
         // the backward phase.
         std::vector<Vector<double>> levels;
         levels.push_back(frontier);
-        while (true) {
+        while (!cancel_requested()) {
             trace::Span round(trace::Category::kRound, "forward_round",
                               levels.size());
             metrics::bump(metrics::kRounds);
@@ -61,7 +65,8 @@ betweenness(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
         // Backward sweep.
         Vector<double> delta(n);
         delta.fill(0.0);
-        for (std::size_t d = levels.size(); d-- > 1;) {
+        for (std::size_t d = levels.size();
+             d-- > 1 && !cancel_requested();) {
             trace::Span round(trace::Category::kRound, "backward_round", d);
             metrics::bump(metrics::kRounds);
 

@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -32,7 +33,7 @@ bfs(const grb::Matrix<uint8_t>& A, Index source)
     grb::SpmvDispatcher<uint8_t> spmv(A);
 
     uint32_t level = 1;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;

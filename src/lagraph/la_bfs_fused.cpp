@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -39,7 +40,7 @@ bfs_fused(const grb::Matrix<uint8_t>& A, Index source)
     frontier.set_element(source, 1);
 
     uint32_t level = 1;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;
@@ -79,7 +80,7 @@ bfs_fused(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
     Vector<uint8_t> spare;
 
     uint32_t level = 1;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;
@@ -118,7 +119,7 @@ bfs_lazy(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
     frontier.set_element(source, 1);
 
     uint32_t level = 1;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;

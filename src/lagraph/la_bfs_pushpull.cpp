@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -56,7 +57,7 @@ bfs_pushpull(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
     grb::SpmvDispatcher<uint8_t> spmv(A, At);
 
     uint32_t level = 1;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;
@@ -122,7 +123,7 @@ bfs_auto(const grb::Matrix<uint8_t>& A, const grb::Matrix<uint8_t>& At,
     desc.direction = force;
 
     uint32_t level = 1;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level - 1);
         metrics::bump(metrics::kRounds);
         ++level;

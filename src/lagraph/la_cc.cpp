@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 #include "verify/reference.h"
 
@@ -33,7 +34,7 @@ void
 bulk_flatten(Vector<uint32_t>& parent)
 {
     uint64_t iter = 0;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "flatten_round", iter++);
         metrics::bump(metrics::kRounds);
         Vector<uint32_t> grandparent;
@@ -73,7 +74,7 @@ cc_fastsv(const grb::Matrix<uint32_t>& A)
     grb::SpmvDispatcher<uint32_t> spmv(A, A);
 
     uint64_t iter = 0;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", iter++);
         metrics::bump(metrics::kRounds);
 
@@ -116,7 +117,7 @@ cc_sv(const grb::Matrix<uint32_t>& A)
     grb::SpmvDispatcher<uint32_t> spmv(A, A);
 
     uint64_t iter = 0;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", iter++);
         metrics::bump(metrics::kRounds);
 

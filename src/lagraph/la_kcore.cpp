@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -37,7 +38,7 @@ core_numbers(const grb::Matrix<uint32_t>& A)
     Vector<uint32_t> degree = grb::row_counts(A);
     uint32_t k = 0;
 
-    while (degree.nvals() != 0) {
+    while (degree.nvals() != 0 && !cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", k);
         metrics::bump(metrics::kRounds);
 

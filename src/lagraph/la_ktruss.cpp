@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "support/check.h"
 #include "trace/trace.h"
 
@@ -23,7 +24,7 @@ ktruss(const Matrix<uint64_t>& A, uint32_t k, uint32_t* rounds_out)
     Matrix<uint64_t> C = A;
     uint32_t rounds = 0;
 
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", rounds);
         ++rounds;
         metrics::bump(metrics::kRounds);

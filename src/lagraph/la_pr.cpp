@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -43,7 +44,8 @@ pagerank(const grb::Matrix<double>& A, const grb::Matrix<double>& At,
     Vector<double> rank(n);
     rank.fill(1.0 / n);
 
-    for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (unsigned iter = 0;
+         iter < iterations && !cancel_requested(); ++iter) {
         trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
@@ -86,7 +88,8 @@ pagerank_residual(const grb::Matrix<double>& A,
     //   rank_{t+1} = rank_t + damping * At (delta_t ./ deg).
     Vector<double> delta = rank;
 
-    for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (unsigned iter = 0;
+         iter < iterations && !cancel_requested(); ++iter) {
         trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
@@ -148,7 +151,8 @@ pagerank_residual_lazy(const grb::Matrix<double>& A,
     grb::LazyVector<double> contrib(n);
     grb::LazyVector<double> update(n);
 
-    for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (unsigned iter = 0;
+         iter < iterations && !cancel_requested(); ++iter) {
         trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 

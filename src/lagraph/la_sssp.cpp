@@ -1,6 +1,7 @@
 #include "lagraph/lagraph.h"
 
 #include "metrics/counters.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::la {
@@ -58,13 +59,13 @@ sssp_delta(const Matrix<uint64_t>& A, Index source, uint64_t delta)
     grb::SpmvDispatcher<uint64_t> heavy_spmv(heavy);
 
     uint64_t bucket_index = 0;
-    while (true) {
+    while (!cancel_requested()) {
         const uint64_t lo = bucket_index * delta;
         const uint64_t hi = lo + delta;
 
         // Phase 1: relax light edges within the bucket to fixpoint.
         Vector<uint64_t> frontier = bucket_of(dist, lo, hi);
-        while (frontier.nvals() != 0) {
+        while (frontier.nvals() != 0 && !cancel_requested()) {
             trace::Span round(trace::Category::kRound, "light_round",
                               bucket_index);
             metrics::bump(metrics::kRounds);
@@ -197,12 +198,12 @@ sssp_delta_lazy(const Matrix<uint64_t>& A, Index source, uint64_t delta)
     };
 
     uint64_t bucket_index = 0;
-    while (true) {
+    while (!cancel_requested()) {
         const uint64_t lo = bucket_index * delta;
         const uint64_t hi = lo + delta;
 
         Vector<uint64_t> frontier = bucket_of(dist, lo, hi);
-        while (frontier.nvals() != 0) {
+        while (frontier.nvals() != 0 && !cancel_requested()) {
             trace::Span round(trace::Category::kRound, "light_round",
                               bucket_index);
             metrics::bump(metrics::kRounds);

@@ -5,6 +5,7 @@
 #include "metrics/counters.h"
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::ls {
@@ -47,6 +48,9 @@ betweenness(const Graph& graph, const std::vector<Node>& sources)
     metrics::charge_materialized(n * (sizeof(double) * 3 + sizeof(int32_t)));
 
     for (const Node source : sources) {
+        if (cancel_requested()) {
+            break;
+        }
         rt::do_all(n, [&](std::size_t v) {
             sigma[v] = 0.0;
             delta[v] = 0.0;
@@ -59,7 +63,7 @@ betweenness(const Graph& graph, const std::vector<Node>& sources)
         // Forward: level-synchronous BFS accumulating path counts.
         std::vector<std::vector<Node>> levels;
         levels.push_back({source});
-        while (true) {
+        while (!cancel_requested()) {
             trace::Span round(trace::Category::kRound, "forward_round",
                               levels.size());
             metrics::bump(metrics::kRounds);
@@ -100,7 +104,8 @@ betweenness(const Graph& graph, const std::vector<Node>& sources)
         // Backward: dependency accumulation, one level at a time. Each
         // vertex writes only its own delta, so the fused loop needs no
         // atomics.
-        for (std::size_t d = levels.size(); d-- > 1;) {
+        for (std::size_t d = levels.size();
+             d-- > 1 && !cancel_requested();) {
             trace::Span round(trace::Category::kRound, "backward_round", d);
             metrics::bump(metrics::kRounds);
             rt::do_all_items(levels[d - 1], [&](Node w) {

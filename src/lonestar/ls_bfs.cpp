@@ -7,6 +7,7 @@
 #include "metrics/counters.h"
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::ls {
@@ -42,7 +43,7 @@ bfs(const Graph& graph, Node source)
 
     uint32_t level = 0;
     check::RegionLabel label("bfs:expand");
-    while (!next->empty()) {
+    while (!next->empty() && !cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level);
         std::swap(curr, next);
         next->clear();

@@ -6,6 +6,7 @@
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::ls {
@@ -50,7 +51,7 @@ bfs_dirop(const Graph& graph, const Graph& transpose, Node source,
     uint32_t level = 0;
     std::size_t frontier_size = 1;
 
-    while (frontier_size != 0) {
+    while (frontier_size != 0 && !cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", level);
         std::swap(curr, next);
         next->clear();

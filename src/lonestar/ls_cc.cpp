@@ -8,6 +8,7 @@
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "support/cancel.h"
 #include "support/random.h"
 #include "trace/trace.h"
 #include "verify/reference.h"
@@ -124,7 +125,8 @@ cc_afforest(const Graph& graph, uint32_t sampling_rounds)
 
     // Phase 1: union only the first few edges of every vertex — a
     // fine-grained sampled operation no bulk matrix API can express.
-    for (uint32_t round = 0; round < sampling_rounds; ++round) {
+    for (uint32_t round = 0;
+         round < sampling_rounds && !cancel_requested(); ++round) {
         trace::Span round_span(trace::Category::kRound, "sample_round",
                                round);
         metrics::bump(metrics::kRounds);
@@ -174,7 +176,7 @@ cc_sv(const Graph& graph)
     Components comp = init_components(n);
 
     uint64_t iter = 0;
-    while (true) {
+    while (!cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", iter++);
         metrics::bump(metrics::kRounds);
         rt::ReduceOr changed;

@@ -6,6 +6,7 @@
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "support/cancel.h"
 #include "trace/trace.h"
 
 namespace gas::ls {
@@ -48,7 +49,8 @@ core_numbers(const Graph& graph)
     std::atomic<Node> remaining{n};
     const uint32_t top = max_degree.reduce();
 
-    for (uint32_t k = 0; k <= top && remaining.load() > 0; ++k) {
+    for (uint32_t k = 0;
+         k <= top && remaining.load() > 0 && !cancel_requested(); ++k) {
         trace::Span round(trace::Category::kRound, "round", k);
         metrics::bump(metrics::kRounds);
 
@@ -75,7 +77,7 @@ core_numbers(const Graph& graph)
         // Cascade: peeling a vertex decrements neighbors; any neighbor
         // crossing the k threshold is peeled immediately (asynchronous,
         // no round barrier within the level).
-        while (!frontier.empty()) {
+        while (!frontier.empty() && !cancel_requested()) {
             rt::InsertBag<Node> next;
             frontier.parallel_apply([&](Node v) {
                 metrics::bump(metrics::kWorkItems);

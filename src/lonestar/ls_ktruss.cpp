@@ -7,6 +7,7 @@
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
+#include "support/cancel.h"
 #include "support/check.h"
 #include "trace/trace.h"
 
@@ -70,7 +71,7 @@ ktruss(const Graph& graph, uint32_t k, uint32_t* rounds_out)
     uint32_t rounds = 0;
     bool changed = true;
     check::RegionLabel label("ktruss:peel");
-    while (changed) {
+    while (changed && !cancel_requested()) {
         trace::Span round(trace::Category::kRound, "round", rounds);
         ++rounds;
         metrics::bump(metrics::kRounds);

@@ -4,6 +4,7 @@
 #include "graph/node_data.h"
 #include "metrics/counters.h"
 #include "runtime/parallel.h"
+#include "support/cancel.h"
 #include "support/check.h"
 #include "trace/trace.h"
 
@@ -69,7 +70,8 @@ pagerank(const Graph& graph, const Graph& transpose, double damping,
         });
     }
 
-    for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (unsigned iter = 0;
+         iter < iterations && !cancel_requested(); ++iter) {
         trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 
@@ -150,7 +152,8 @@ pagerank_soa(const Graph& graph, const Graph& transpose, double damping,
         });
     }
 
-    for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (unsigned iter = 0;
+         iter < iterations && !cancel_requested(); ++iter) {
         trace::Span round(trace::Category::kRound, "round", iter);
         metrics::bump(metrics::kRounds);
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "matrix/lazy_registry.h"
+#include "support/env.h"
 
 namespace gas::grb {
 
@@ -81,17 +82,17 @@ storage_format_name(StorageFormat format)
 std::optional<StorageFormat>
 storage_format_from_env()
 {
-    const char* env = std::getenv("GAS_FORMAT");
-    if (env == nullptr) {
+    const auto value = env::get("GAS_FORMAT");
+    if (!value.has_value()) {
         return std::nullopt;
     }
-    if (std::strcmp(env, "csr") == 0) {
+    if (*value == "csr") {
         return StorageFormat::kCsr;
     }
-    if (std::strcmp(env, "bitmap") == 0) {
+    if (*value == "bitmap") {
         return StorageFormat::kBitmapCsr;
     }
-    if (std::strcmp(env, "sell") == 0) {
+    if (*value == "sell") {
         return StorageFormat::kSell;
     }
     return std::nullopt;

@@ -59,6 +59,7 @@
 
 #include "matrix/lazy_registry.h"
 #include "matrix/ops_fused.h"
+#include "support/faults.h"
 
 namespace gas::grb {
 
@@ -454,6 +455,15 @@ mxv(LazyVector<T>& w, const Vector<MT>* mask, const Descriptor& desc,
     if (exec_mode() == ExecMode::kNonBlocking && &u != &w &&
         u.pending() && u.node()->dense_mult.has_value()) {
         mult = *u.node()->dense_mult;
+    }
+    if (mult.has_value() && faults::should_fail_alloc("fused.scratch")) {
+        // Graceful degradation: the fused kernel's recycled scratch is
+        // unavailable, so decline the fusion here — while the producer
+        // can still evaluate on its own — and take the eager path.
+        mult.reset();
+        metrics::bump(metrics::kDegradedFallbacks);
+        metrics::bump(metrics::kLazyFallbacks);
+        trace::instant(trace::Category::kGrb, "degrade:fused");
     }
     const bool fuse_input = mult.has_value();
     if (!fuse_input && &u != &w) {

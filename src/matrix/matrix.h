@@ -25,7 +25,9 @@
 #include "matrix/types.h"
 #include "metrics/counters.h"
 #include "support/check.h"
+#include "support/faults.h"
 #include "support/tracked_vector.h"
+#include "trace/trace.h"
 
 namespace gas::grb {
 
@@ -282,11 +284,17 @@ class Matrix
         tuned_ = true;
     }
 
-    /// Selected row storage (tunes lazily on first query).
+    /// Selected row storage (tunes lazily on first query). Also the
+    /// degradation point: if the tuned acceleration structure cannot be
+    /// built (allocation failure, real or fault-injected), the decision
+    /// falls back to plain CSR — bit-identical results, just slower —
+    /// and the kernels that consult this never see a half-built
+    /// structure.
     StorageFormat
     storage_format() const
     {
         ensure_tuned();
+        ensure_storage_built();
         return tuning_.format;
     }
 
@@ -384,6 +392,30 @@ class Matrix
             tuning_ = tune_format(graph::compute_degree_stats(
                 {row_ptr_.data(), row_ptr_.size()}));
             tuned_ = true;
+        }
+    }
+
+    /// Build the acceleration structure the tuning decision calls for,
+    /// degrading the decision to kCsr when the build's allocation
+    /// fails. Runs before any kernel commits to the format, so a
+    /// degraded matrix behaves exactly like an untuned CSR one.
+    void
+    ensure_storage_built() const
+    {
+        try {
+            if (tuning_.format == StorageFormat::kBitmapCsr && !bitmap_) {
+                faults::try_alloc("format.bitmap");
+                row_bitmap();
+            } else if (tuning_.format == StorageFormat::kSell && !sell_) {
+                faults::try_alloc("format.sell");
+                sell_slices();
+            }
+        } catch (const std::bad_alloc&) {
+            metrics::bump(metrics::kDegradedFallbacks);
+            trace::instant(trace::Category::kGrb, "degrade:format");
+            tuning_.format = StorageFormat::kCsr;
+            bitmap_.reset();
+            sell_.reset();
         }
     }
 

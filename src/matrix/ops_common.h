@@ -14,6 +14,7 @@
 #include "metrics/counters.h"
 #include "runtime/insert_bag.h"
 #include "runtime/parallel.h"
+#include "support/cancel.h"
 #include "support/check.h"
 
 namespace gas::grb {
@@ -181,9 +182,13 @@ class SpaWorkspace
     uint8_t* occupied() { return occupied_.data(); }
 
     /// Restore the identity/clear invariant for the given touched slots.
+    /// Shielded from cancellation: the workspace is cached across
+    /// operations, so a reset cut short by a tripped token would leave
+    /// stale slots that corrupt every later operation in the process.
     void
     reset(const rt::InsertBag<Index>& touched)
     {
+        CancelShield shield;
         touched.parallel_apply([&](Index i) {
             values_[i] = Semiring::identity();
             occupied_[i] = 0;

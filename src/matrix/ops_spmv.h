@@ -104,6 +104,13 @@ pull_row_scan(const Matrix<T>& A, Index i, const uint8_t* upresent,
  * Output always uses replace semantics (w is overwritten). The result
  * is sparse; the Reference backend sorts it, the Parallel backend
  * leaves it in insertion order (the paper's "unordered list").
+ *
+ * Cancellation: the row blocks run under do_all, whose chunk claims
+ * are cancellation points. On a tripped CancelToken w holds the
+ * contributions of the completed blocks only — a valid but partial
+ * result; callers must treat w as indeterminate when
+ * gas::cancel_status() is non-OK. The same contract applies to mxv,
+ * mxv_sparse, mxm, and the fused/SIMD kernels built on these loops.
  */
 template <typename Semiring, typename T, typename MT = uint8_t>
 void

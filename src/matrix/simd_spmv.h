@@ -42,6 +42,7 @@
 #include "matrix/formats.h"
 #include "matrix/semiring.h"
 #include "matrix/types.h"
+#include "support/env.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define GAS_SIMD_X86 1
@@ -121,8 +122,7 @@ simd_enabled()
     if (!cpu_has_avx2()) {
         return false;
     }
-    const char* env = std::getenv("GAS_SIMD");
-    return env == nullptr || std::strcmp(env, "0") != 0;
+    return env::raw("GAS_SIMD") == nullptr || env::flag("GAS_SIMD");
 }
 
 /// Expected per-entry speedup of the vector pull path, for the SpMV

@@ -26,6 +26,7 @@
 #include "matrix/types.h"
 #include "metrics/counters.h"
 #include "support/check.h"
+#include "support/faults.h"
 #include "support/tracked_vector.h"
 
 namespace gas::grb {
@@ -271,6 +272,10 @@ class Vector
         if (format_ == VectorFormat::kDense) {
             return;
         }
+        // Fault-injection point: a vertex-sized allocation at kernel
+        // entry. Failure propagates as bad_alloc and is mapped to a
+        // kResourceExhausted Status by gas::run_guarded.
+        faults::try_alloc("vector.densify");
         TrackedVector<T> vals(size_, fill);
         TrackedVector<uint8_t> present(size_, uint8_t{0});
         Nnz count = 0;

@@ -100,6 +100,10 @@ counter_name(CounterId id)
       case kSimdLanesActive: return "simd_lanes_active";
       case kSimdLaneSlots: return "simd_lane_slots";
       case kRowsSkippedBitmap: return "rows_skipped_bitmap";
+      case kCancelled: return "cancelled";
+      case kDeadlineExceeded: return "deadline_exceeded";
+      case kDegradedFallbacks: return "degraded_fallbacks";
+      case kFaultsInjected: return "faults_injected";
       default: return "unknown";
     }
 }

@@ -84,6 +84,18 @@
  *                        row pointers because the row bitmap showed
  *                        them empty
  *
+ * Robustness counters (the cancellation / degradation / fault layer in
+ * src/support/cancel.h and faults.h):
+ *
+ *  - kCancelled          queries tripped by an explicit cancel (one
+ *                        bump per CancelToken trip, not per poll)
+ *  - kDeadlineExceeded   queries tripped by a deadline
+ *  - kDegradedFallbacks  graceful-degradation events: SELL/bitmap
+ *                        build fell back to CSR, fused kernel fell
+ *                        back to eager, OBIM bin fell back to FIFO
+ *  - kFaultsInjected     faults the chaos harness actually injected
+ *                        (failed allocations + worker delays)
+ *
  * Counters are per-thread (plain non-atomic increments) and aggregated
  * on demand, so instrumentation stays cheap enough to leave enabled in
  * the hot loops of every kernel.
@@ -126,6 +138,10 @@ enum CounterId : unsigned {
     kSimdLanesActive,
     kSimdLaneSlots,
     kRowsSkippedBitmap,
+    kCancelled,
+    kDeadlineExceeded,
+    kDegradedFallbacks,
+    kFaultsInjected,
     kNumCounters,
 };
 

@@ -42,7 +42,9 @@
 #include "runtime/backoff.h"
 #include "runtime/chase_lev.h"
 #include "runtime/thread_pool.h"
+#include "support/cancel.h"
 #include "support/check.h"
+#include "support/faults.h"
 #include "support/timer.h"
 #include "trace/trace.h"
 
@@ -82,6 +84,16 @@ class UserContext
  *
  * @param initial any container of T iterable with a range-for.
  * @param fn      operator: fn(const T& item, UserContext<T>& ctx).
+ *
+ * Cancellation: every item claim is a cancellation point — once the
+ * active CancelToken trips, each worker finishes at most the item it is
+ * currently applying and exits, leaving the remaining worklist
+ * unprocessed (callers surface this through gas::cancel_status()).
+ *
+ * Exception safety: an exception escaping @p fn sets a shared abort
+ * flag so sibling workers drain instead of spinning on the pending
+ * counter the failed item never decremented, then rethrows on the
+ * orchestrating thread (via ThreadPool::run's capture).
  */
 template <typename T, typename Container, typename Fn>
 void
@@ -109,6 +121,15 @@ for_each(const Container& initial, Fn&& fn)
     if (pending.load(std::memory_order_relaxed) == 0) {
         return;
     }
+    if (cancel_requested()) {
+        return; // Tripped before the region started: nothing to unwind.
+    }
+
+    // Set when an operator throws; sibling workers poll it so they
+    // drain instead of waiting on a pending count that cannot reach
+    // zero. Cancellation needs no extra flag — the CancelToken itself
+    // is the shared tripped state.
+    std::atomic<bool> aborted{false};
 
     pool.run([&](unsigned tid, unsigned total) {
         trace::Span worker(trace::Category::kWorker, "for_each", tid);
@@ -122,9 +143,17 @@ for_each(const Container& initial, Fn&& fn)
         // Feeds the tracer's per-span scheduler-stall attribution.
         uint64_t idle_since_ns = 0;
         while (true) {
+            if (aborted.load(std::memory_order_acquire) ||
+                cancel_requested()) {
+                if (idle_since_ns != 0) {
+                    trace::stall(idle_since_ns);
+                }
+                return;
+            }
             T item;
             bool found = mine.pop(item);
             if (!found) {
+                faults::maybe_delay();
                 // Steal sweep: batch-steal from the first victim with
                 // visible work, keep one item and bank the rest. Under
                 // the schedule fuzzer the ring order becomes a seeded
@@ -177,7 +206,12 @@ for_each(const Container& initial, Fn&& fn)
                 // running its operator, so another thread's operator on
                 // a neighboring item can overlap differently.
                 check::fuzz::maybe_yield(check::fuzz::Site::kDequePop);
-                fn(item, ctx);
+                try {
+                    fn(item, ctx);
+                } catch (...) {
+                    aborted.store(true, std::memory_order_release);
+                    throw; // ThreadPool::run captures and rethrows.
+                }
                 pending.fetch_sub(1, std::memory_order_acq_rel);
                 continue;
             }
@@ -198,7 +232,10 @@ for_each(const Container& initial, Fn&& fn)
         }
     });
 
-    GAS_CHECK(pending.load() == 0, "for_each terminated with pending work");
+    // A cancelled region legitimately leaves unclaimed items behind;
+    // the invariant only holds for runs that drained to completion.
+    GAS_CHECK(pending.load() == 0 || cancel_requested(),
+              "for_each terminated with pending work");
 }
 
 } // namespace gas::rt

@@ -29,7 +29,9 @@
 #include "metrics/counters.h"
 #include "runtime/backoff.h"
 #include "runtime/thread_pool.h"
+#include "support/cancel.h"
 #include "support/check.h"
+#include "support/faults.h"
 #include "support/timer.h"
 #include "trace/trace.h"
 
@@ -140,6 +142,13 @@ class ObimWorklist
         for (auto& slot : slots_) {
             slot.store(nullptr, std::memory_order_relaxed);
         }
+        // Bin 0 is the degradation target when a lazy bin allocation
+        // fails mid-run (push() routes the item there, FIFO, losing
+        // only the ordering hint). Allocating it up front — while the
+        // worklist ctor can still propagate bad_alloc cleanly — means
+        // the fallback path itself can never fail.
+        slots_[0].store(new detail::PriorityBin<T>(),
+                        std::memory_order_relaxed);
     }
 
     ~ObimWorklist()
@@ -167,9 +176,10 @@ class ObimWorklist
         // simply be visible before the matching finish_item decrement,
         // which fetch_add's atomicity guarantees on its own.
         pending_.fetch_add(1, std::memory_order_relaxed);
-        if (bin(priority).push(item)) {
-            metrics::gauge_add(metrics::kObimBinsLive, 1);
-        }
+        // bin() may degrade to bin 0 under allocation failure; the
+        // watermarks below must track where the item actually landed or
+        // a scan starting past bin 0 would never find it.
+        priority = place(priority, item);
         metrics::bump(metrics::kPushes);
 
         // Watermark maintenance: lower the scan cursor, raise the upper
@@ -197,6 +207,16 @@ class ObimWorklist
         // idle-episode tracking in for_each.
         uint64_t idle_since_ns = 0;
         while (true) {
+            // Cancellation / abort point: once per scan, so a tripped
+            // token stops the executor within one batch.
+            if (abort_.load(std::memory_order_acquire) ||
+                cancel_requested()) {
+                if (idle_since_ns != 0) {
+                    trace::stall(idle_since_ns);
+                }
+                return false;
+            }
+            faults::maybe_delay();
             // Fuzz point: perturb which bin a scan reaches first.
             check::fuzz::maybe_yield(check::fuzz::Site::kObimPop);
             // relaxed: both watermarks are scan hints. A too-high
@@ -282,8 +302,47 @@ class ObimWorklist
         return pending_.load(std::memory_order_relaxed);
     }
 
+    /// Make every pop_batch return false at its next scan. Used by the
+    /// executor when an operator throws, so sibling workers drain
+    /// instead of waiting on a pending count that cannot balance.
+    void
+    request_abort()
+    {
+        abort_.store(true, std::memory_order_release);
+    }
+
+    bool
+    aborted() const
+    {
+        return abort_.load(std::memory_order_relaxed);
+    }
+
   private:
-    detail::PriorityBin<T>&
+    /// Insert @p item into its priority's bin, degrading to bin 0 when
+    /// the bin cannot be allocated. Returns the priority of the bin the
+    /// item actually landed in (for watermark maintenance).
+    std::size_t
+    place(std::size_t priority, const T& item)
+    {
+        detail::PriorityBin<T>* target = bin(priority);
+        if (target == nullptr) {
+            // Graceful degradation: the ordering hint is lost but the
+            // item still executes, FIFO through the pre-allocated bin 0.
+            metrics::bump(metrics::kDegradedFallbacks);
+            trace::instant(trace::Category::kRuntime, "degrade:obim",
+                           priority);
+            priority = 0;
+            target = slots_[0].load(std::memory_order_relaxed);
+        }
+        if (target->push(item)) {
+            metrics::gauge_add(metrics::kObimBinsLive, 1);
+        }
+        return priority;
+    }
+
+    /// The bin for @p priority, lazily allocated; nullptr when the
+    /// allocation failed (real or fault-injected).
+    detail::PriorityBin<T>*
     bin(std::size_t priority)
     {
         // acquire: pairs with the release half of the publishing CAS
@@ -292,24 +351,31 @@ class ObimWorklist
         detail::PriorityBin<T>* existing =
             slots_[priority].load(std::memory_order_acquire);
         if (existing != nullptr) {
-            return *existing;
+            return existing;
         }
-        auto created = std::make_unique<detail::PriorityBin<T>>();
+        std::unique_ptr<detail::PriorityBin<T>> created;
+        try {
+            faults::try_alloc("obim.bin");
+            created = std::make_unique<detail::PriorityBin<T>>();
+        } catch (const std::bad_alloc&) {
+            return nullptr;
+        }
         detail::PriorityBin<T>* expected = nullptr;
         // acq_rel: release publishes the freshly constructed bin;
         // acquire covers the failure path, where `expected` becomes the
         // winner's pointer and is dereferenced by the caller.
         if (slots_[priority].compare_exchange_strong(
                 expected, created.get(), std::memory_order_acq_rel)) {
-            return *created.release();
+            return created.release();
         }
-        return *expected; // another thread won the race
+        return expected; // another thread won the race
     }
 
     std::vector<std::atomic<detail::PriorityBin<T>*>> slots_;
     std::atomic<std::size_t> cursor_{0};
     std::atomic<std::size_t> top_{0};
     std::atomic<std::size_t> pending_{0};
+    std::atomic<bool> abort_{false};
 };
 
 /**
@@ -357,6 +423,10 @@ for_each_ordered(const Container& initial, PriFn&& pri, Fn&& fn,
         return;
     }
 
+    if (cancel_requested()) {
+        return; // Tripped before the region started: nothing to unwind.
+    }
+
     ThreadPool::get().run([&](unsigned tid, unsigned) {
         trace::Span worker(trace::Category::kWorker, "for_each_ordered",
                            tid);
@@ -365,14 +435,22 @@ for_each_ordered(const Container& initial, PriFn&& pri, Fn&& fn,
         batch.reserve(batch_size);
         while (worklist.pop_batch(batch, batch_size)) {
             for (const T& item : batch) {
-                fn(item, ctx);
+                try {
+                    fn(item, ctx);
+                } catch (...) {
+                    worklist.request_abort();
+                    throw; // ThreadPool::run captures and rethrows.
+                }
                 worklist.finish_item();
             }
             batch.clear();
         }
     });
 
-    GAS_CHECK(worklist.pending() == 0,
+    // A cancelled region legitimately leaves unclaimed items behind;
+    // the invariant only holds for runs that drained to completion.
+    GAS_CHECK(worklist.pending() == 0 || worklist.aborted() ||
+                  cancel_requested(),
               "for_each_ordered terminated with pending work");
 }
 

@@ -20,6 +20,8 @@
 #include <cstdint>
 
 #include "runtime/thread_pool.h"
+#include "support/cancel.h"
+#include "support/faults.h"
 #include "trace/trace.h"
 
 namespace gas::rt {
@@ -88,6 +90,15 @@ on_each(Fn&& fn)
  * Apply @p fn to every block of a [0, n) index space in parallel.
  * fn receives a Range; callers iterate the block themselves, which keeps
  * per-element overhead out of the runtime.
+ *
+ * Cancellation: chunk claims are cancellation points. Once the active
+ * CancelToken trips, no further chunk is claimed; chunks already
+ * claimed run to completion, so on return the output holds the union
+ * of completed chunks and untouched elements keep their prior values
+ * (callers surface this through gas::cancel_status()). The static and
+ * single-thread paths subdivide their blocks into chunk-size slices
+ * only when a token is installed, so the uncancellable fast path is
+ * unchanged.
  */
 template <typename Fn>
 void
@@ -101,32 +112,53 @@ do_all_blocked(std::size_t n, Fn&& fn, LoopOptions options = {})
 
     trace::Span region(trace::Category::kRuntime, "do_all", n);
 
+    const std::size_t chunk = options.chunk_size != 0
+        ? options.chunk_size
+        : detail::default_chunk(n, threads);
+
+    // Run one thread's contiguous block, slicing it into chunk-size
+    // cancellation intervals when a token is installed.
+    const auto run_block = [&](std::size_t begin, std::size_t end) {
+        if (!cancel_active()) [[likely]] {
+            fn(Range{begin, end});
+            return;
+        }
+        for (std::size_t at = begin; at < end; at += chunk) {
+            if (cancel_requested()) {
+                return;
+            }
+            fn(Range{at, std::min(end, at + chunk)});
+        }
+    };
+
     if (threads == 1) {
         trace::Span worker(trace::Category::kWorker, "do_all", 0);
-        fn(Range{0, n});
+        run_block(0, n);
         return;
     }
 
     if (options.schedule == Schedule::kStatic) {
         pool.run([&](unsigned tid, unsigned total) {
             trace::Span worker(trace::Category::kWorker, "do_all", tid);
+            faults::maybe_delay();
             const std::size_t per = (n + total - 1) / total;
             const std::size_t begin = std::min(n, per * tid);
             const std::size_t end = std::min(n, begin + per);
             if (begin < end) {
-                fn(Range{begin, end});
+                run_block(begin, end);
             }
         });
         return;
     }
 
-    const std::size_t chunk = options.chunk_size != 0
-        ? options.chunk_size
-        : detail::default_chunk(n, threads);
     std::atomic<std::size_t> cursor{0};
     pool.run([&](unsigned tid, unsigned) {
         trace::Span worker(trace::Category::kWorker, "do_all", tid);
         while (true) {
+            if (cancel_requested()) {
+                return;
+            }
+            faults::maybe_delay();
             const std::size_t begin =
                 cursor.fetch_add(chunk, std::memory_order_relaxed);
             if (begin >= n) {

@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.h"
 
+#include <utility>
+
 #include "check/shadow.h"
 #include "support/check.h"
 
@@ -96,10 +98,18 @@ ThreadPool::worker_loop(unsigned tid, uint64_t seen_epoch)
         }
         current_thread_id = tid;
         inside_region = true;
-        (*task)(tid, num_threads_);
+        std::exception_ptr error;
+        try {
+            (*task)(tid, num_threads_);
+        } catch (...) {
+            error = std::current_exception();
+        }
         inside_region = false;
         {
             std::lock_guard guard(lock_);
+            if (error && !region_error_) {
+                region_error_ = error;
+            }
             if (--workers_remaining_ == 0) {
                 work_done_.notify_one();
             }
@@ -130,19 +140,32 @@ ThreadPool::run(const Task& task)
 
     current_thread_id = 0;
     inside_region = true;
-    task(0, num_threads_);
+    std::exception_ptr caller_error;
+    try {
+        task(0, num_threads_);
+    } catch (...) {
+        caller_error = std::current_exception();
+    }
     inside_region = false;
 
+    std::exception_ptr region_error;
     {
         std::unique_lock guard(lock_);
         work_done_.wait(guard, [&] { return workers_remaining_ == 0; });
         active_task_ = nullptr;
         in_parallel_region_ = false;
+        if (caller_error && !region_error_) {
+            region_error_ = caller_error;
+        }
+        region_error = std::exchange(region_error_, nullptr);
     }
     // Leaving the region is the matching barrier: sequential code after
     // run() gets a fresh epoch and cannot be flagged against in-region
     // accesses.
     check::region_begin();
+    if (region_error) {
+        std::rethrow_exception(region_error);
+    }
 }
 
 unsigned

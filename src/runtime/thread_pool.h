@@ -11,6 +11,7 @@
  */
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -51,7 +52,17 @@ class ThreadPool
     /// Number of threads (including the calling thread).
     unsigned num_threads() const { return num_threads_; }
 
-    /// Execute @p task on every thread and wait for completion.
+    /**
+     * Execute @p task on every thread and wait for completion.
+     *
+     * Exception safety: an exception escaping @p task on any thread is
+     * captured (first one wins), the region still runs to completion on
+     * the other threads, and the exception is rethrown on the calling
+     * thread after the region ends. Higher-level executors (for_each,
+     * OBIM) additionally set their own abort flag so sibling workers
+     * drain quickly instead of spinning on a termination counter that
+     * will never balance.
+     */
     void run(const Task& task);
 
     /// Thread id of the calling thread within the active parallel region
@@ -72,6 +83,8 @@ class ThreadPool
     std::condition_variable work_ready_;
     std::condition_variable work_done_;
     const Task* active_task_{nullptr};
+    /// First exception thrown by any thread in the active region.
+    std::exception_ptr region_error_;
     uint64_t epoch_{0};
     unsigned workers_remaining_{0};
     bool shutting_down_{false};

@@ -1,0 +1,73 @@
+#include "support/cancel.h"
+
+#include <exception>
+
+#include "metrics/counters.h"
+#include "trace/trace.h"
+
+namespace gas {
+
+namespace detail {
+
+std::atomic<CancelToken*> g_active_token{nullptr};
+
+} // namespace detail
+
+void
+CancelToken::trip(StatusCode reason)
+{
+    uint8_t expected = 0;
+    if (!tripped_.compare_exchange_strong(
+            expected, static_cast<uint8_t>(reason),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+        return; // Already tripped; first reason stands.
+    }
+    if (reason == StatusCode::kCancelled) {
+        metrics::bump(metrics::kCancelled);
+        trace::instant(trace::Category::kRuntime, "cancel");
+    } else {
+        metrics::bump(metrics::kDeadlineExceeded);
+        trace::instant(trace::Category::kRuntime, "deadline_exceeded");
+    }
+}
+
+Status
+CancelToken::status() const
+{
+    switch (code()) {
+      case StatusCode::kCancelled:
+          return Status::Cancelled("query cancelled");
+      case StatusCode::kDeadlineExceeded:
+          return Status::DeadlineExceeded("query deadline exceeded");
+      default:
+          return Status::Ok();
+    }
+}
+
+Status
+cancel_status()
+{
+    CancelToken* token =
+        detail::g_active_token.load(std::memory_order_relaxed);
+    if (token == nullptr) {
+        return Status::Ok();
+    }
+    return token->status();
+}
+
+Status
+run_guarded(const std::function<void()>& fn)
+{
+    try {
+        fn();
+    } catch (const std::bad_alloc&) {
+        return Status::ResourceExhausted("allocation failed");
+    } catch (const std::exception& e) {
+        return Status::Internal(e.what());
+    } catch (...) {
+        return Status::Internal("unknown exception");
+    }
+    return cancel_status();
+}
+
+} // namespace gas

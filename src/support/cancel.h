@@ -1,0 +1,219 @@
+#pragma once
+
+/**
+ * @file
+ * Cooperative cancellation and deadlines.
+ *
+ * Every layer of the engine is a cooperative scheduler at some grain —
+ * do_all claims chunks, for_each pops deque items, OBIM scans bins,
+ * algorithms run rounds. A CancelToken turns those existing grain
+ * boundaries into cancellation points: the runtime polls
+ * cancel_requested() between units of work and unwinds when it trips,
+ * so a cancelled query stops within one chunk instead of wedging a
+ * serving thread for the rest of a PageRank.
+ *
+ * Protocol:
+ *  - The orchestrator installs a token with a CancelScope (RAII,
+ *    nestable: the innermost scope's token is the active one).
+ *  - The token trips either explicitly (CancelToken::cancel(), callable
+ *    from any thread) or when its steady-clock deadline passes. First
+ *    trip wins and is recorded exactly once (kCancelled or
+ *    kDeadlineExceeded counter + trace instant).
+ *  - Workers poll gas::cancel_requested() at chunk/batch/round
+ *    boundaries. Once it returns true the parallel construct drains
+ *    without claiming new work; outputs hold whatever the completed
+ *    units wrote (documented per kernel: prefix-of-rows for row-block
+ *    kernels, last-completed-round for BSP algorithms).
+ *  - The orchestrator reads gas::cancel_status() after the region to
+ *    learn whether (and why) the run was cut short.
+ *
+ * Disabled cost: when no token is installed, cancel_requested() is one
+ * relaxed atomic load and a predictable branch — the same discipline as
+ * trace::enabled() and the race checker.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "support/status.h"
+#include "support/timer.h"
+
+namespace gas {
+
+/**
+ * A cancellation token: an explicit cancel flag plus an optional
+ * steady-clock deadline, shared between an orchestrator and the worker
+ * threads executing its query. All members are thread-safe.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /// A token that trips once now_ns() reaches @p deadline_ns.
+    explicit CancelToken(uint64_t deadline_ns) : deadline_ns_(deadline_ns) {}
+
+    /// Arm the deadline @p ms milliseconds from now.
+    void
+    set_deadline_ms(uint64_t ms)
+    {
+        set_deadline_ns(now_ns() + ms * 1'000'000ull);
+    }
+
+    /// Trip the token explicitly. Safe from any thread; idempotent
+    /// (the first trip — cancel or deadline — wins).
+    void cancel() { trip(StatusCode::kCancelled); }
+
+    /// Install or move the deadline (absolute now_ns() value; 0 clears).
+    void
+    set_deadline_ns(uint64_t deadline_ns)
+    {
+        deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+    }
+
+    /**
+     * True when the token has tripped. Checks the deadline lazily: the
+     * first poll past the deadline trips the token, so the deadline
+     * clock read happens on the polling thread at poll granularity —
+     * no timer thread needed.
+     */
+    bool
+    requested()
+    {
+        if (tripped_.load(std::memory_order_relaxed) != 0) {
+            return true;
+        }
+        const uint64_t deadline =
+            deadline_ns_.load(std::memory_order_relaxed);
+        if (deadline != 0 && now_ns() >= deadline) {
+            trip(StatusCode::kDeadlineExceeded);
+            return true;
+        }
+        return false;
+    }
+
+    /// Why the token tripped: kOk (not tripped), kCancelled, or
+    /// kDeadlineExceeded. Does not itself check the deadline.
+    StatusCode
+    code() const
+    {
+        return static_cast<StatusCode>(
+            tripped_.load(std::memory_order_acquire));
+    }
+
+    /// Status form of code(), with a message naming the trip reason.
+    Status status() const;
+
+  private:
+    /// CAS from untripped so exactly one trip reason is recorded; the
+    /// winner bumps the matching counter and emits a trace instant.
+    void trip(StatusCode reason);
+
+    /// 0 = untripped, else the StatusCode of the first trip.
+    std::atomic<uint8_t> tripped_{0};
+    /// Absolute now_ns() deadline; 0 = no deadline.
+    std::atomic<uint64_t> deadline_ns_{0};
+};
+
+namespace detail {
+
+/// The innermost installed token (nullptr = cancellation off). Workers
+/// read it through cancel_requested(); CancelScope writes it.
+extern std::atomic<CancelToken*> g_active_token;
+
+} // namespace detail
+
+/**
+ * RAII installer: makes @p token the active token for the scope's
+ * lifetime and restores the previous one on exit. Install on the
+ * orchestrator thread *before* entering parallel regions — workers
+ * snapshot the active token when a region begins.
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(CancelToken& token)
+        : previous_(detail::g_active_token.exchange(
+              &token, std::memory_order_release))
+    {
+    }
+
+    ~CancelScope()
+    {
+        detail::g_active_token.store(previous_, std::memory_order_release);
+    }
+
+    CancelScope(const CancelScope&) = delete;
+    CancelScope& operator=(const CancelScope&) = delete;
+
+  private:
+    CancelToken* previous_;
+};
+
+/**
+ * RAII mask: hides the active token for the scope's lifetime, so the
+ * enclosed parallel work runs to completion even inside a cancelled
+ * region. Required around cleanup that restores a *shared* invariant —
+ * e.g. a cached SPA workspace's "identity values, clear flags" reset:
+ * if cancellation could cut the reset short, the stale slots would
+ * silently corrupt every later operation long after the cancelled
+ * query is gone. The moral equivalent of destructors running during
+ * unwind: shield the restore, never the work itself.
+ */
+class CancelShield
+{
+  public:
+    CancelShield()
+        : previous_(detail::g_active_token.exchange(
+              nullptr, std::memory_order_release))
+    {
+    }
+
+    ~CancelShield()
+    {
+        detail::g_active_token.store(previous_, std::memory_order_release);
+    }
+
+    CancelShield(const CancelShield&) = delete;
+    CancelShield& operator=(const CancelShield&) = delete;
+
+  private:
+    CancelToken* previous_;
+};
+
+/// True when a token is installed. The one-relaxed-load disabled
+/// branch every polling site pays when cancellation is off.
+inline bool
+cancel_active()
+{
+    return detail::g_active_token.load(std::memory_order_relaxed) != nullptr;
+}
+
+/// Poll the active token (false when none installed). This is the
+/// cancellation point: call it at chunk/batch/round boundaries.
+inline bool
+cancel_requested()
+{
+    CancelToken* token =
+        detail::g_active_token.load(std::memory_order_relaxed);
+    if (token == nullptr) [[likely]] {
+        return false;
+    }
+    return token->requested();
+}
+
+/// Status of the active token: Ok when none installed or not tripped.
+Status cancel_status();
+
+/**
+ * Run @p fn under the engine's recoverable-failure contract: maps an
+ * escaping std::bad_alloc (real or fault-injected) to
+ * kResourceExhausted and any other exception to kInternal, otherwise
+ * returns cancel_status() — so a chaos run or a served query always
+ * ends in a clean Status, never a crash.
+ */
+Status run_guarded(const std::function<void()>& fn);
+
+} // namespace gas

@@ -1,0 +1,99 @@
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace gas::env {
+
+std::optional<std::string>
+get(const char* name)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return std::nullopt;
+    }
+    return std::string(value);
+}
+
+const char*
+raw(const char* name)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return nullptr;
+    }
+    return value;
+}
+
+bool
+flag(const char* name)
+{
+    const char* value = raw(name);
+    if (value == nullptr) {
+        return false;
+    }
+    return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+        std::strcmp(value, "false") != 0;
+}
+
+uint64_t
+u64_or(const char* name, uint64_t fallback)
+{
+    const char* value = raw(name);
+    if (value == nullptr) {
+        return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const uint64_t parsed = std::strtoull(value, &end, 10);
+    if (errno != 0 || end == value || *end != '\0') {
+        return fallback;
+    }
+    return parsed;
+}
+
+double
+f64_or(const char* name, double fallback)
+{
+    const char* value = raw(name);
+    if (value == nullptr) {
+        return fallback;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (errno != 0 || end == value || *end != '\0') {
+        return fallback;
+    }
+    return parsed;
+}
+
+StatusOr<std::vector<SpecEntry>>
+parse_spec(const std::string& spec)
+{
+    std::vector<SpecEntry> entries;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string clause = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (clause.empty()) {
+            continue;
+        }
+        const size_t colon = clause.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == clause.size()) {
+            return Status::InvalidArgument("bad spec clause '" + clause +
+                                           "' (want key:value)");
+        }
+        entries.push_back(
+            {clause.substr(0, colon), clause.substr(colon + 1)});
+    }
+    return entries;
+}
+
+} // namespace gas::env

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * One place to read GAS_* environment configuration.
+ *
+ * Before this helper every subsystem hand-rolled its own getenv +
+ * strtoull parsing (GAS_FORMAT in the backend, GAS_SIMD in the SIMD
+ * dispatcher, GAS_TRACE* in the tracer, GAS_CHECK_SEED in the fuzzer,
+ * GAS_SCALE/GAS_THREADS in the suite, GAS_REPS/GAS_TIMEOUT in the
+ * bench harness), each with slightly different empty-string and
+ * malformed-value behavior. env.h gives them one parsing discipline:
+ *
+ *  - unset and empty ("") both mean "not configured";
+ *  - numeric parsers fall back to the caller's default on malformed
+ *    input instead of silently reading 0;
+ *  - spec strings ("alloc:0.01,delay:50,seed:7" for GAS_FAULTS) parse
+ *    through parse_spec() with a Status for malformed input, so chaos
+ *    configuration errors are reported, not guessed around.
+ *
+ * The recognized variables (see README for the user-facing story):
+ *   GAS_THREADS      worker count            GAS_SCALE    suite scale
+ *   GAS_FORMAT       storage-format force    GAS_SIMD     SIMD force
+ *   GAS_TRACE[_BUF/_HW] tracer config        GAS_CHECK_SEED fuzzer seed
+ *   GAS_FAULTS       fault-injection spec    GAS_DEADLINE_MS per-cell
+ *                                            deadline (core/runner)
+ *   GAS_REPS / GAS_TIMEOUT / GAS_CSV_DIR     bench harness
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace gas::env {
+
+/// The variable's value, or nullopt when unset or empty. The empty
+/// string is treated as unset so `GAS_TRACE= ./bench` disables rather
+/// than misconfigures.
+std::optional<std::string> get(const char* name);
+
+/// Raw pointer variant for call sites that only test presence; nullptr
+/// when unset or empty.
+const char* raw(const char* name);
+
+/// True when the variable is set and not one of "", "0", "off",
+/// "false" (case-sensitive, matching the tracer's historic behavior).
+bool flag(const char* name);
+
+/// Unsigned integer value, or @p fallback when unset, empty, or
+/// malformed (trailing garbage counts as malformed).
+uint64_t u64_or(const char* name, uint64_t fallback);
+
+/// Double value, or @p fallback when unset, empty, or malformed.
+double f64_or(const char* name, double fallback);
+
+/// One `key:value` pair from a spec string.
+struct SpecEntry
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Parse a comma-separated `key:value[,key:value...]` spec (the
+ * GAS_FAULTS grammar). Returns kInvalidArgument naming the offending
+ * clause on malformed input; an empty spec parses to an empty list.
+ */
+StatusOr<std::vector<SpecEntry>> parse_spec(const std::string& spec);
+
+} // namespace gas::env

@@ -1,0 +1,213 @@
+#include "support/faults.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "metrics/counters.h"
+#include "runtime/thread_pool.h"
+#include "support/env.h"
+#include "trace/trace.h"
+
+namespace gas::faults {
+
+namespace {
+
+/// The campaign, guarded by a generation stamp so install() reseeds
+/// every thread's stream at its next draw (same protocol as the
+/// schedule fuzzer's seed, check/fuzz.cpp). Config fields are written
+/// only under g_config_lock and before the generation bump workers
+/// observe, so relaxed reads of the POD fields are safe.
+std::mutex g_config_lock;
+Config g_config;
+std::atomic<uint64_t> g_generation{0};
+
+uint64_t
+splitmix64(uint64_t& state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/// Per-thread decision stream: a pure function of (seed, pool thread
+/// id), reseeded lazily when the campaign generation changes.
+struct ThreadStream
+{
+    uint64_t state{0};
+    uint64_t generation{~uint64_t{0}};
+};
+
+thread_local ThreadStream t_stream;
+
+uint64_t
+next_random(uint64_t seed)
+{
+    const uint64_t generation = g_generation.load(std::memory_order_acquire);
+    if (t_stream.generation != generation) {
+        t_stream.generation = generation;
+        t_stream.state =
+            seed ^ (0xD1B54A32D192ED03ull * (rt::thread_id() + 1));
+    }
+    return splitmix64(t_stream.state);
+}
+
+/// FNV-1a over the site name, folded into the draw (not the stream
+/// state) so different sites see different decisions while the stream
+/// sequence stays a pure function of (seed, tid, call index).
+uint64_t
+site_hash(const char* site)
+{
+    uint64_t hash = 0xCBF29CE484222325ull;
+    for (const char* c = site; *c != '\0'; ++c) {
+        hash = (hash ^ static_cast<uint8_t>(*c)) * 0x100000001B3ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+bool
+should_fail_alloc_slow(const char* site)
+{
+    const Config config = active();
+    if (config.alloc_p <= 0.0) {
+        return false;
+    }
+    // Fold the site hash in, then remix: a plain XOR only shifts the
+    // threshold comparison linearly, so sites whose hashes agree in
+    // the high bits would draw near-identical decision sequences.
+    uint64_t draw = next_random(config.seed) ^ site_hash(site);
+    draw = (draw ^ (draw >> 30)) * 0xBF58476D1CE4E5B9ull;
+    draw = (draw ^ (draw >> 27)) * 0x94D049BB133111EBull;
+    draw ^= draw >> 31;
+    // Map the 53 high bits onto [0,1) — the standard doubles trick.
+    const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (unit >= config.alloc_p) {
+        return false;
+    }
+    metrics::bump(metrics::kFaultsInjected);
+    trace::instant(trace::Category::kRuntime, "fault:alloc");
+    return true;
+}
+
+void
+maybe_delay_slow()
+{
+    const Config config = active();
+    if (config.delay_us == 0) {
+        return;
+    }
+    // Stall roughly 1-in-64 visits: frequent enough to perturb every
+    // parallel region, rare enough that chaos runs still terminate.
+    if ((next_random(config.seed) & 63u) != 0) {
+        return;
+    }
+    metrics::bump(metrics::kFaultsInjected);
+    trace::instant(trace::Category::kRuntime, "fault:delay",
+                   config.delay_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(config.delay_us));
+}
+
+} // namespace detail
+
+StatusOr<Config>
+parse(const std::string& spec)
+{
+    auto entries = env::parse_spec(spec);
+    if (!entries.ok()) {
+        return entries.status();
+    }
+    Config config;
+    config.seed = 1; // Injection on by default when a spec is given.
+    for (const env::SpecEntry& entry : entries.value()) {
+        errno = 0;
+        char* end = nullptr;
+        if (entry.key == "alloc") {
+            config.alloc_p = std::strtod(entry.value.c_str(), &end);
+            if (errno != 0 || *end != '\0' || config.alloc_p < 0.0 ||
+                config.alloc_p > 1.0) {
+                return Status::InvalidArgument(
+                    "GAS_FAULTS alloc probability '" + entry.value +
+                    "' not in [0,1]");
+            }
+        } else if (entry.key == "delay") {
+            config.delay_us = std::strtoull(entry.value.c_str(), &end, 10);
+            if (errno != 0 || *end != '\0') {
+                return Status::InvalidArgument(
+                    "GAS_FAULTS delay '" + entry.value + "' not a count");
+            }
+        } else if (entry.key == "seed") {
+            config.seed = std::strtoull(entry.value.c_str(), &end, 10);
+            if (errno != 0 || *end != '\0') {
+                return Status::InvalidArgument(
+                    "GAS_FAULTS seed '" + entry.value + "' not a count");
+            }
+        } else {
+            return Status::InvalidArgument("GAS_FAULTS unknown key '" +
+                                           entry.key + "'");
+        }
+    }
+    return config;
+}
+
+void
+install(const Config& config)
+{
+    std::lock_guard guard(g_config_lock);
+    g_config = config;
+    const bool on =
+        config.seed != 0 && (config.alloc_p > 0.0 || config.delay_us > 0);
+    // Bump the generation before enabling so no thread draws from a
+    // stale stream under the new campaign.
+    g_generation.fetch_add(1, std::memory_order_release);
+    detail::g_enabled.store(on, std::memory_order_release);
+}
+
+void
+uninstall()
+{
+    install(Config{});
+}
+
+Config
+active()
+{
+    std::lock_guard guard(g_config_lock);
+    return g_config;
+}
+
+void
+configure_from_env()
+{
+    const auto spec = env::get("GAS_FAULTS");
+    if (!spec.has_value()) {
+        uninstall();
+        return;
+    }
+    auto config = parse(*spec);
+    GAS_REQUIRE(config.ok(), "invalid GAS_FAULTS: ",
+                config.status().to_string());
+    install(config.value());
+}
+
+namespace {
+
+/// Apply GAS_FAULTS at startup so whole-program chaos runs (the CI
+/// chaos job driving the bench binaries) inject without code changes.
+[[maybe_unused]] const bool g_env_applied = [] {
+    configure_from_env();
+    return true;
+}();
+
+} // namespace
+
+} // namespace gas::faults

@@ -1,0 +1,122 @@
+#pragma once
+
+/**
+ * @file
+ * Seeded deterministic fault injection (the chaos harness).
+ *
+ * Robustness claims need an adversary: this module lets a test or CI
+ * job make allocation sites fail probabilistically and workers stall
+ * at scheduling points, so the degradation ladder (formats → CSR,
+ * fused → eager, OBIM → FIFO) and the Status-unwinding paths actually
+ * execute instead of existing only in review.
+ *
+ * Spec grammar (the GAS_FAULTS environment variable):
+ *
+ *     GAS_FAULTS=alloc:0.01,delay:50,seed:7
+ *
+ *  - alloc:p   each instrumented allocation site fails (throws
+ *              std::bad_alloc) with probability p per visit
+ *  - delay:us  workers occasionally stall us microseconds at
+ *              scheduling points, widening race/termination windows
+ *  - seed:n    the splitmix64 seed; n=0 disables injection
+ *
+ * Determinism and replay — the same discipline as the PR-3 schedule
+ * fuzzer (check/fuzz.cpp): every decision is drawn from a per-thread
+ * splitmix64 stream seeded by (seed, pool thread id) and folded with a
+ * hash of the site name, so a thread's decision sequence is a pure
+ * function of (seed, tid, call sequence). Rerunning a failing chaos
+ * seed replays the same faults.
+ *
+ * Instrumented sites pull, not push: code opts in by calling
+ * try_alloc("site") before a fallible allocation or maybe_delay() at a
+ * scheduling point. When no config is installed both are one relaxed
+ * atomic load — zero overhead, same as tracing and cancellation.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/status.h"
+
+namespace gas::faults {
+
+/// An injection campaign: what to break, how hard, and the seed.
+struct Config
+{
+    double alloc_p{0.0};   ///< per-visit allocation-failure probability
+    uint64_t delay_us{0};  ///< worker stall length at delay points
+    uint64_t seed{0};      ///< splitmix64 seed; 0 disables injection
+};
+
+/// Parse a GAS_FAULTS spec string. Unknown keys and malformed values
+/// are errors (a chaos run with a typoed spec must not silently run
+/// fault-free).
+StatusOr<Config> parse(const std::string& spec);
+
+/// Install a campaign (takes effect on each thread at its next draw).
+/// A config with seed 0 or no enabled fault classes disables injection.
+void install(const Config& config);
+
+/// Disable injection.
+void uninstall();
+
+/// The active campaign (all-zero when disabled).
+Config active();
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+bool should_fail_alloc_slow(const char* site);
+void maybe_delay_slow();
+
+} // namespace detail
+
+/// True when a campaign is installed. One relaxed load.
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// True when the campaign says this visit to @p site fails. Use at
+/// sites that handle failure inline (degradation paths).
+inline bool
+should_fail_alloc(const char* site)
+{
+    if (!enabled()) [[likely]] {
+        return false;
+    }
+    return detail::should_fail_alloc_slow(site);
+}
+
+/// Throw std::bad_alloc when the campaign fails this visit to @p site.
+/// Use at sites whose failure propagates (caught by run_guarded or a
+/// local degradation handler).
+inline void
+try_alloc(const char* site)
+{
+    if (should_fail_alloc(site)) {
+        throw std::bad_alloc();
+    }
+}
+
+/// Occasionally stall the calling worker for the campaign's delay_us.
+/// Call at scheduling points (chunk claims, steal sweeps, bin scans).
+inline void
+maybe_delay()
+{
+    if (!enabled()) [[likely]] {
+        return;
+    }
+    detail::maybe_delay_slow();
+}
+
+/// Read GAS_FAULTS and install the campaign; fatal (GAS_REQUIRE) on a
+/// malformed spec. Runs automatically at static init so whole-program
+/// chaos runs need no code changes; callable again after set-env in
+/// tests.
+void configure_from_env();
+
+} // namespace gas::faults

@@ -1,0 +1,20 @@
+#include "support/status.h"
+
+namespace gas {
+
+const char*
+status_code_name(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kCancelled: return "cancelled";
+      case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+      case StatusCode::kInvalidArgument: return "invalid_argument";
+      case StatusCode::kResourceExhausted: return "resource_exhausted";
+      case StatusCode::kFailedPrecondition: return "failed_precondition";
+      case StatusCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+} // namespace gas

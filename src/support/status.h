@@ -1,0 +1,187 @@
+#pragma once
+
+/**
+ * @file
+ * Structured error model for recoverable failures.
+ *
+ * The original error discipline (support/check.h) knows only two
+ * outcomes: fatal user error (exit) and internal invariant violation
+ * (abort). A long-lived analytics service needs a third class —
+ * failures a caller can *handle*: a malformed input graph, an
+ * allocation that did not fit, a query whose deadline passed, a query
+ * the client cancelled. gas::Status / gas::StatusOr<T> carry those,
+ * modelled on the GrB_Info return discipline LAGraph builds its
+ * LAGraph_TRY error handling on.
+ *
+ * Conventions:
+ *  - kOk is success; everything else names why the operation stopped.
+ *  - Functions that can fail recoverably return Status (or StatusOr<T>
+ *    when they produce a value). GAS_CHECK stays for invariants that
+ *    indicate bugs; GAS_REQUIRE stays for unrecoverable CLI misuse.
+ *  - Allocation failure surfaces as std::bad_alloc at the faulting
+ *    site; run_guarded (support/cancel.h) maps it to
+ *    kResourceExhausted at the query boundary, and the degradation
+ *    paths (storage formats, fused scratch, OBIM bins) absorb it
+ *    locally without surfacing at all.
+ */
+
+#include <string>
+#include <utility>
+
+#include "support/check.h"
+
+namespace gas {
+
+/// Why an operation did not complete (kOk = it did).
+enum class StatusCode : uint8_t {
+    kOk = 0,
+    kCancelled,          ///< explicit CancelToken::cancel()
+    kDeadlineExceeded,   ///< CancelToken deadline passed
+    kInvalidArgument,    ///< malformed input (bad graph, bad spec string)
+    kResourceExhausted,  ///< allocation failure
+    kFailedPrecondition, ///< operation not valid in the current state
+    kInternal,           ///< should-not-happen, but recoverable
+};
+
+/// Printable name of a status code ("ok", "cancelled", ...).
+const char* status_code_name(StatusCode code);
+
+/**
+ * A status code plus an optional human-readable message. Cheap to
+ * return by value: the OK status carries no allocation.
+ */
+class Status
+{
+  public:
+    /// Default-constructed status is OK.
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status Ok() { return Status(); }
+
+    static Status
+    Cancelled(std::string message)
+    {
+        return {StatusCode::kCancelled, std::move(message)};
+    }
+
+    static Status
+    DeadlineExceeded(std::string message)
+    {
+        return {StatusCode::kDeadlineExceeded, std::move(message)};
+    }
+
+    static Status
+    InvalidArgument(std::string message)
+    {
+        return {StatusCode::kInvalidArgument, std::move(message)};
+    }
+
+    static Status
+    ResourceExhausted(std::string message)
+    {
+        return {StatusCode::kResourceExhausted, std::move(message)};
+    }
+
+    static Status
+    FailedPrecondition(std::string message)
+    {
+        return {StatusCode::kFailedPrecondition, std::move(message)};
+    }
+
+    static Status
+    Internal(std::string message)
+    {
+        return {StatusCode::kInternal, std::move(message)};
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /// "ok" or "<code>: <message>" for logs and test failures.
+    std::string
+    to_string() const
+    {
+        if (ok()) {
+            return "ok";
+        }
+        std::string out = status_code_name(code_);
+        if (!message_.empty()) {
+            out += ": ";
+            out += message_;
+        }
+        return out;
+    }
+
+    friend bool
+    operator==(const Status& a, const Status& b)
+    {
+        return a.code_ == b.code_;
+    }
+
+  private:
+    StatusCode code_{StatusCode::kOk};
+    std::string message_;
+};
+
+/**
+ * A Status or a value of type T. Accessing the value of a non-OK
+ * StatusOr is a programming error (GAS_CHECK).
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /// Implicit from a value (success).
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    /// Implicit from a non-OK status (failure).
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        GAS_CHECK(!status_.ok(), "StatusOr constructed from OK status");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status& status() const { return status_; }
+
+    T&
+    value()
+    {
+        GAS_CHECK(ok(), "StatusOr::value on error: ", status_.to_string());
+        return value_;
+    }
+
+    const T&
+    value() const
+    {
+        GAS_CHECK(ok(), "StatusOr::value on error: ", status_.to_string());
+        return value_;
+    }
+
+    T&&
+    take()
+    {
+        GAS_CHECK(ok(), "StatusOr::take on error: ", status_.to_string());
+        return std::move(value_);
+    }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+} // namespace gas
+
+/// Propagate a non-OK Status to the caller.
+#define GAS_RETURN_IF_ERROR(expr)                                            \
+    do {                                                                     \
+        ::gas::Status gas_status_ = (expr);                                  \
+        if (!gas_status_.ok()) {                                             \
+            return gas_status_;                                              \
+        }                                                                    \
+    } while (0)

@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "runtime/thread_pool.h"
+#include "support/env.h"
 #include "support/timer.h"
 #include "trace/perf_counters.h"
 
@@ -504,19 +505,17 @@ configure_from_env()
     static std::once_flag once;
     bool enabled_now = false;
     std::call_once(once, [&] {
-        const char* path = std::getenv("GAS_TRACE");
-        if (path == nullptr || path[0] == '\0') {
+        const char* path = env::raw("GAS_TRACE");
+        if (path == nullptr) {
             return;
         }
         env_path = path;
-        if (const char* buf = std::getenv("GAS_TRACE_BUF")) {
-            const long long spans = std::atoll(buf);
-            if (spans > 0) {
-                set_ring_capacity(static_cast<std::size_t>(spans));
-            }
+        const uint64_t spans = env::u64_or("GAS_TRACE_BUF", 0);
+        if (spans > 0) {
+            set_ring_capacity(static_cast<std::size_t>(spans));
         }
-        if (const char* hw = std::getenv("GAS_TRACE_HW")) {
-            g_hw_wanted.store(std::strcmp(hw, "0") != 0);
+        if (env::raw("GAS_TRACE_HW") != nullptr) {
+            g_hw_wanted.store(env::flag("GAS_TRACE_HW"));
         }
         set_enabled(true);
         enabled_now = true;

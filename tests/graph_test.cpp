@@ -11,6 +11,7 @@
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
+#include "graph/validate.h"
 
 namespace gas::graph {
 namespace {
@@ -242,6 +243,70 @@ TEST(Properties, InDegrees)
     EXPECT_EQ(in[0], 1u);
     EXPECT_EQ(in[2], 2u);
     EXPECT_EQ(in[3], 0u);
+}
+
+TEST(Validate, AcceptsWellFormedGraph)
+{
+    const Graph g = Graph::from_edge_list(small_list(), true);
+    EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(Validate, AcceptsEmptyGraph)
+{
+    EdgeList list;
+    list.num_nodes = 4;
+    const Graph g = Graph::from_edge_list(list, false);
+    EXPECT_TRUE(validate(g).ok());
+}
+
+TEST(Validate, SortedCheckCatchesUnsortedRow)
+{
+    EdgeList list;
+    list.num_nodes = 4;
+    list.edges = {{0, 3, 1}, {0, 1, 1}, {2, 0, 1}};
+    const Graph g = Graph::from_edge_list(list, false);
+    // Core invariants hold either way.
+    EXPECT_TRUE(validate(g).ok());
+    ValidateOptions sorted;
+    sorted.require_sorted = true;
+    const Status status = validate(g, sorted);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+    Graph fixed = Graph::from_edge_list(list, false);
+    fixed.sort_adjacencies();
+    EXPECT_TRUE(validate(fixed, sorted).ok());
+}
+
+TEST(Validate, DuplicateCheckCatchesRepeatedNeighbor)
+{
+    EdgeList list;
+    list.num_nodes = 3;
+    list.edges = {{0, 1, 1}, {0, 1, 1}, {0, 2, 1}};
+    Graph g = Graph::from_edge_list(list, false);
+    g.sort_adjacencies();
+    ValidateOptions opts;
+    opts.require_sorted = true;
+    EXPECT_TRUE(validate(g, opts).ok());
+    opts.reject_duplicates = true;
+    EXPECT_EQ(validate(g, opts).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Validate, TryFromEdgeListRejectsOutOfRangeEndpoints)
+{
+    EdgeList list;
+    list.num_nodes = 3;
+    list.edges = {{0, 1, 1}, {1, 7, 1}};
+    const StatusOr<Graph> bad_dst = try_from_edge_list(list, false);
+    EXPECT_FALSE(bad_dst.ok());
+    EXPECT_EQ(bad_dst.status().code(), StatusCode::kInvalidArgument);
+
+    list.edges = {{9, 1, 1}};
+    EXPECT_FALSE(try_from_edge_list(list, false).ok());
+
+    list.edges = {{0, 1, 1}, {1, 2, 1}};
+    StatusOr<Graph> good = try_from_edge_list(list, false);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value().num_edges(), 2u);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "graph/builder.h"
 #include "graph/generators.h"
@@ -153,6 +154,77 @@ TEST_F(IoTest, RoundTripEmptyGraph)
     const graph::Graph loaded = graph::load_binary(path);
     EXPECT_EQ(loaded.num_nodes(), 5u);
     EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+TEST_F(IoTest, TryLoadRejectsMissingFile)
+{
+    const auto loaded = graph::try_load_binary(temp_path("no_such.gasg"));
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, TryLoadRejectsBadMagic)
+{
+    const std::string path = track(temp_path("bad_magic.gasg"));
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a graph file";
+    }
+    const auto loaded = graph::try_load_binary(path);
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("not a gas graph file"),
+              std::string::npos);
+}
+
+TEST_F(IoTest, TryLoadRejectsTruncatedFile)
+{
+    graph::EdgeList list = graph::rmat(6, 8, 3);
+    const graph::Graph original = graph::Graph::from_edge_list(list, false);
+    const std::string path = track(temp_path("truncated.gasg"));
+    graph::save_binary(original, path);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    const auto loaded = graph::try_load_binary(path);
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, TryLoadRejectsOutOfRangeColumn)
+{
+    const graph::Graph original =
+        graph::Graph::from_edge_list(graph::karate_club(), false);
+    const std::string path = track(temp_path("bad_column.gasg"));
+    graph::save_binary(original, path);
+
+    // File layout: magic(4) + version(4) + num_nodes(4) + num_edges(8)
+    // + has_weights(1), then (n + 1) row_ptr entries (8 bytes each),
+    // then the column array (4 bytes each). Smash the first column
+    // index to an id far outside the graph.
+    const std::size_t col_offset =
+        4 + 4 + 4 + 8 + 1 +
+        (static_cast<std::size_t>(original.num_nodes()) + 1) *
+            sizeof(graph::EdgeIdx);
+    {
+        std::fstream patch(path,
+                           std::ios::binary | std::ios::in | std::ios::out);
+        patch.seekp(static_cast<std::streamoff>(col_offset));
+        const graph::Node bogus = ~graph::Node{0};
+        patch.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+    }
+    const auto loaded = graph::try_load_binary(path);
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, TryLoadAcceptsIntactFile)
+{
+    const graph::Graph original =
+        graph::Graph::from_edge_list(graph::karate_club(), false);
+    const std::string path = track(temp_path("intact.gasg"));
+    graph::save_binary(original, path);
+    const auto loaded = graph::try_load_binary(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().num_edges(), original.num_edges());
 }
 
 } // namespace

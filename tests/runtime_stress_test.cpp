@@ -19,6 +19,7 @@
 #include "runtime/parallel.h"
 #include "runtime/reducers.h"
 #include "runtime/thread_pool.h"
+#include "support/cancel.h"
 #include "support/random.h"
 
 namespace gas::rt {
@@ -354,6 +355,54 @@ TEST(RuntimeStress, ChaseLevGrowDuringConcurrentSteals)
     for (int i = 0; i < kRounds * kPerRound; ++i) {
         ASSERT_EQ(hits[i].load(), 1u) << "item " << i;
     }
+}
+
+TEST(RuntimeStress, CancelMidForEachAcrossThreadCounts)
+{
+    // Trip a CancelToken from inside the operator while the worklist is
+    // still fanning out. The region must terminate promptly (workers
+    // stop claiming batches at the next poll) without wedging the
+    // Chase-Lev termination protocol, and must leave the pool healthy
+    // for the next region. Exercised at 1 thread (inline unwind), 2
+    // (one thief), and the full machine (steal storm).
+    constexpr uint64_t kFanout = 4;
+    constexpr unsigned kDepth = 9;
+    const unsigned max_threads =
+        std::max(4u, std::thread::hardware_concurrency());
+    for (const unsigned threads : {1u, 2u, max_threads}) {
+        set_num_threads(threads);
+        std::atomic<uint64_t> processed{0};
+        {
+            CancelToken token;
+            CancelScope scope(token);
+            const std::vector<unsigned> initial(8, kDepth);
+            for_each<unsigned>(initial, [&](unsigned depth,
+                                            UserContext<unsigned>& ctx) {
+                if (processed.fetch_add(1, std::memory_order_relaxed) ==
+                    256) {
+                    token.cancel();
+                }
+                if (depth > 0) {
+                    for (uint64_t c = 0; c < kFanout; ++c) {
+                        ctx.push(depth - 1);
+                    }
+                }
+            });
+            // Full fan-out would be 8 * (4^10 - 1) / 3 ≈ 2.8M operator
+            // applications; a cancelled region must stop far short.
+            EXPECT_TRUE(token.requested()) << threads << " threads";
+            EXPECT_LT(processed.load(), 1000000u) << threads << " threads";
+            EXPECT_EQ(cancel_status().code(), StatusCode::kCancelled)
+                << threads << " threads";
+        }
+
+        // The pool must be reusable after an abandoned region (the
+        // tripped token is uninstalled with its scope).
+        Accumulator<uint64_t> sum;
+        do_all(1000, [&](std::size_t i) { sum += i; });
+        ASSERT_EQ(sum.reduce(), 1000u * 999 / 2) << threads;
+    }
+    set_num_threads(4);
 }
 
 TEST(RuntimeStress, ReducersAcrossManyRegions)

@@ -9,9 +9,11 @@
 #include <set>
 #include <thread>
 
+#include "support/env.h"
 #include "support/format.h"
 #include "support/memory_tracker.h"
 #include "support/random.h"
+#include "support/status.h"
 #include "support/timer.h"
 #include "support/tracked_vector.h"
 
@@ -186,6 +188,141 @@ TEST(TrackedVector, MoveTransfersAccounting)
     EXPECT_EQ(b.size(), 100u);
     b.reset();
     EXPECT_EQ(memory::current_bytes(), before);
+}
+
+TEST(Status, OkByDefault)
+{
+    const Status status = Status::Ok();
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kOk);
+    EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage)
+{
+    const Status status = Status::DeadlineExceeded("pr took too long");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(status.message(), "pr took too long");
+    EXPECT_EQ(status.to_string(),
+              "deadline_exceeded: pr took too long");
+}
+
+TEST(Status, ComparesByCode)
+{
+    EXPECT_EQ(Status::Cancelled("a"), Status::Cancelled("b"));
+    EXPECT_NE(Status::Cancelled("a"), Status::Internal("a"));
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> result = 42;
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> result = Status::InvalidArgument("bad column");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+class EnvVar
+{
+  public:
+    explicit EnvVar(const char* name, const char* value) : name_(name)
+    {
+        setenv(name, value, 1);
+    }
+    ~EnvVar() { unsetenv(name_); }
+
+  private:
+    const char* name_;
+};
+
+TEST(Env, GetReturnsNulloptWhenUnsetOrEmpty)
+{
+    unsetenv("GAS_TEST_ENV");
+    EXPECT_FALSE(env::get("GAS_TEST_ENV").has_value());
+    EnvVar var("GAS_TEST_ENV", "");
+    EXPECT_FALSE(env::get("GAS_TEST_ENV").has_value());
+}
+
+TEST(Env, GetReturnsValue)
+{
+    EnvVar var("GAS_TEST_ENV", "csr");
+    ASSERT_TRUE(env::get("GAS_TEST_ENV").has_value());
+    EXPECT_EQ(*env::get("GAS_TEST_ENV"), "csr");
+}
+
+TEST(Env, FlagSemantics)
+{
+    unsetenv("GAS_TEST_ENV");
+    EXPECT_FALSE(env::flag("GAS_TEST_ENV"));
+    {
+        EnvVar var("GAS_TEST_ENV", "0");
+        EXPECT_FALSE(env::flag("GAS_TEST_ENV"));
+    }
+    {
+        EnvVar var("GAS_TEST_ENV", "off");
+        EXPECT_FALSE(env::flag("GAS_TEST_ENV"));
+    }
+    {
+        EnvVar var("GAS_TEST_ENV", "1");
+        EXPECT_TRUE(env::flag("GAS_TEST_ENV"));
+    }
+}
+
+TEST(Env, U64OrParsesAndFallsBack)
+{
+    unsetenv("GAS_TEST_ENV");
+    EXPECT_EQ(env::u64_or("GAS_TEST_ENV", 7), 7u);
+    {
+        EnvVar var("GAS_TEST_ENV", "123");
+        EXPECT_EQ(env::u64_or("GAS_TEST_ENV", 7), 123u);
+    }
+    {
+        EnvVar var("GAS_TEST_ENV", "12abc");
+        EXPECT_EQ(env::u64_or("GAS_TEST_ENV", 7), 7u);
+    }
+}
+
+TEST(Env, F64OrParsesAndFallsBack)
+{
+    unsetenv("GAS_TEST_ENV");
+    EXPECT_EQ(env::f64_or("GAS_TEST_ENV", 1.5), 1.5);
+    {
+        EnvVar var("GAS_TEST_ENV", "0.25");
+        EXPECT_EQ(env::f64_or("GAS_TEST_ENV", 1.5), 0.25);
+    }
+    {
+        EnvVar var("GAS_TEST_ENV", "not-a-number");
+        EXPECT_EQ(env::f64_or("GAS_TEST_ENV", 1.5), 1.5);
+    }
+}
+
+TEST(Env, ParseSpecSplitsClauses)
+{
+    const auto parsed = env::parse_spec("alloc:0.01,delay:50,seed:7");
+    ASSERT_TRUE(parsed.ok());
+    const auto& entries = parsed.value();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].key, "alloc");
+    EXPECT_EQ(entries[0].value, "0.01");
+    EXPECT_EQ(entries[1].key, "delay");
+    EXPECT_EQ(entries[1].value, "50");
+    EXPECT_EQ(entries[2].key, "seed");
+    EXPECT_EQ(entries[2].value, "7");
+}
+
+TEST(Env, ParseSpecRejectsMalformedClauses)
+{
+    EXPECT_FALSE(env::parse_spec("alloc").ok());
+    EXPECT_FALSE(env::parse_spec(":0.5").ok());
+    EXPECT_FALSE(env::parse_spec("alloc:").ok());
+    EXPECT_EQ(env::parse_spec("alloc").status().code(),
+              StatusCode::kInvalidArgument);
 }
 
 TEST(TrackedVector, BehavesLikeVector)
