@@ -37,6 +37,7 @@
 #include "lagraph/lagraph.h"
 #include "lonestar/lonestar.h"
 #include "metrics/counters.h"
+#include "support/env.h"
 
 namespace {
 
@@ -45,8 +46,8 @@ std::vector<std::string>
 selected_graphs()
 {
     const auto all = gas::core::suite_graph_names();
-    const char* filter = std::getenv("GAS_GRAPHS");
-    if (filter == nullptr || *filter == '\0') {
+    const char* filter = gas::env::raw("GAS_GRAPHS");
+    if (filter == nullptr) {
         return {all.begin(), all.end()};
     }
     std::vector<std::string> picked;

@@ -15,6 +15,7 @@
 #include "bench_common.h"
 
 #include "runtime/thread_pool.h"
+#include "support/env.h"
 
 int
 main()
@@ -23,7 +24,7 @@ main()
     const auto config = bench::configure("fig2_scaling");
 
     std::vector<unsigned> thread_counts{1, 2, 4, 8};
-    if (const char* env = std::getenv("GAS_FIG2_THREADS")) {
+    if (const char* env = env::raw("GAS_FIG2_THREADS")) {
         thread_counts.clear();
         std::istringstream stream(env);
         unsigned value = 0;

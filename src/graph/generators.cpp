@@ -154,7 +154,7 @@ web_copying(Node num_nodes, unsigned out_degree, uint64_t seed,
 
     for (Node u = seed_size; u < num_nodes; ++u) {
         for (unsigned j = 0; j < out_degree; ++j) {
-            Node target;
+            Node target = 0;
             const Node prototype = static_cast<Node>(rng.next_bounded(u));
             if (rng.next_double() < copy_prob &&
                 !adjacency[prototype].empty()) {

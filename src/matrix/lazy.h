@@ -66,6 +66,26 @@ namespace gas::grb {
 template <typename T>
 class LazyVector;
 
+/**
+ * Type-erased per-entry assign hook built by the lazy planner.
+ *
+ * prepare() runs once before the producing kernel (e.g. densify the
+ * assign target); assign_at(i) runs for every produced entry the
+ * assign's implicit mask admits — it may run from worker threads but is
+ * called at most once per distinct index; finish() runs once after the
+ * kernel (e.g. fix up the target's nvals). Unset members are skipped.
+ *
+ * Lives here rather than in ops_fused.h because type erasure is a
+ * record-time planner concern: the hot kernels themselves are
+ * templated on the sink (gaslint: gas-std-function-in-kernel).
+ */
+struct AssignSink
+{
+    std::function<void()> prepare;
+    std::function<void(Index)> assign_at;
+    std::function<void()> finish;
+};
+
 namespace detail {
 
 /// Mutable execution plan of a pending SpMV node; absorb hooks rewrite

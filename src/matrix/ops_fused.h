@@ -35,28 +35,10 @@
  * reused capacity is simply never charged again.
  */
 
-#include <functional>
-
 #include "matrix/ops_dispatch.h"
 #include "matrix/ops_vector.h"
 
 namespace gas::grb {
-
-/**
- * Type-erased per-entry assign hook built by the lazy planner.
- *
- * prepare() runs once before the producing kernel (e.g. densify the
- * assign target); assign_at(i) runs for every produced entry the
- * assign's implicit mask admits — it may run from worker threads but is
- * called at most once per distinct index; finish() runs once after the
- * kernel (e.g. fix up the target's nvals). Unset members are skipped.
- */
-struct AssignSink
-{
-    std::function<void()> prepare;
-    std::function<void(Index)> assign_at;
-    std::function<void()> finish;
-};
 
 /// Dense-operand view for pull-style products: reads u(j) directly.
 template <typename T>
@@ -79,11 +61,11 @@ struct DirectUView
  * an average in-degree of edges/vertex type-erased multiplies per
  * round costs more than the one vertex-sized pass it saves.
  */
-template <typename T>
+template <typename T, typename Fn>
 void
 ewise_mult_recycle(Vector<T>& result, Index n, const uint8_t* a_present,
                    const T* a_vals, const uint8_t* b_present,
-                   const T* b_vals, const std::function<T(T, T)>& fn)
+                   const T* b_vals, const Fn& fn)
 {
     trace::Span span(trace::Category::kGrb, "ewise_mult", n);
     metrics::bump(metrics::kPasses);
@@ -590,12 +572,16 @@ vxm_fused_assign(Vector<T>& w, Vector<MT>& assign_target, MT assign_value,
  *
  *   ewise_mult(w, u, v, op);          // or ewise_add
  *   assign_scalar(target, &w, d, s);  // d non-complement, non-replace
+ *
+ * @p sink is any type with the AssignSink shape (lazy.h): callable
+ * prepare / assign_at(Index) / finish members, each testable in a
+ * boolean context and skipped when unset.
  */
-template <typename T, typename Fn>
+template <typename T, typename Fn, typename Sink>
 void
 fused_ewise_assign(Vector<T>& w, const Vector<T>& u, const Vector<T>& v,
                    Fn&& fn, bool intersection, bool structural_assign,
-                   const AssignSink& sink)
+                   const Sink& sink)
 {
     GAS_CHECK(u.size() == v.size(),
               "fused_ewise_assign dimension mismatch");

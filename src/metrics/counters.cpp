@@ -1,9 +1,10 @@
 #include "metrics/counters.h"
 
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace gas::metrics {
 
@@ -17,9 +18,9 @@ struct ThreadBlock
 /// Registry of live per-thread blocks plus totals from exited threads.
 struct Registry
 {
-    std::mutex lock;
-    std::vector<ThreadBlock*> blocks;
-    std::array<uint64_t, kNumCounters> retired{};
+    gas::Mutex lock;
+    std::vector<ThreadBlock*> blocks GAS_GUARDED_BY(lock);
+    std::array<uint64_t, kNumCounters> retired GAS_GUARDED_BY(lock) = {};
 
     static Registry&
     instance()
@@ -43,14 +44,14 @@ struct ThreadHandle
     ThreadHandle()
     {
         Registry& registry = Registry::instance();
-        std::lock_guard guard(registry.lock);
+        gas::LockGuard guard(registry.lock);
         registry.blocks.push_back(&block);
     }
 
     ~ThreadHandle()
     {
         Registry& registry = Registry::instance();
-        std::lock_guard guard(registry.lock);
+        gas::LockGuard guard(registry.lock);
         for (unsigned i = 0; i < kNumCounters; ++i) {
             registry.retired[i] += block.values[i];
         }
@@ -225,7 +226,7 @@ Snapshot
 read()
 {
     Registry& registry = Registry::instance();
-    std::lock_guard guard(registry.lock);
+    gas::LockGuard guard(registry.lock);
     Snapshot total;
     total.values = registry.retired;
     for (const ThreadBlock* block : registry.blocks) {
@@ -240,7 +241,7 @@ void
 reset()
 {
     Registry& registry = Registry::instance();
-    std::lock_guard guard(registry.lock);
+    gas::LockGuard guard(registry.lock);
     registry.retired.fill(0);
     for (ThreadBlock* block : registry.blocks) {
         block->values.fill(0);

@@ -22,7 +22,6 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "check/fuzz.h"
@@ -32,6 +31,7 @@
 #include "support/cancel.h"
 #include "support/check.h"
 #include "support/faults.h"
+#include "support/thread_annotations.h"
 #include "support/timer.h"
 #include "trace/trace.h"
 
@@ -53,9 +53,9 @@ class PriorityBin
     /// maintains the kObimBinsLive gauge from these edge reports, which
     /// are exact because both transitions happen under the bin mutex).
     bool
-    push(const T& item)
+    push(const T& item) GAS_EXCLUDES(lock_)
     {
-        std::lock_guard guard(lock_);
+        gas::LockGuard guard(lock_);
         const bool was_empty = head_ == items_.size();
         items_.push_back(item);
         size_hint_.store(items_.size() - head_,
@@ -67,8 +67,9 @@ class PriorityBin
     /// sets @p became_empty when this call drained the bin's last item.
     std::size_t
     pop_batch(std::vector<T>& out, std::size_t max, bool& became_empty)
+        GAS_EXCLUDES(lock_)
     {
-        std::lock_guard guard(lock_);
+        gas::LockGuard guard(lock_);
         std::size_t taken = 0;
         while (taken < max && head_ < items_.size()) {
             out.push_back(items_[head_]);
@@ -111,16 +112,18 @@ class PriorityBin
     /// Total buffered slots including the drained prefix (tests use
     /// this to assert that bin memory stays bounded).
     std::size_t
-    storage_size() const
+    storage_size() const GAS_EXCLUDES(lock_)
     {
-        std::lock_guard guard(lock_);
+        gas::LockGuard guard(lock_);
         return items_.size();
     }
 
   private:
-    mutable std::mutex lock_;
-    std::vector<T> items_;
-    std::size_t head_{0};
+    mutable gas::Mutex lock_;
+    std::vector<T> items_ GAS_GUARDED_BY(lock_);
+    std::size_t head_ GAS_GUARDED_BY(lock_) = 0;
+    /// Lock-free mirror of items_.size() - head_, written only under
+    /// lock_ but read without it (looks_empty); atomic, not guarded.
     std::atomic<std::size_t> size_hint_{0};
 };
 

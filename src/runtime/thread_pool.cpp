@@ -52,12 +52,19 @@ ThreadPool::set_num_threads(unsigned total)
 void
 ThreadPool::start_workers(unsigned worker_count)
 {
-    shutting_down_ = false;
-    // Capture the epoch before any worker starts: a worker must treat
-    // every later epoch as new work, but never re-run epochs from
-    // before its creation (the pool is quiescent here, so epoch_ is
-    // stable).
-    const uint64_t birth_epoch = epoch_;
+    // The pool is quiescent here (no workers running), but the guarded
+    // fields still want their lock: cheap, uncontended, and it keeps
+    // the thread-safety analysis exact instead of needing an escape
+    // hatch.
+    uint64_t birth_epoch = 0;
+    {
+        gas::LockGuard guard(lock_);
+        shutting_down_ = false;
+        // Capture the epoch before any worker starts: a worker must
+        // treat every later epoch as new work, but never re-run epochs
+        // from before its creation.
+        birth_epoch = epoch_;
+    }
     workers_.reserve(worker_count);
     for (unsigned i = 0; i < worker_count; ++i) {
         const unsigned tid = i + 1;
@@ -70,7 +77,7 @@ void
 ThreadPool::stop_workers()
 {
     {
-        std::lock_guard guard(lock_);
+        gas::LockGuard guard(lock_);
         shutting_down_ = true;
     }
     work_ready_.notify_all();
@@ -86,10 +93,14 @@ ThreadPool::worker_loop(unsigned tid, uint64_t seen_epoch)
     while (true) {
         const Task* task = nullptr;
         {
-            std::unique_lock guard(lock_);
-            work_ready_.wait(guard, [&] {
-                return shutting_down_ || epoch_ != seen_epoch;
-            });
+            gas::UniqueLock guard(lock_);
+            // Explicit predicate loop (not the wait-with-predicate
+            // overload): the predicate reads guarded fields, and an
+            // inline re-testing loop is the shape the thread-safety
+            // analysis can follow.
+            while (!shutting_down_ && epoch_ == seen_epoch) {
+                work_ready_.wait(guard);
+            }
             if (shutting_down_) {
                 return;
             }
@@ -106,7 +117,7 @@ ThreadPool::worker_loop(unsigned tid, uint64_t seen_epoch)
         }
         inside_region = false;
         {
-            std::lock_guard guard(lock_);
+            gas::LockGuard guard(lock_);
             if (error && !region_error_) {
                 region_error_ = error;
             }
@@ -130,7 +141,7 @@ ThreadPool::run(const Task& task)
     // accesses inside it. (No-op in unchecked builds.)
     check::region_begin();
     {
-        std::lock_guard guard(lock_);
+        gas::LockGuard guard(lock_);
         active_task_ = &task;
         workers_remaining_ = static_cast<unsigned>(workers_.size());
         ++epoch_;
@@ -150,8 +161,10 @@ ThreadPool::run(const Task& task)
 
     std::exception_ptr region_error;
     {
-        std::unique_lock guard(lock_);
-        work_done_.wait(guard, [&] { return workers_remaining_ == 0; });
+        gas::UniqueLock guard(lock_);
+        while (workers_remaining_ != 0) {
+            work_done_.wait(guard);
+        }
         active_task_ = nullptr;
         in_parallel_region_ = false;
         if (caller_error && !region_error_) {

@@ -10,12 +10,12 @@
  * participates as thread 0, so a pool of size one runs entirely inline.
  */
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace gas::rt {
 
@@ -47,7 +47,7 @@ class ThreadPool
      * @param total desired number of threads including the caller
      *              (clamped to at least 1).
      */
-    void set_num_threads(unsigned total);
+    void set_num_threads(unsigned total) GAS_EXCLUDES(lock_);
 
     /// Number of threads (including the calling thread).
     unsigned num_threads() const { return num_threads_; }
@@ -63,7 +63,7 @@ class ThreadPool
      * drain quickly instead of spinning on a termination counter that
      * will never balance.
      */
-    void run(const Task& task);
+    void run(const Task& task) GAS_EXCLUDES(lock_);
 
     /// Thread id of the calling thread within the active parallel region
     /// (0 when called outside one).
@@ -72,23 +72,26 @@ class ThreadPool
   private:
     ThreadPool();
 
-    void worker_loop(unsigned tid, uint64_t seen_epoch);
-    void stop_workers();
-    void start_workers(unsigned worker_count);
+    void worker_loop(unsigned tid, uint64_t seen_epoch) GAS_EXCLUDES(lock_);
+    void stop_workers() GAS_EXCLUDES(lock_);
+    void start_workers(unsigned worker_count) GAS_EXCLUDES(lock_);
 
     std::vector<std::thread> workers_;
+    /// Written only while the pool is quiescent (construction and
+    /// set_num_threads after every worker joined), so reads from
+    /// run()/num_threads() need no lock and the field stays unguarded.
     unsigned num_threads_{1};
 
-    std::mutex lock_;
-    std::condition_variable work_ready_;
-    std::condition_variable work_done_;
-    const Task* active_task_{nullptr};
+    gas::Mutex lock_;
+    gas::CondVar work_ready_;
+    gas::CondVar work_done_;
+    const Task* active_task_ GAS_GUARDED_BY(lock_) = nullptr;
     /// First exception thrown by any thread in the active region.
-    std::exception_ptr region_error_;
-    uint64_t epoch_{0};
-    unsigned workers_remaining_{0};
-    bool shutting_down_{false};
-    bool in_parallel_region_{false};
+    std::exception_ptr region_error_ GAS_GUARDED_BY(lock_);
+    uint64_t epoch_ GAS_GUARDED_BY(lock_) = 0;
+    unsigned workers_remaining_ GAS_GUARDED_BY(lock_) = 0;
+    bool shutting_down_ GAS_GUARDED_BY(lock_) = false;
+    bool in_parallel_region_ GAS_GUARDED_BY(lock_) = false;
 };
 
 /// Set the number of threads used by all parallel constructs.

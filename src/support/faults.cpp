@@ -3,12 +3,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "metrics/counters.h"
 #include "runtime/thread_pool.h"
 #include "support/env.h"
+#include "support/thread_annotations.h"
 #include "trace/trace.h"
 
 namespace gas::faults {
@@ -20,8 +20,8 @@ namespace {
 /// schedule fuzzer's seed, check/fuzz.cpp). Config fields are written
 /// only under g_config_lock and before the generation bump workers
 /// observe, so relaxed reads of the POD fields are safe.
-std::mutex g_config_lock;
-Config g_config;
+gas::Mutex g_config_lock;
+Config g_config GAS_GUARDED_BY(g_config_lock);
 std::atomic<uint64_t> g_generation{0};
 
 uint64_t
@@ -162,7 +162,7 @@ parse(const std::string& spec)
 void
 install(const Config& config)
 {
-    std::lock_guard guard(g_config_lock);
+    gas::LockGuard guard(g_config_lock);
     g_config = config;
     const bool on =
         config.seed != 0 && (config.alloc_p > 0.0 || config.delay_us > 0);
@@ -181,7 +181,7 @@ uninstall()
 Config
 active()
 {
-    std::lock_guard guard(g_config_lock);
+    gas::LockGuard guard(g_config_lock);
     return g_config;
 }
 

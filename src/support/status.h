@@ -49,8 +49,12 @@ const char* status_code_name(StatusCode code);
 /**
  * A status code plus an optional human-readable message. Cheap to
  * return by value: the OK status carries no allocation.
+ *
+ * [[nodiscard]] on the class makes every function returning Status by
+ * value nodiscard — silently dropping an error is a bug. Cast to
+ * (void) to discard deliberately (and expect gaslint to ask why).
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /// Default-constructed status is OK.
@@ -134,7 +138,7 @@ class Status
  * StatusOr is a programming error (GAS_CHECK).
  */
 template <typename T>
-class StatusOr
+class [[nodiscard]] StatusOr
 {
   public:
     /// Implicit from a value (success).

@@ -1,0 +1,196 @@
+#pragma once
+
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations and annotation-aware lock
+ * wrappers.
+ *
+ * The runtime keeps several small islands of mutex-protected state
+ * (OBIM priority bins, the ThreadPool region protocol, the trace and
+ * metrics registries, the fault-injection campaign). PR 3's race
+ * detector only catches races a schedule actually exhibits; these
+ * annotations let clang prove lock discipline *statically on every
+ * build*: a field marked GAS_GUARDED_BY(mu) touched without mu held is
+ * a compile error under -Werror=thread-safety (the -DGAS_THREAD_SAFETY
+ * CMake option).
+ *
+ * Under any non-clang compiler every macro expands to nothing and the
+ * wrappers below compile to plain std::mutex / std::lock_guard /
+ * std::unique_lock / std::condition_variable — same layout, same
+ * generated code (static_asserts at the bottom pin the layout half of
+ * that claim; tests/annotations_test.cpp pins the no-allocation half).
+ *
+ * Usage conventions (DESIGN.md section 13):
+ *  - declare the mutex as gas::Mutex, fields it protects as
+ *    GAS_GUARDED_BY(mu_);
+ *  - lock with gas::LockGuard (scoped) or gas::UniqueLock (when a
+ *    condition variable needs to release/reacquire);
+ *  - functions that must be entered with the lock held are annotated
+ *    GAS_REQUIRES(mu_); public locking entry points that must NOT be
+ *    called with the lock held are GAS_EXCLUDES(mu_);
+ *  - raw lock()/unlock() pairs use GAS_ACQUIRE()/GAS_RELEASE().
+ */
+
+#include <condition_variable>
+#include <mutex>
+
+// Expand to the clang attribute when it exists, to nothing elsewhere
+// (GCC compiles the tree with the wrappers reduced to their std::
+// members).
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define GAS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef GAS_THREAD_ANNOTATION_
+#define GAS_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define GAS_CAPABILITY(x) GAS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires on construction, releases on
+/// destruction.
+#define GAS_SCOPED_CAPABILITY GAS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding the given mutex.
+#define GAS_GUARDED_BY(x) GAS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define GAS_PT_GUARDED_BY(x) GAS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function must be called with the given mutex(es) held.
+#define GAS_REQUIRES(...)                                                    \
+    GAS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and does not release before return.
+#define GAS_ACQUIRE(...)                                                     \
+    GAS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) it was entered holding.
+#define GAS_RELEASE(...)                                                     \
+    GAS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; first argument is the success value.
+#define GAS_TRY_ACQUIRE(...)                                                 \
+    GAS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the given mutex(es) held
+/// (deadlock guard for public entry points that lock internally).
+#define GAS_EXCLUDES(...) GAS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Assert (at runtime, to the analysis) that the capability is held.
+#define GAS_ASSERT_CAPABILITY(x)                                             \
+    GAS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define GAS_RETURN_CAPABILITY(x) GAS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Use only with
+/// a comment explaining why the discipline cannot be expressed.
+#define GAS_NO_THREAD_SAFETY_ANALYSIS                                        \
+    GAS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace gas {
+
+/**
+ * std::mutex with a capability annotation. Drop-in: lock()/unlock()/
+ * try_lock() forward directly; native() exposes the wrapped mutex for
+ * std:: primitives that demand the exact type (condition_variable).
+ */
+class GAS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() GAS_ACQUIRE() { mu_.lock(); }
+    void unlock() GAS_RELEASE() { mu_.unlock(); }
+    bool try_lock() GAS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /// The wrapped std::mutex. Only for handing to std:: interop types
+    /// (gas::UniqueLock, condition_variable); locking through it
+    /// directly would blind the analysis.
+    std::mutex& native() { return mu_; }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * std::lock_guard over a gas::Mutex: acquires for the enclosing scope.
+ */
+class GAS_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex& mu) GAS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~LockGuard() GAS_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    Mutex& mu_;
+};
+
+/**
+ * std::unique_lock over a gas::Mutex, for condition-variable waits.
+ *
+ * Deliberately minimal: always constructed locked, released at scope
+ * exit, no deferred/adopted modes — those are exactly the
+ * std::unique_lock shapes the clang analysis cannot model (DESIGN.md
+ * section 13, known limitations), so the wrapper refuses to express
+ * them rather than annotate them wrongly.
+ */
+class GAS_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex& mu) GAS_ACQUIRE(mu) : lock_(mu.native()) {}
+    ~UniqueLock() GAS_RELEASE() {}
+
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+    /// For gas::CondVar only.
+    std::unique_lock<std::mutex>& native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * std::condition_variable bound to gas::UniqueLock.
+ *
+ * wait() atomically releases the mutex and reacquires it before
+ * returning; the analysis models the capability as continuously held
+ * across the call (the standard, slightly unsound convention — see
+ * DESIGN.md section 13). Callers therefore re-test their predicate in
+ * a while loop, which they must do anyway for spurious wakeups.
+ */
+class CondVar
+{
+  public:
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+    void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+// The zero-overhead layout guarantee: wrapping adds no storage. The
+// behavioral half (no extra allocations or atomics) is pinned by
+// tests/annotations_test.cpp.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "Mutex wrapper must add no storage");
+static_assert(alignof(Mutex) == alignof(std::mutex),
+              "Mutex wrapper must not change alignment");
+static_assert(sizeof(LockGuard) == sizeof(std::lock_guard<std::mutex>),
+              "LockGuard wrapper must add no storage");
+static_assert(sizeof(UniqueLock) == sizeof(std::unique_lock<std::mutex>),
+              "UniqueLock wrapper must add no storage");
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable),
+              "CondVar wrapper must add no storage");
+
+} // namespace gas

@@ -11,6 +11,7 @@
 
 #include "runtime/thread_pool.h"
 #include "support/env.h"
+#include "support/thread_annotations.h"
 #include "support/timer.h"
 #include "trace/perf_counters.h"
 
@@ -88,9 +89,9 @@ struct ThreadState
 /// can run after main-thread static destruction has begun.
 struct Registry
 {
-    std::mutex lock;
-    std::vector<ThreadState*> live;
-    std::vector<std::unique_ptr<ThreadState>> retired;
+    gas::Mutex lock;
+    std::vector<ThreadState*> live GAS_GUARDED_BY(lock);
+    std::vector<std::unique_ptr<ThreadState>> retired GAS_GUARDED_BY(lock);
 
     static Registry&
     instance()
@@ -110,14 +111,14 @@ struct ThreadHandle
     ThreadHandle()
     {
         Registry& registry = Registry::instance();
-        std::lock_guard guard(registry.lock);
+        gas::LockGuard guard(registry.lock);
         registry.live.push_back(state.get());
     }
 
     ~ThreadHandle()
     {
         Registry& registry = Registry::instance();
-        std::lock_guard guard(registry.lock);
+        gas::LockGuard guard(registry.lock);
         std::erase(registry.live, state.get());
         if (registry.retired.size() >= kMaxRetired) {
             registry.retired.erase(registry.retired.begin());
@@ -316,7 +317,7 @@ TraceData
 snapshot()
 {
     Registry& registry = Registry::instance();
-    std::lock_guard guard(registry.lock);
+    gas::LockGuard guard(registry.lock);
     TraceData data;
     auto harvest = [&](const ThreadState& state) {
         const std::size_t cap = state.ring.size();
@@ -348,7 +349,7 @@ void
 reset()
 {
     Registry& registry = Registry::instance();
-    std::lock_guard guard(registry.lock);
+    gas::LockGuard guard(registry.lock);
     const std::size_t cap = g_ring_capacity.load();
     for (ThreadState* state : registry.live) {
         state->ring.assign(cap, SpanRecord{});

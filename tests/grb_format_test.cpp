@@ -17,6 +17,7 @@
 
 #include "matrix/grb.h"
 #include "runtime/thread_pool.h"
+#include "support/env.h"
 #include "support/random.h"
 
 namespace gas::grb {
@@ -30,8 +31,8 @@ class EnvGuard
   public:
     EnvGuard(const char* name, const char* value) : name_(name)
     {
-        if (const char* old = getenv(name)) {
-            old_ = old;
+        if (auto old = env::get(name)) {
+            old_ = *old;
             had_old_ = true;
         }
         setenv(name, value, 1);

@@ -1,0 +1,22 @@
+// gaslint fixture: POSITIVE for gas-discarded-status.
+#include "support/status.h"
+
+namespace fix {
+
+gas::Status configure(int level);
+gas::StatusOr<int> parse_level(const char* text);
+
+struct Tuner
+{
+    gas::Status retune();
+};
+
+void
+run(Tuner& tuner)
+{
+    configure(3);        // finding: Status dropped on the floor
+    parse_level("7");    // finding: StatusOr dropped
+    tuner.retune();      // finding: member-call discard
+}
+
+} // namespace fix

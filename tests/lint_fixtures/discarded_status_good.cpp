@@ -1,0 +1,26 @@
+// gaslint fixture: NEGATIVE for gas-discarded-status.
+#include "support/status.h"
+
+namespace fix {
+
+gas::Status configure(int level);
+gas::StatusOr<int> parse_level(const char* text);
+
+struct Tuner
+{
+    gas::Status retune();
+};
+
+gas::Status
+run(Tuner& tuner)
+{
+    GAS_RETURN_IF_ERROR(configure(3)); // consumed by the macro
+    auto level = parse_level("7");     // assigned
+    if (!level.ok()) {
+        return level.status();
+    }
+    (void) tuner.retune();             // deliberate discard, cast away
+    return configure(level.value());   // returned
+}
+
+} // namespace fix

@@ -1,0 +1,21 @@
+// gaslint fixture: POSITIVE for gas-missing-cancel-poll.
+#include "metrics/counters.h"
+#include "support/cancel.h"
+#include "trace/trace.h"
+
+namespace fix {
+
+int
+bfs_levels(int frontier)
+{
+    int level = 0;
+    while (frontier != 0) { // finding: round loop, no cancel poll
+        trace::Span round(gas::trace::Category::kRound, "round", level);
+        gas::metrics::bump(gas::metrics::kRounds);
+        frontier /= 2;
+        ++level;
+    }
+    return level;
+}
+
+} // namespace fix

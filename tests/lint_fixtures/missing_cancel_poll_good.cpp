@@ -1,0 +1,25 @@
+// gaslint fixture: NEGATIVE for gas-missing-cancel-poll.
+#include "metrics/counters.h"
+#include "support/cancel.h"
+#include "trace/trace.h"
+
+namespace fix {
+
+int
+bfs_levels(int frontier)
+{
+    int level = 0;
+    while (frontier != 0 && !gas::cancel_requested()) {
+        trace::Span round(gas::trace::Category::kRound, "round", level);
+        gas::metrics::bump(gas::metrics::kRounds);
+        frontier /= 2;
+        ++level;
+    }
+    // Markers outside any loop (one-shot phases like ls_cc's finish
+    // pass) are not round loops and must stay silent.
+    trace::Span finish(gas::trace::Category::kRound, "finish", level);
+    gas::metrics::bump(gas::metrics::kRounds);
+    return level;
+}
+
+} // namespace fix

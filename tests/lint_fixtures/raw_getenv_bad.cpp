@@ -1,0 +1,15 @@
+// gaslint fixture: POSITIVE for gas-raw-getenv.
+// Not compiled (tests/ only builds *_test.cpp); lexed by gaslint.
+#include <cstdlib>
+
+const char*
+selected_graphs()
+{
+    return std::getenv("GAS_GRAPHS"); // finding: raw getenv
+}
+
+bool
+chaos_enabled()
+{
+    return getenv("GAS_FAULTS") != nullptr; // finding: unqualified too
+}

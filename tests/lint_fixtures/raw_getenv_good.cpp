@@ -1,0 +1,16 @@
+// gaslint fixture: NEGATIVE for gas-raw-getenv.
+#include "support/env.h"
+
+const char*
+selected_graphs()
+{
+    return gas::env::raw("GAS_GRAPHS");
+}
+
+bool
+chaos_enabled()
+{
+    // Mentioning the helper names (get, raw, flag) must not trip the
+    // check; only the libc entry points do.
+    return gas::env::flag("GAS_FAULTS");
+}

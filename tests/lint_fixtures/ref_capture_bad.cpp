@@ -1,0 +1,31 @@
+// gaslint fixture: POSITIVE for gas-ref-capture-in-parallel.
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/parallel.h"
+
+namespace fix {
+
+uint64_t
+sum_indices(std::size_t n)
+{
+    uint64_t total = 0;
+    gas::rt::do_all(n, [&](std::size_t i) {
+        total += i; // finding: plain shared accumulation, races
+    });
+    return total;
+}
+
+bool
+any_even(std::size_t n)
+{
+    bool found = false;
+    gas::rt::do_all(n, [&found](std::size_t i) {
+        if (i % 2 == 0) {
+            found = true; // finding: named ref capture, plain write
+        }
+    });
+    return found;
+}
+
+} // namespace fix

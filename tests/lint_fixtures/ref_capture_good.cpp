@@ -1,0 +1,44 @@
+// gaslint fixture: NEGATIVE for gas-ref-capture-in-parallel.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/reducers.h"
+
+namespace fix {
+
+uint64_t
+sum_indices(std::size_t n)
+{
+    gas::rt::Accumulator<uint64_t> total;
+    gas::rt::do_all(n, [&](std::size_t i) {
+        total += i; // reducer: per-thread slots, sanctioned
+    });
+    return total.reduce();
+}
+
+uint64_t
+sum_ranges(std::size_t n)
+{
+    std::atomic<uint64_t> total{0};
+    gas::rt::do_all_blocked(n, [&](gas::rt::Range range) {
+        uint64_t local = 0; // per-range local, folded once at the end
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+            local += i;
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+    });
+    return total.load();
+}
+
+void
+fill(std::vector<uint64_t>& out)
+{
+    gas::rt::do_all(out.size(), [&](std::size_t i) {
+        out[i] = i * 2; // indexed write to a disjoint slot
+    });
+}
+
+} // namespace fix

@@ -1,0 +1,21 @@
+// gaslint fixture: POSITIVE for gas-std-function-in-kernel.
+#include <functional> // finding: <functional> in a kernel file
+
+namespace fix {
+
+struct EntryHook
+{
+    std::function<void(int)> on_entry; // finding: type-erased hot hook
+};
+
+template <typename T>
+void
+ewise(T* out, const T* a, const T* b, int n,
+      const std::function<T(T, T)>& fn) // finding: per-entry erasure
+{
+    for (int i = 0; i < n; ++i) {
+        out[i] = fn(a[i], b[i]);
+    }
+}
+
+} // namespace fix

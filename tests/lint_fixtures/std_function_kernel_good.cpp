@@ -1,0 +1,14 @@
+// gaslint fixture: NEGATIVE for gas-std-function-in-kernel.
+
+namespace fix {
+
+template <typename T, typename Fn>
+void
+ewise(T* out, const T* a, const T* b, int n, const Fn& fn)
+{
+    for (int i = 0; i < n; ++i) {
+        out[i] = fn(a[i], b[i]);
+    }
+}
+
+} // namespace fix

@@ -1,0 +1,17 @@
+// gaslint fixture: NEGATIVE for gas-raw-getenv via suppression.
+#include <cstdlib>
+
+const char*
+raw_environment_probe()
+{
+    // This call is deliberate (exercising libc behavior itself);
+    // the annotation on the line above a finding suppresses it.
+    // gaslint: allow(gas-raw-getenv)
+    return std::getenv("GAS_GRAPHS");
+}
+
+const char*
+same_line_probe()
+{
+    return std::getenv("GAS_SCALE"); // gaslint: allow(gas-raw-getenv)
+}

@@ -77,9 +77,9 @@ TEST_P(RuntimeTest, DoAllStaticCoversEveryIndex)
 
 TEST_P(RuntimeTest, DoAllEmptyRange)
 {
-    bool ran = false;
-    do_all(0, [&](std::size_t) { ran = true; });
-    EXPECT_FALSE(ran);
+    std::atomic<bool> ran{false};
+    do_all(0, [&](std::size_t) { ran.store(true); });
+    EXPECT_FALSE(ran.load());
 }
 
 TEST_P(RuntimeTest, DoAllBlockedRangesPartition)
