@@ -85,6 +85,7 @@ main()
     table.set_header({"graph", "gb", "gb-pp", "gb-fpush", "gb-fpull",
                       "gb-auto", "ls", "ls-do", "auto push/pull",
                       "auto rows skip", "auto edges sc"});
+    std::vector<bench::JsonRecord> records;
 
     for (const auto& name : selected_graphs()) {
         const auto input = core::build_suite_graph(name, config.scale);
@@ -133,9 +134,38 @@ main()
              std::to_string(
                  auto_counters[metrics::kEdgesShortCircuited] /
                  config.reps)});
+
+        const std::pair<const char*, double> variants[] = {
+            {"gb", gb},           {"gb-pp", gb_pp},
+            {"gb-fpush", gb_fpush}, {"gb-fpull", gb_fpull},
+            {"gb-auto", gb_auto}, {"ls", ls_push},
+            {"ls-do", ls_do}};
+        for (const auto& [api, seconds] : variants) {
+            bench::JsonRecord record;
+            record.app = "bfs";
+            record.graph = name;
+            record.api = api;
+            record.threads = config.threads;
+            record.median_ms = seconds * 1e3;
+            if (std::string(api) == "gb-auto") {
+                record.extra = {
+                    {"push_rounds",
+                     std::to_string(
+                         auto_counters[metrics::kSpmvPushRounds] /
+                         config.reps)},
+                    {"pull_rounds",
+                     std::to_string(
+                         auto_counters[metrics::kSpmvPullRounds] /
+                         config.reps)},
+                };
+            }
+            records.push_back(std::move(record));
+        }
     }
 
     table.print();
     bench::maybe_write_csv(table, config, "ablation_bfs_direction");
+    bench::write_json_records(records,
+                              "results/BENCH_ablation_bfs_direction.json");
     return 0;
 }

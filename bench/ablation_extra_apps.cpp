@@ -26,6 +26,7 @@ main()
         "Extension workloads: seconds (gb vs ls) and ls speedup");
     table.set_header({"graph", "kcore gb", "kcore ls", "kcore speedup",
                       "bc gb", "bc ls", "bc speedup"});
+    std::vector<bench::JsonRecord> records;
 
     for (const auto& name : core::suite_graph_names()) {
         const auto input = core::build_suite_graph(name, config.scale);
@@ -62,9 +63,28 @@ main()
                        bench::speedup_str(kcore_gb, kcore_ls),
                        human_seconds(bc_gb), human_seconds(bc_ls),
                        bench::speedup_str(bc_gb, bc_ls)});
+
+        const std::pair<const char*, double> cells[] = {
+            {"kcore/gb", kcore_gb},
+            {"kcore/ls", kcore_ls},
+            {"bc/gb", bc_gb},
+            {"bc/ls", bc_ls}};
+        for (const auto& [label, seconds] : cells) {
+            const std::string key(label);
+            const auto slash = key.find('/');
+            bench::JsonRecord record;
+            record.app = key.substr(0, slash);
+            record.graph = name;
+            record.api = key.substr(slash + 1);
+            record.threads = config.threads;
+            record.median_ms = seconds * 1e3;
+            records.push_back(std::move(record));
+        }
     }
 
     table.print();
     bench::maybe_write_csv(table, config, "ablation_extra_apps");
+    bench::write_json_records(records,
+                              "results/BENCH_ablation_extra_apps.json");
     return 0;
 }

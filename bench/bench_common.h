@@ -13,6 +13,12 @@
  *   GAS_CSV_DIR  when set, each table is also written as CSV there
  *   GAS_TRACE    when set, a Chrome-trace JSON of the whole run is
  *                written to the named path at exit (see trace/trace.h)
+ *   GAS_STATS    when set, the gas::stats JSON exposition (latency
+ *                histograms + sampler frames) is written there at exit
+ *   GAS_STATS_PROM  when set, the Prometheus text exposition is
+ *                written there at exit (see stats/stats.h)
+ *   GAS_STATS_HZ sampler frame rate for the above (default 10; 0
+ *                disables the sampler thread, histograms still fill)
  */
 
 #include <algorithm>
@@ -26,6 +32,7 @@
 
 #include "core/runner.h"
 #include "core/suite.h"
+#include "stats/stats.h"
 #include "support/env.h"
 #include "core/table.h"
 #include "support/format.h"
@@ -56,6 +63,7 @@ configure(const char* binary_name)
         env::f64_or("GAS_TIMEOUT", config.timeout_seconds);
     config.csv_dir = env::raw("GAS_CSV_DIR");
     trace::configure_from_env();
+    stats::configure_from_env();
     std::printf("[%s] scale=%.2f threads=%u reps=%u timeout=%.0fs\n",
                 binary_name, config.scale, config.threads, config.reps,
                 config.timeout_seconds);

@@ -25,9 +25,26 @@ main()
                       "friendster", "uk07"});
 
     std::vector<graph::GraphStats> stats;
+    std::vector<bench::JsonRecord> records;
     for (const auto& name : core::suite_graph_names()) {
         const auto input = core::build_suite_graph(name, config.scale);
         stats.push_back(graph::compute_stats(input.directed));
+        const auto& s = stats.back();
+        bench::JsonRecord record;
+        record.app = "graph_stats";
+        record.graph = name;
+        record.api = "-";
+        record.threads = config.threads;
+        record.extra = {
+            {"nodes", std::to_string(s.num_nodes)},
+            {"edges", std::to_string(s.num_edges)},
+            {"avg_degree", fixed(s.avg_degree, 2)},
+            {"max_out_degree", std::to_string(s.max_out_degree)},
+            {"max_in_degree", std::to_string(s.max_in_degree)},
+            {"approx_diameter", std::to_string(s.approx_diameter)},
+            {"csr_bytes", std::to_string(s.csr_bytes)},
+        };
+        records.push_back(std::move(record));
     }
 
     auto row = [&](const std::string& label, auto&& fn) {
@@ -53,5 +70,6 @@ main()
 
     table.print();
     bench::maybe_write_csv(table, config, "table1");
+    bench::write_json_records(records, "results/BENCH_table1.json");
     return 0;
 }

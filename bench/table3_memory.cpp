@@ -37,6 +37,7 @@ main()
     }
     table.set_header(std::move(header));
 
+    std::vector<bench::JsonRecord> records;
     for (const core::App app : apps) {
         for (unsigned s = 0; s < 3; ++s) {
             std::vector<std::string> row{
@@ -48,6 +49,17 @@ main()
                 row.push_back(result.timed_out
                                   ? "TO"
                                   : human_bytes(result.peak_bytes));
+                bench::JsonRecord record;
+                record.app = core::app_name(app);
+                record.graph = input.name;
+                record.api = core::system_name(systems[s]);
+                record.threads = config.threads;
+                record.median_ms = result.median_seconds * 1e3;
+                record.extra = {
+                    {"peak_bytes", std::to_string(result.peak_bytes)},
+                    {"timed_out", result.timed_out ? "true" : "false"},
+                };
+                records.push_back(std::move(record));
             }
             table.add_row(std::move(row));
         }
@@ -55,5 +67,6 @@ main()
 
     table.print();
     bench::maybe_write_csv(table, config, "table3");
+    bench::write_json_records(records, "results/BENCH_table3.json");
     return 0;
 }

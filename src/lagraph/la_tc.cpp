@@ -11,6 +11,10 @@ uint64_t
 tc_sandia(const Matrix<uint64_t>& A)
 {
     trace::Span algo(trace::Category::kAlgo, "la_tc");
+    // TC is a single-pass algorithm; the whole pipeline is one round,
+    // spanned so the round histogram's count reconciles with the
+    // kRounds counter total (see DESIGN.md section 14).
+    trace::Span round(trace::Category::kRound, "tc_pass", 0);
     metrics::bump(metrics::kRounds);
     // L = tril(A): each undirected edge appears exactly once, oriented
     // from the higher id to the lower. A materialized intermediate.
@@ -30,6 +34,7 @@ uint64_t
 tc_listing(const Matrix<uint64_t>& A_sorted)
 {
     trace::Span algo(trace::Category::kAlgo, "la_tc_listing");
+    trace::Span round(trace::Category::kRound, "tc_pass", 0);
     metrics::bump(metrics::kRounds);
     // With vertices relabeled by ascending degree, the strict upper
     // triangle holds the "forward" edges (low-degree vertex to

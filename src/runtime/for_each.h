@@ -146,7 +146,8 @@ for_each(const Container& initial, Fn&& fn)
             if (aborted.load(std::memory_order_acquire) ||
                 cancel_requested()) {
                 if (idle_since_ns != 0) {
-                    trace::stall(idle_since_ns);
+                    trace::stall(idle_since_ns,
+                                 trace::StallKind::kStealWait);
                 }
                 return;
             }
@@ -198,7 +199,8 @@ for_each(const Container& initial, Fn&& fn)
             }
             if (found) {
                 if (idle_since_ns != 0) {
-                    trace::stall(idle_since_ns);
+                    trace::stall(idle_since_ns,
+                                 trace::StallKind::kStealWait);
                     idle_since_ns = 0;
                 }
                 backoff.reset();
@@ -225,7 +227,8 @@ for_each(const Container& initial, Fn&& fn)
             backoff.wait();
             if (pending.load(std::memory_order_acquire) == 0) {
                 if (idle_since_ns != 0) {
-                    trace::stall(idle_since_ns);
+                    trace::stall(idle_since_ns,
+                                 trace::StallKind::kStealWait);
                 }
                 return;
             }

@@ -215,7 +215,8 @@ class ObimWorklist
             if (abort_.load(std::memory_order_acquire) ||
                 cancel_requested()) {
                 if (idle_since_ns != 0) {
-                    trace::stall(idle_since_ns);
+                    trace::stall(idle_since_ns,
+                                 trace::StallKind::kObimPop);
                 }
                 return false;
             }
@@ -251,7 +252,8 @@ class ObimWorklist
                         metrics::gauge_add(metrics::kObimBinsLive, -1);
                     }
                     if (idle_since_ns != 0) {
-                        trace::stall(idle_since_ns);
+                        trace::stall(idle_since_ns,
+                                     trace::StallKind::kObimPop);
                     }
                     metrics::bump(metrics::kSteals, got);
                     // Advance the cursor hint past drained bins.
@@ -280,7 +282,8 @@ class ObimWorklist
             // visible").
             if (pending_.load(std::memory_order_acquire) == 0) {
                 if (idle_since_ns != 0) {
-                    trace::stall(idle_since_ns);
+                    trace::stall(idle_since_ns,
+                                 trace::StallKind::kObimPop);
                 }
                 return false;
             }

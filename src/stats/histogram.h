@@ -1,0 +1,245 @@
+#pragma once
+
+/**
+ * @file
+ * Log-linear HDR-style latency histogram: the mergeable distribution
+ * primitive behind gas::stats.
+ *
+ * The paper's comparisons are distributions, not points — and the
+ * ROADMAP's concurrent-analytics-service item needs p50/p99 latency vs
+ * offered load, which flat counter totals (metrics/counters.h) cannot
+ * express. This header provides the fixed-shape histogram that makes
+ * percentiles cheap, exact to a known bound, and mergeable across
+ * threads and runs.
+ *
+ * ## Bucket grid
+ *
+ * A fixed 64-row x 16-column log-linear grid over uint64_t values
+ * (nanosecond durations in practice: the grid spans 1 ns to ~2^63 ns,
+ * i.e. well past "minutes" into "centuries", so no clamping logic is
+ * ever needed):
+ *
+ *  - values 0..15 get exact unit buckets (row 0);
+ *  - every later row r >= 1 covers [16 << (r-1), 32 << (r-1)) with 16
+ *    equal sub-buckets of width 2^(r-1).
+ *
+ * Consequences the tests pin down:
+ *  - every power of two is exactly a bucket lower bound (sub-bucket 0
+ *    of its row), so bucket boundaries line up across any two
+ *    histograms by construction;
+ *  - relative quantization error is bounded by one bucket width,
+ *    i.e. <= 1/16 of the value (6.25%);
+ *  - the shape is a compile-time constant, so merge is element-wise
+ *    addition — associative, commutative, and lossless.
+ *
+ * ## Concurrency model
+ *
+ * Recording threads each own a Shard (histogram.h defines the layout;
+ * stats.cpp owns shard lifetime). All shard fields are relaxed
+ * atomics: the owner increments, and the sampler/exposition threads
+ * may read concurrently. Relaxed is sufficient because consumers only
+ * require exact totals at quiescence (no recorder running), the same
+ * contract as metrics::read() and trace::snapshot().
+ */
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace gas::stats {
+
+/// Grid shape: 64 rows x 16 sub-buckets. Row 0 is the unit-bucket
+/// region [0, 16); row r >= 1 spans [16 << (r-1), 32 << (r-1)).
+inline constexpr unsigned kSubBucketBits = 4;
+inline constexpr unsigned kSubBuckets = 1u << kSubBucketBits; // 16
+inline constexpr unsigned kRows = 64;
+inline constexpr unsigned kNumBuckets = kRows * kSubBuckets; // 1024
+
+/// Bucket index holding @p value. Branch-free beyond one compare.
+constexpr unsigned
+bucket_index(uint64_t value)
+{
+    if (value < kSubBuckets) {
+        return static_cast<unsigned>(value); // row 0: exact units
+    }
+    const unsigned h = std::bit_width(value) - 1;   // floor(log2(value))
+    const unsigned shift = h - kSubBucketBits;      // sub-bucket width log2
+    const unsigned sub =
+        static_cast<unsigned>((value >> shift) & (kSubBuckets - 1));
+    const unsigned row = h - (kSubBucketBits - 1);  // h=4 -> row 1
+    return row * kSubBuckets + sub;
+}
+
+/// Smallest value mapping to bucket @p index.
+constexpr uint64_t
+bucket_lower(unsigned index)
+{
+    const unsigned row = index / kSubBuckets;
+    const unsigned sub = index % kSubBuckets;
+    if (row == 0) {
+        return sub;
+    }
+    return static_cast<uint64_t>(kSubBuckets + sub) << (row - 1);
+}
+
+/// Width of bucket @p index (all values in [lower, lower + width)).
+constexpr uint64_t
+bucket_width(unsigned index)
+{
+    const unsigned row = index / kSubBuckets;
+    return row == 0 ? 1 : uint64_t{1} << (row - 1);
+}
+
+static_assert(bucket_index(0) == 0);
+static_assert(bucket_index(15) == 15);
+static_assert(bucket_index(16) == 16);
+static_assert(bucket_index(31) == 31);
+static_assert(bucket_index(32) == 32);
+static_assert(bucket_lower(bucket_index(uint64_t{1} << 40)) ==
+              uint64_t{1} << 40);
+static_assert(bucket_index(~uint64_t{0}) < kNumBuckets);
+
+/**
+ * One recorder's slice of a histogram. Owned by the stats registry
+ * (leaked, like the metrics and trace registries, so worker-thread
+ * exit after main-thread static destruction stays safe); recording
+ * threads cache a raw pointer in TLS.
+ */
+struct alignas(64) HistogramShard
+{
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{~uint64_t{0}};
+    std::atomic<uint64_t> max{0};
+
+    void
+    record(uint64_t value)
+    {
+        buckets[bucket_index(value)].fetch_add(1,
+                                               std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+        sum.fetch_add(value, std::memory_order_relaxed);
+        // CAS-free extrema: the owner is the only writer, so a plain
+        // read-check-store is race-free; concurrent readers see a
+        // monotone min/max.
+        if (value < min.load(std::memory_order_relaxed)) {
+            min.store(value, std::memory_order_relaxed);
+        }
+        if (value > max.load(std::memory_order_relaxed)) {
+            max.store(value, std::memory_order_relaxed);
+        }
+    }
+
+    void
+    clear()
+    {
+        for (auto& b : buckets) {
+            b.store(0, std::memory_order_relaxed);
+        }
+        count.store(0, std::memory_order_relaxed);
+        sum.store(0, std::memory_order_relaxed);
+        min.store(~uint64_t{0}, std::memory_order_relaxed);
+        max.store(0, std::memory_order_relaxed);
+    }
+};
+
+/**
+ * Plain-value histogram state: the merge/query currency. Snapshots of
+ * different shards (or different runs) merge losslessly because the
+ * grid shape is fixed.
+ */
+struct HistogramSnapshot
+{
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count{0};
+    uint64_t sum{0};
+    uint64_t min{~uint64_t{0}}; ///< UINT64_MAX when empty
+    uint64_t max{0};
+
+    bool empty() const { return count == 0; }
+
+    /// Element-wise accumulate @p other into this snapshot.
+    void
+    merge(const HistogramSnapshot& other)
+    {
+        for (unsigned i = 0; i < kNumBuckets; ++i) {
+            buckets[i] += other.buckets[i];
+        }
+        count += other.count;
+        sum += other.sum;
+        if (other.min < min) {
+            min = other.min;
+        }
+        if (other.max > max) {
+            max = other.max;
+        }
+    }
+
+    /// Read one shard's current values (relaxed; exact at quiescence).
+    void
+    add_shard(const HistogramShard& shard)
+    {
+        HistogramSnapshot s;
+        for (unsigned i = 0; i < kNumBuckets; ++i) {
+            s.buckets[i] = shard.buckets[i].load(std::memory_order_relaxed);
+        }
+        s.count = shard.count.load(std::memory_order_relaxed);
+        s.sum = shard.sum.load(std::memory_order_relaxed);
+        s.min = shard.min.load(std::memory_order_relaxed);
+        s.max = shard.max.load(std::memory_order_relaxed);
+        merge(s);
+    }
+
+    /**
+     * Value at quantile @p q in (0, 1]: the upper edge of the bucket
+     * containing the ceil(q * count)-th smallest recorded value,
+     * clamped to the observed [min, max]. Error vs the true order
+     * statistic is at most one bucket width (tests/stats_test.cpp pins
+     * the bound).
+     */
+    uint64_t
+    percentile(double q) const
+    {
+        if (count == 0) {
+            return 0;
+        }
+        uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+        if (rank < 1) {
+            rank = 1;
+        }
+        if (rank > count) {
+            rank = count;
+        }
+        uint64_t seen = 0;
+        for (unsigned i = 0; i < kNumBuckets; ++i) {
+            seen += buckets[i];
+            if (seen >= rank) {
+                const uint64_t upper = bucket_lower(i) + bucket_width(i) - 1;
+                const uint64_t lo = min == ~uint64_t{0} ? 0 : min;
+                if (upper < lo) {
+                    return lo;
+                }
+                return upper > max ? max : upper;
+            }
+        }
+        return max;
+    }
+
+    uint64_t p50() const { return percentile(0.50); }
+    uint64_t p90() const { return percentile(0.90); }
+    uint64_t p99() const { return percentile(0.99); }
+    uint64_t p999() const { return percentile(0.999); }
+
+    /// Mean of recorded values (0 when empty).
+    double
+    mean() const
+    {
+        return count == 0
+            ? 0.0
+            : static_cast<double>(sum) / static_cast<double>(count);
+    }
+};
+
+} // namespace gas::stats

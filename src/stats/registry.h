@@ -1,0 +1,75 @@
+#pragma once
+
+/**
+ * @file
+ * Central metric-name registry for gas::stats.
+ *
+ * Every histogram and gauge name used anywhere in the tree must be
+ * declared here as a string constant. This is the single source of
+ * truth three consumers share:
+ *
+ *  - stats.cpp pre-registers each name at enable time, so exposition
+ *    output always carries the full, stable schema (empty series
+ *    included) and the span->histogram bridge resolves names to
+ *    pre-existing objects without allocating on hot paths;
+ *  - tools/gaslint/gaslint.py's gas-unregistered-metric check parses
+ *    this header's string literals and rejects any
+ *    stats::histogram("...") / stats::gauge("...") call site whose
+ *    literal is missing here, keeping code, exposition output, and
+ *    the DESIGN.md section 14 metric tables in sync;
+ *  - DESIGN.md section 14 documents each name's meaning; add a row
+ *    there when adding a constant here.
+ *
+ * Naming scheme: `<layer>_<what>_<unit>`, snake_case, with the unit
+ * suffix mandatory (`_ns` for duration histograms; gauges carry their
+ * natural unit). Prometheus exposition reuses these names verbatim
+ * under the `gas_` namespace prefix.
+ */
+
+namespace gas::stats::names {
+
+// ---- Duration histograms (nanoseconds), fed by the trace bridge ----
+
+/// One (app, system) bench cell repetition (trace kCell spans).
+inline constexpr const char* kBenchCellNs = "bench_cell_ns";
+/// One whole algorithm invocation (trace kAlgo spans).
+inline constexpr const char* kAlgoNs = "algo_ns";
+/// One BSP round / priority phase (trace kRound spans); count
+/// reconciles exactly with the metrics::kRounds counter total.
+inline constexpr const char* kAlgoRoundNs = "algo_round_ns";
+/// Push-direction SpMV kernels (vxm and its fused forms).
+inline constexpr const char* kSpmvPushNs = "spmv_push_ns";
+/// Pull-direction SpMV kernels (mxv, mxv_sparse, and fused form).
+inline constexpr const char* kSpmvPullNs = "spmv_pull_ns";
+/// Every other GraphBLAS operation span (eWise*, apply, reduce, mxm,
+/// select, assign, gather/scatter).
+inline constexpr const char* kGrbOpNs = "grb_op_ns";
+/// One runtime construct (do_all / for_each / on_each / OBIM region).
+inline constexpr const char* kRuntimeRegionNs = "runtime_region_ns";
+/// One thread's participation in a runtime construct.
+inline constexpr const char* kRuntimeWorkerNs = "runtime_worker_ns";
+
+// ---- Scheduler-wait histograms (nanoseconds), fed by trace::stall ----
+
+/// Idle episodes in the work-stealing for_each executor (a worker
+/// found its deque and every victim empty until work appeared or the
+/// region terminated).
+inline constexpr const char* kSchedStealWaitNs = "sched_steal_wait_ns";
+/// Idle episodes in OBIM pop_batch (every scanned priority bin empty).
+inline constexpr const char* kObimPopWaitNs = "obim_pop_wait_ns";
+
+// ---- Gauges ----
+
+/// Hardware-counter totals accumulated from depth-0 trace spans when
+/// the perf_event group is available (trace/perf_counters.h). Exposed
+/// as monotone gauge series so the sampler's frames show instruction /
+/// miss arrival rates over time.
+inline constexpr const char* kHwInstructions = "hw_instructions";
+inline constexpr const char* kHwCycles = "hw_cycles";
+inline constexpr const char* kHwL1dMiss = "hw_l1d_miss";
+inline constexpr const char* kHwLlcMiss = "hw_llc_miss";
+
+/// Sampler self-observation: frames dropped to ring wrap-around.
+inline constexpr const char* kStatsFramesDropped = "stats_frames_dropped";
+
+} // namespace gas::stats::names

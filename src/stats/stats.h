@@ -1,0 +1,218 @@
+#pragma once
+
+/**
+ * @file
+ * gas::stats — always-on telemetry: mergeable latency histograms, a
+ * background time-series sampler, and unified exposition.
+ *
+ * The paper's argument is built on measured distributions of runtime
+ * and memory across APIs; metrics/counters.h gives flat end-of-run
+ * totals and trace/trace.h gives raw spans, but neither answers "what
+ * was the p99 round latency" or "how did steal pressure evolve over
+ * the run" without post-processing. This module closes that gap and is
+ * the substrate for the ROADMAP's concurrent-analytics-service bench
+ * (p50/p99 vs offered load).
+ *
+ * ## Pieces
+ *
+ *  - **Histograms** (stats/histogram.h): fixed 64x16 log-linear grid,
+ *    per-thread shards with relaxed-atomic buckets, exact lossless
+ *    merge, p50/p90/p99/p999 + min/max/count/sum. Names live in
+ *    stats/registry.h (enforced by gaslint's gas-unregistered-metric).
+ *  - **Gauges**: single relaxed atomics sampled over time (hardware
+ *    counter totals, occupancy levels).
+ *  - **Sampler**: a background thread (GAS_STATS_HZ, default 10) that
+ *    snapshots every metrics:: counter/gauge and every stats gauge
+ *    into a ring of timestamped frames; it parks on a condition
+ *    variable armed by a CancelToken (the PR 7 cancel machinery), so
+ *    stop and process-deadline trips wake it immediately.
+ *  - **Span bridge**: trace.cpp forwards every finished span's
+ *    duration (and every scheduler-stall episode) into a histogram
+ *    chosen by span category and kernel name — so all existing
+ *    instrumentation feeds distributions with zero new call sites,
+ *    and histogram count/sum reconcile exactly with trace span sums
+ *    and metrics:: counter totals (same invariant style as the span
+ *    attribution test).
+ *  - **Exposition**: GAS_STATS=out.json (schema-versioned frames +
+ *    final histograms + counter totals) and GAS_STATS_PROM=out.prom
+ *    (Prometheus text format with _bucket/_sum/_count).
+ *
+ * ## Overhead discipline
+ *
+ * Identical to trace/trace.h: everything is gated behind one relaxed
+ * atomic flag. Disabled, Histogram::record() is a load + branch; no
+ * clock reads, no allocation (tests/stats_test.cpp pins this with the
+ * same operator-new counting gate as the tracer).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "stats/histogram.h"
+#include "stats/registry.h"
+
+namespace gas::stats {
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+
+void record_slow(unsigned histogram_id, uint64_t value);
+
+/// Entry points trace.cpp calls on its slow paths (already behind the
+/// tracer's own enabled check + the bridge flag). Plain-integer
+/// signatures keep this header free of a trace/trace.h dependency;
+/// stats.cpp casts @p category / @p stall_kind back to the trace enums.
+void bridge_span(uint8_t category, const char* name, uint64_t duration_ns);
+void bridge_stall(uint8_t stall_kind, uint64_t duration_ns);
+void bridge_hw(const uint64_t (&deltas)[4]);
+
+} // namespace detail
+
+/// True when stats collection is on. One relaxed load; the disabled
+/// fast path of every record site is a branch over this dead flag.
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Turn stats collection on or off. Enabling pre-registers every name
+ * in stats/registry.h and arms the trace span bridge (which flips the
+ * tracer's master flag on so spans fire even when no trace ring/file
+ * was requested). Flip at quiescence, like trace::set_enabled.
+ */
+void set_enabled(bool on);
+
+/**
+ * A named latency histogram. Obtain via stats::histogram(name);
+ * objects live forever (leaked registry) so references never dangle.
+ */
+class Histogram
+{
+  public:
+    const char* name() const { return name_.c_str(); }
+    unsigned id() const { return id_; }
+
+    /// Record one value into the calling thread's shard. Disabled
+    /// path: one relaxed load and a branch, nothing else.
+    void
+    record(uint64_t value)
+    {
+        if (enabled()) {
+            detail::record_slow(id_, value);
+        }
+    }
+
+    /// Merged view over all shards. Exact at quiescence.
+    HistogramSnapshot snapshot() const;
+
+  private:
+    friend struct StatsRegistry;
+    Histogram(std::string name, unsigned id)
+        : name_(std::move(name)), id_(id)
+    {
+    }
+
+    std::string name_;
+    unsigned id_;
+};
+
+/// A named gauge: a point-in-time level the sampler reads every frame.
+class Gauge
+{
+  public:
+    const char* name() const { return name_.c_str(); }
+
+    void set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(uint64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend struct StatsRegistry;
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    std::string name_;
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Histogram registered under @p name (interned: same name, same
+ * object). Registration allocates; hoist lookups out of hot loops and
+ * keep the reference. Every literal passed here must appear in
+ * stats/registry.h (gaslint: gas-unregistered-metric).
+ */
+Histogram& histogram(const char* name);
+
+/// Gauge registered under @p name. Same interning/registry contract.
+Gauge& gauge(const char* name);
+
+/// (name, merged snapshot) for every registered histogram, in
+/// registration order.
+std::vector<std::pair<std::string, HistogramSnapshot>> snapshot_all();
+
+/// (name, value) for every registered gauge, in registration order.
+std::vector<std::pair<std::string, uint64_t>> gauges_snapshot();
+
+/// One sampler tick: everything observable at @p t_ns.
+struct Frame
+{
+    uint64_t t_ns;              ///< gas::now_ns() at the sample
+    metrics::Snapshot counters; ///< global counter totals
+    /// metrics:: gauges (kObimBinsLive, ...), indexed by GaugeId.
+    std::array<uint64_t, metrics::kNumGauges> metric_gauges{};
+    /// stats:: gauges, in registration order (pairs with the names
+    /// from gauges_snapshot() at the same instant).
+    std::vector<std::pair<std::string, uint64_t>> gauges;
+};
+
+/**
+ * Start the background sampler at @p hz frames per second (clamped to
+ * [0.1, 1000]). Idempotent while running. The thread parks between
+ * ticks and wakes immediately on sampler_stop().
+ */
+void sampler_start(double hz);
+
+/// Stop and join the sampler thread. Idempotent.
+void sampler_stop();
+
+/// All frames captured so far, oldest first. Frames beyond the ring
+/// capacity (GAS_STATS_FRAMES, default 8192) evict oldest-first.
+std::vector<Frame> frames();
+
+/// Frames lost to ring wrap-around since the last reset.
+uint64_t frames_dropped();
+
+/// Zero every histogram shard, every stats gauge, and the frame ring.
+/// Quiescence required (no recorder or sampler mid-tick), like
+/// trace::reset().
+void reset();
+
+/// Write the JSON exposition (schema_version, histograms with
+/// percentiles + raw buckets, gauges, counter totals, frames).
+/// Returns false (with a stderr warning) if the file cannot open.
+bool write_json(const std::string& path);
+
+/// Write Prometheus text exposition: each histogram as
+/// gas_<name>_bucket{le=...}/_sum/_count (seconds, cumulative),
+/// gauges as gas_<name>, counters as gas_<name>_total.
+bool write_prometheus(const std::string& path);
+
+/**
+ * Bench/CLI wiring: if GAS_STATS=<path> or GAS_STATS_PROM=<path> is
+ * set, enable stats, start the sampler at GAS_STATS_HZ (default 10),
+ * and register an atexit hook that stops the sampler and writes the
+ * requested exposition files. Returns true when stats were enabled.
+ * Idempotent.
+ */
+bool configure_from_env();
+
+} // namespace gas::stats

@@ -31,6 +31,7 @@
  *  - raw lock()/unlock() pairs use GAS_ACQUIRE()/GAS_RELEASE().
  */
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -174,6 +175,17 @@ class CondVar
     void notify_one() { cv_.notify_one(); }
     void notify_all() { cv_.notify_all(); }
     void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+    /// Timed wait (for periodic threads like the stats sampler).
+    /// Returns like std::condition_variable::wait_for; callers re-test
+    /// their predicate either way.
+    template <typename Rep, typename Period>
+    std::cv_status
+    wait_for(UniqueLock& lock,
+             const std::chrono::duration<Rep, Period>& duration)
+    {
+        return cv_.wait_for(lock.native(), duration);
+    }
 
   private:
     std::condition_variable cv_;

@@ -1,6 +1,7 @@
 #include "trace/perf_counters.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 
 #if defined(__linux__)
@@ -160,5 +161,23 @@ HwCounterGroup::close()
 }
 
 #endif // __linux__
+
+bool
+hw_counters_supported_or_report()
+{
+    const bool ok = hw_counters_supported();
+    if (!ok) {
+        static std::atomic<bool> reported{false};
+        if (!reported.exchange(true, std::memory_order_relaxed)) {
+            std::fprintf(
+                stderr,
+                "gas::trace: GAS_TRACE_HW=1 but the perf_event counter "
+                "group cannot open (perf_event_paranoid, seccomp, "
+                "container policy, or non-Linux); hw_* series will stay "
+                "zero and consumers fall back to the software proxies\n");
+        }
+    }
+    return ok;
+}
 
 } // namespace gas::trace

@@ -39,6 +39,13 @@ namespace gas::trace {
 /// return the cached verdict.
 bool hw_counters_supported();
 
+/// hw_counters_supported(), plus — on the first negative answer
+/// through this entry point — a one-time stderr note naming the
+/// fallback. Used when the user *explicitly* asked for hw counters
+/// (GAS_TRACE_HW=1): an explicit request deserves a visible
+/// degradation report rather than silently zeroed hw_* series.
+bool hw_counters_supported_or_report();
+
 /**
  * One thread's counter group. Not thread-safe: each tracing thread
  * owns exactly one (the tracer keeps it in thread-local state).

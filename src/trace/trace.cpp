@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "runtime/thread_pool.h"
+#include "stats/stats.h"
 #include "support/env.h"
 #include "support/thread_annotations.h"
 #include "support/timer.h"
@@ -22,6 +23,25 @@ namespace detail {
 std::atomic<bool> g_enabled{false};
 
 } // namespace detail
+
+namespace {
+
+/// The two span consumers. The master flag (detail::g_enabled, the
+/// one the hot paths read) is their OR: ring recording for
+/// snapshot()/export, and the gas::stats bridge feeding histograms.
+std::atomic<bool> g_ring_wanted{false};
+std::atomic<bool> g_bridge_wanted{false};
+
+void
+recompute_master()
+{
+    detail::g_enabled.store(
+        g_ring_wanted.load(std::memory_order_relaxed) ||
+            g_bridge_wanted.load(std::memory_order_relaxed),
+        std::memory_order_release);
+}
+
+} // namespace
 
 namespace {
 
@@ -262,18 +282,39 @@ span_end()
             record.flags |= kFlagHw;
             if (state.depth > 0) {
                 accumulate(state.stack[state.depth - 1].child_hw, raw_hw);
+            } else if (g_bridge_wanted.load(std::memory_order_relaxed)) {
+                // Outermost span on this thread: its raw deltas are
+                // the thread's whole hw activity for the interval.
+                // Accumulating only at depth 0 counts every event
+                // exactly once across nesting.
+                const uint64_t deltas[kNumHwCounters] = {
+                    raw_hw[0], raw_hw[1], raw_hw[2], raw_hw[3]};
+                stats::detail::bridge_hw(deltas);
             }
         }
     }
     if (state.depth > 0) {
         accumulate(state.stack[state.depth - 1].child_counters, raw);
     }
-    state.push_record(record);
+    if (g_bridge_wanted.load(std::memory_order_relaxed)) {
+        // Forward the span's own end - begin so the histogram's sum
+        // reconciles exactly with the trace ring's span sums: both
+        // consumers see the identical duration, by construction.
+        stats::detail::bridge_span(static_cast<uint8_t>(record.category),
+                                   record.name,
+                                   end_ns - frame.begin_ns);
+    }
+    if (g_ring_wanted.load(std::memory_order_relaxed)) {
+        state.push_record(record);
+    }
 }
 
 void
 instant_slow(Category category, const char* name, uint64_t arg)
 {
+    if (!g_ring_wanted.load(std::memory_order_relaxed)) {
+        return; // bridge-only mode: markers have no duration to record
+    }
     ThreadState& state = local_state();
     SpanRecord record;
     const uint64_t now = now_ns();
@@ -292,7 +333,7 @@ instant_slow(Category category, const char* name, uint64_t arg)
 }
 
 void
-stall_slow(uint64_t begin_ns)
+stall_slow(uint64_t begin_ns, StallKind kind)
 {
     const uint64_t now = now_ns();
     const uint64_t ns = now >= begin_ns ? now - begin_ns : 0;
@@ -300,9 +341,19 @@ stall_slow(uint64_t begin_ns)
     if (state.depth > 0 && state.overflow_open == 0) {
         state.stack[state.depth - 1].own_stall_ns += ns;
     }
+    if (g_bridge_wanted.load(std::memory_order_relaxed)) {
+        stats::detail::bridge_stall(static_cast<uint8_t>(kind), ns);
+    }
     if (ns >= kStallInstantNs) {
         instant_slow(Category::kStall, "sched_stall", ns);
     }
+}
+
+void
+set_bridge_enabled(bool on)
+{
+    g_bridge_wanted.store(on, std::memory_order_relaxed);
+    recompute_master();
 }
 
 } // namespace detail
@@ -310,7 +361,14 @@ stall_slow(uint64_t begin_ns)
 void
 set_enabled(bool on)
 {
-    detail::g_enabled.store(on, std::memory_order_relaxed);
+    g_ring_wanted.store(on, std::memory_order_relaxed);
+    recompute_master();
+}
+
+void
+set_hw_counters_wanted(bool wanted)
+{
+    g_hw_wanted.store(wanted, std::memory_order_relaxed);
 }
 
 TraceData
@@ -516,7 +574,10 @@ configure_from_env()
             set_ring_capacity(static_cast<std::size_t>(spans));
         }
         if (env::raw("GAS_TRACE_HW") != nullptr) {
-            g_hw_wanted.store(env::flag("GAS_TRACE_HW"));
+            set_hw_counters_wanted(env::flag("GAS_TRACE_HW"));
+            if (env::flag("GAS_TRACE_HW")) {
+                (void) hw_counters_supported_or_report();
+            }
         }
         set_enabled(true);
         enabled_now = true;

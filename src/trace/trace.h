@@ -93,6 +93,16 @@ enum class Category : uint8_t {
 /// Printable name of a category.
 const char* category_name(Category category);
 
+/// Which executor wait path reported a stall episode. Distinguishes
+/// the stats series the episode lands in (work-stealing deque sweep
+/// vs OBIM priority-bin scan); the trace ring renders all kinds on
+/// the same stall track.
+enum class StallKind : uint8_t {
+    kGeneric = 0, ///< unspecified idle wait
+    kStealWait,   ///< for_each work-stealing sweep found nothing
+    kObimPop,     ///< OBIM pop_batch scanned every bin empty
+};
+
 /// Hardware counters read per span when the perf group is available:
 /// instructions, cycles, L1D read misses, LLC misses (in that order).
 inline constexpr unsigned kNumHwCounters = 4;
@@ -128,12 +138,20 @@ struct SpanRecord
 
 namespace detail {
 
+/// Master flag: ring recording OR the stats span bridge wants spans.
+/// The per-site fast path stays one relaxed load either way.
 extern std::atomic<bool> g_enabled;
 
 void span_begin(Category category, const char* name, uint64_t arg);
 void span_end();
 void instant_slow(Category category, const char* name, uint64_t arg);
-void stall_slow(uint64_t begin_ns);
+void stall_slow(uint64_t begin_ns, StallKind kind);
+
+/// Arm/disarm the gas::stats span->histogram bridge: span durations
+/// (and stall episodes) are forwarded to stats histograms at span end.
+/// Owned by stats::set_enabled(); flips the master flag as needed so
+/// spans fire even when no trace ring/export was requested.
+void set_bridge_enabled(bool on);
 
 } // namespace detail
 
@@ -145,10 +163,16 @@ enabled()
     return detail::g_enabled.load(std::memory_order_relaxed);
 }
 
-/// Turn tracing on or off. Spans open when the flag flips are closed
-/// defensively (end with whatever state they have) — flip at
-/// quiescence for exact traces.
+/// Turn ring recording (snapshot()/export) on or off. Spans open when
+/// the flag flips are closed defensively (end with whatever state they
+/// have) — flip at quiescence for exact traces. Independent of the
+/// stats bridge: either consumer keeps span emission alive.
 void set_enabled(bool on);
+
+/// Want per-span hardware counters when spans fire? Defaults to true
+/// (harmlessly degrades when perf is unavailable); GAS_TRACE_HW=0
+/// clears it via the env wiring here or in stats::configure_from_env.
+void set_hw_counters_wanted(bool wanted);
 
 /**
  * RAII span. Constructing while tracing is disabled records nothing
@@ -190,13 +214,15 @@ instant(Category category, const char* name, uint64_t arg = 0)
 
 /// Report a scheduler idle episode that started at @p begin_ns (a
 /// now_ns() value captured when the thread first found no work). Adds
-/// the episode to the innermost open span's stall_ns and emits an
-/// instant event on the stall track for episodes long enough to see.
+/// the episode to the innermost open span's stall_ns, emits an instant
+/// event on the stall track for episodes long enough to see, and (via
+/// the stats bridge) records the episode length into the wait
+/// histogram selected by @p kind.
 inline void
-stall(uint64_t begin_ns)
+stall(uint64_t begin_ns, StallKind kind = StallKind::kGeneric)
 {
     if (enabled()) {
-        detail::stall_slow(begin_ns);
+        detail::stall_slow(begin_ns, kind);
     }
 }
 

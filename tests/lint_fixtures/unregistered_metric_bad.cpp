@@ -1,0 +1,17 @@
+// Fixture: gas-unregistered-metric must flag metric name literals that
+// are not declared in src/stats/registry.h.
+
+#include "stats/stats.h"
+
+namespace gas {
+
+void
+bad_adhoc_series()
+{
+    // Neither name exists in the registry header.
+    auto& h = stats::histogram("my_adhoc_latency_ns");
+    h.record(42);
+    stats::gauge("my_adhoc_level").set(7);
+}
+
+} // namespace gas

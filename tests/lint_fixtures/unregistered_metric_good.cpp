@@ -1,0 +1,26 @@
+// Fixture: gas-unregistered-metric stays quiet for registered literals,
+// registry-backed constants, and non-literal (dynamic) names.
+
+#include "stats/stats.h"
+
+namespace gas {
+
+const char*
+pick_name(bool push)
+{
+    return push ? "spmv_push_ns" : "spmv_pull_ns";
+}
+
+void
+good_registered_series(bool push)
+{
+    // Literals declared in src/stats/registry.h.
+    stats::histogram("algo_round_ns").record(1);
+    stats::gauge("hw_instructions").set(7);
+    // The sanctioned spelling: the registry constants themselves.
+    stats::histogram(stats::names::kBenchCellNs).record(2);
+    // Dynamic names are out of scope for a lexical check.
+    stats::histogram(pick_name(push)).record(3);
+}
+
+} // namespace gas

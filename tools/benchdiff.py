@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""benchdiff: compare two BENCH_*.json files and gate on regressions.
+
+Usage:
+    benchdiff.py BASELINE.json CANDIDATE.json [options]
+
+Both files hold the repo's standard bench records: a JSON array of
+objects keyed by (app, graph, api) with a median_ms number (see
+bench/bench_common.h JsonRecord). The comparator:
+
+  - matches cells by (app, graph, api) key;
+  - flags a cell as a regression when the candidate median exceeds
+    baseline * --band plus --floor-ms (the absolute floor absorbs
+    scheduling noise on sub-millisecond smoke cells, where a ratio
+    band alone would be pure jitter);
+  - flags cells missing from the candidate (a silently dropped bench
+    cell is a regression of coverage, not just speed) unless
+    --allow-missing;
+  - additionally gates the aggregate: sum of candidate medians must
+    stay within --aggregate-band of the baseline sum. Per-cell noise
+    averages out in the aggregate, so this band can be tighter.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/IO error. Dependency
+free (stdlib json only) so it runs anywhere CI has a python3.
+
+Typical CI gate (1.5x per cell vs the checked-in baseline):
+    python3 tools/benchdiff.py results/baseline/BENCH_table2.json \
+        build/bench/results/BENCH_table2.json --band 1.5
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"benchdiff: cannot read {path}: {err}", file=sys.stderr)
+        return None
+    cells = {}
+    for r in records:
+        try:
+            key = (r["app"], r["graph"], r["api"])
+            cells[key] = float(r["median_ms"])
+        except (KeyError, TypeError, ValueError) as err:
+            print(f"benchdiff: malformed record in {path}: {r!r} ({err})",
+                  file=sys.stderr)
+            return None
+    return cells
+
+
+def fmt_key(key):
+    return "/".join(key)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="benchdiff", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", help="candidate BENCH_*.json")
+    ap.add_argument("--band", type=float, default=1.5,
+                    help="per-cell noise band: candidate must stay "
+                         "within baseline * BAND (default 1.5)")
+    ap.add_argument("--floor-ms", type=float, default=0.25,
+                    help="absolute per-cell allowance in ms added on "
+                         "top of the band (default 0.25; absorbs "
+                         "jitter on sub-ms smoke cells)")
+    ap.add_argument("--aggregate-band", type=float, default=None,
+                    help="also require sum(candidate) <= "
+                         "sum(baseline) * AGGREGATE_BAND "
+                         "(default: same as --band)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="do not fail when the candidate lacks cells "
+                         "the baseline has")
+    ap.add_argument("--quiet", action="store_true",
+                    help="print regressions only, no per-cell table")
+    args = ap.parse_args(argv)
+
+    base = load_cells(args.baseline)
+    cand = load_cells(args.candidate)
+    if base is None or cand is None:
+        return 2
+    if not base:
+        print(f"benchdiff: baseline {args.baseline} holds no cells",
+              file=sys.stderr)
+        return 2
+
+    aggregate_band = (args.aggregate_band
+                      if args.aggregate_band is not None else args.band)
+    regressions = []
+    improvements = 0
+    compared = 0
+
+    for key in sorted(base):
+        b = base[key]
+        if key not in cand:
+            if not args.allow_missing:
+                regressions.append(f"{fmt_key(key)}: missing from "
+                                   f"candidate (baseline {b:.3f} ms)")
+            continue
+        c = cand[key]
+        compared += 1
+        limit = b * args.band + args.floor_ms
+        status = "ok"
+        if c > limit:
+            status = "REGRESSED"
+            regressions.append(
+                f"{fmt_key(key)}: {c:.3f} ms vs baseline {b:.3f} ms "
+                f"(limit {limit:.3f} = x{args.band} + {args.floor_ms} ms)")
+        elif c < b:
+            improvements += 1
+        if not args.quiet:
+            print(f"  {fmt_key(key):50s} {b:10.3f} -> {c:10.3f} ms  "
+                  f"{status}")
+
+    new_cells = sorted(set(cand) - set(base))
+    for key in new_cells:
+        if not args.quiet:
+            print(f"  {fmt_key(key):50s} {'-':>10s} -> "
+                  f"{cand[key]:10.3f} ms  new")
+
+    total_base = sum(base[k] for k in base if k in cand)
+    total_cand = sum(cand[k] for k in base if k in cand)
+    if total_base > 0 and total_cand > total_base * aggregate_band:
+        regressions.append(
+            f"aggregate: {total_cand:.3f} ms vs baseline "
+            f"{total_base:.3f} ms (band x{aggregate_band})")
+
+    print(f"benchdiff: {compared} cells compared, {improvements} "
+          f"improved, {len(new_cells)} new, {len(regressions)} "
+          f"regression(s); aggregate {total_base:.2f} -> "
+          f"{total_cand:.2f} ms")
+    for r in regressions:
+        print(f"REGRESSION: {r}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

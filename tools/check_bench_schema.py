@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate the schema of the repo's BENCH_*.json bench outputs.
+
+Every bench binary emits a JSON array of cell records through
+bench::write_json_records (bench/bench_common.h). This checker pins
+the shared contract so downstream tooling (tools/benchdiff.py, plot
+scripts) can rely on it:
+
+  - the file parses and is a non-empty array of objects;
+  - every record has string app/graph/api, integer threads >= 1, and
+    a finite non-negative median_ms number;
+  - "extra", when present, is a flat object of string keys to string
+    values.
+
+Usage:
+    check_bench_schema.py FILE.json [FILE.json ...]
+
+Exit status: 0 all files valid, 1 any violation. Dependency free.
+"""
+
+import json
+import math
+import sys
+
+
+def check_record(path, i, r, errors):
+    if not isinstance(r, dict):
+        errors.append(f"{path}[{i}]: record is not an object")
+        return
+    for field in ("app", "graph", "api"):
+        if not isinstance(r.get(field), str) or not r[field]:
+            errors.append(f"{path}[{i}]: missing/empty string '{field}'")
+    threads = r.get("threads")
+    if not isinstance(threads, int) or isinstance(threads, bool) or \
+            threads < 1:
+        errors.append(f"{path}[{i}]: 'threads' must be an int >= 1, "
+                      f"got {threads!r}")
+    median = r.get("median_ms")
+    if not isinstance(median, (int, float)) or isinstance(median, bool) \
+            or not math.isfinite(median) or median < 0:
+        errors.append(f"{path}[{i}]: 'median_ms' must be a finite "
+                      f"non-negative number, got {median!r}")
+    extra = r.get("extra")
+    if extra is not None:
+        if not isinstance(extra, dict):
+            errors.append(f"{path}[{i}]: 'extra' must be an object")
+        else:
+            for k, v in extra.items():
+                if not isinstance(v, str):
+                    errors.append(f"{path}[{i}]: extra[{k!r}] must be "
+                                  f"a string, got {type(v).__name__}")
+
+
+def check_file(path, errors):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, ValueError) as err:
+        errors.append(f"{path}: cannot read: {err}")
+        return 0
+    if not isinstance(records, list):
+        errors.append(f"{path}: top level is not an array")
+        return 0
+    if not records:
+        errors.append(f"{path}: empty record array")
+        return 0
+    for i, r in enumerate(records):
+        check_record(path, i, r, errors)
+    return len(records)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    errors = []
+    total = 0
+    for path in argv[1:]:
+        n = check_file(path, errors)
+        total += n
+        if not errors:
+            print(f"  {path}: {n} records ok")
+    for e in errors:
+        print(f"SCHEMA ERROR: {e}")
+    print(f"check_bench_schema: {len(argv) - 1} file(s), {total} "
+          f"records, {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -38,6 +38,11 @@ finding's line or the line above):
                             defeat inlining on per-edge paths. The
                             record-time planner (lazy.h,
                             lazy_registry.*) is exempt.
+  gas-unregistered-metric   stats::histogram("...") / stats::gauge("...")
+                            with a name literal that is not declared in
+                            src/stats/registry.h; every series must be
+                            registered centrally so exposition
+                            consumers can enumerate them.
 
 Implementation note: the environment this project builds in has no
 libclang (and no python clang bindings), so the checks run on a C++
@@ -78,11 +83,15 @@ RAW_PREFIXES = {"R", "u8R", "uR", "UR", "LR"}
 
 
 class Token:
-    __slots__ = ("kind", "text", "line")
+    __slots__ = ("kind", "text", "line", "value")
 
-    def __init__(self, kind, text, line):
+    def __init__(self, kind, text, line, value=None):
         self.kind = kind  # 'id' | 'num' | 'str' | 'chr' | 'punct'
         self.text = text
+        # String literals keep a placeholder in `text` (so bracket
+        # matching never trips over quoted punctuation) and carry their
+        # unescaped-as-written contents here for checks that care.
+        self.value = value
         self.line = line
 
     def __repr__(self):
@@ -104,8 +113,9 @@ def _lex_raw_string(text, i, line):
     delim = text[i + 1:j]
     closer = ")" + delim + '"'
     k = text.find(closer, j)
-    k = len(text) if k == -1 else k + len(closer)
-    return k, text.count("\n", i, k)
+    if k == -1:
+        return len(text), text.count("\n", i), text[j + 1:]
+    return k + len(closer), text.count("\n", i, k), text[j + 1:k]
 
 
 def lex(text):
@@ -166,14 +176,14 @@ def lex(text):
             if (prev is not None and prev.kind == "id"
                     and prev.text in RAW_PREFIXES and prev.line == line):
                 tokens.pop()
-                i, newlines = _lex_raw_string(text, i, line)
-                tokens.append(Token("str", "<raw-str>", line))
+                i, newlines, contents = _lex_raw_string(text, i, line)
+                tokens.append(Token("str", "<raw-str>", line, contents))
                 line += newlines
                 continue
             j = i + 1
             while j < n and text[j] != '"':
                 j += 2 if text[j] == "\\" else 1
-            tokens.append(Token("str", "<str>", line))
+            tokens.append(Token("str", "<str>", line, text[i + 1:j]))
             i = j + 1
             continue
         if c == "'":
@@ -633,6 +643,69 @@ def check_std_function_in_kernel(path, lexed, ctx, findings):
 
 
 # ---------------------------------------------------------------------------
+# gas-unregistered-metric
+# ---------------------------------------------------------------------------
+
+METRIC_REGISTRY = Path(__file__).resolve().parents[2] / "src" / "stats" / \
+    "registry.h"
+METRIC_FACTORIES = {"histogram", "gauge"}
+
+
+def registered_metric_names(ctx):
+    """Every string literal in src/stats/registry.h (cached).
+
+    The registry header defines one `constexpr const char* kFoo =
+    "name";` per series and nothing else carries string literals, so
+    collecting all literals is exact. A missing registry (stale
+    checkout) disables the check rather than flagging everything.
+    """
+    if ctx.metric_names is None:
+        ctx.metric_names = set()
+        try:
+            text = METRIC_REGISTRY.read_text(encoding="utf-8",
+                                             errors="replace")
+        except OSError:
+            return ctx.metric_names
+        for tok in lex(text).tokens:
+            if tok.kind == "str" and tok.value:
+                ctx.metric_names.add(tok.value)
+    return ctx.metric_names
+
+
+def check_unregistered_metric(path, lexed, ctx, findings):
+    """`stats::histogram("...")` / `stats::gauge("...")` literals must
+    name a series declared in src/stats/registry.h.
+
+    Heuristic limits: only literal arguments are checked (calls through
+    stats::names:: constants or variables are already registry-backed
+    or dynamic by design), and only calls qualified with `stats::` are
+    matched so unrelated histogram()/gauge() helpers never trip it.
+    """
+    names = registered_metric_names(ctx)
+    if not names:
+        return
+    tokens = lexed.tokens
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in METRIC_FACTORIES:
+            continue
+        if i < 2 or tokens[i - 1].text != "::" or \
+                tokens[i - 2].text != "stats":
+            continue
+        if i + 2 >= len(tokens) or tokens[i + 1].text != "(":
+            continue
+        arg = tokens[i + 2]
+        if arg.kind != "str":
+            continue
+        if arg.value not in names:
+            findings.append(Finding(
+                "gas-unregistered-metric", path, arg.line,
+                f'stats::{tok.text}("{arg.value}") names a series not '
+                "declared in src/stats/registry.h; add a constant "
+                "there (the registry is what exposition consumers and "
+                "dashboards enumerate)"))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -642,6 +715,7 @@ CHECKS = {
     "gas-missing-cancel-poll": check_missing_cancel_poll,
     "gas-ref-capture-in-parallel": check_ref_capture_in_parallel,
     "gas-std-function-in-kernel": check_std_function_in_kernel,
+    "gas-unregistered-metric": check_unregistered_metric,
 }
 
 
@@ -649,6 +723,7 @@ class Context:
     def __init__(self, path_filter_off):
         self.path_filter_off = path_filter_off
         self.status_functions = set()
+        self.metric_names = None
 
 
 def discover(paths, build_dir):

@@ -24,6 +24,7 @@ CASES = {
     "missing_cancel_poll": "gas-missing-cancel-poll",
     "ref_capture": "gas-ref-capture-in-parallel",
     "std_function_kernel": "gas-std-function-in-kernel",
+    "unregistered_metric": "gas-unregistered-metric",
     # Suppression comments must silence an otherwise-positive file.
     "suppressed": "gas-raw-getenv",
 }
